@@ -1,0 +1,144 @@
+/// \file bench_ablation_combine.cpp
+/// \brief Ablations on *how* operations are combined, beyond the paper's
+///        two general strategies:
+///
+///  1. Full combination (Eq. 2) — left fold vs. balanced pairwise tree.
+///     The paper argues full combination is not suitable because the
+///     product DD grows; the tree order is the strongest version of that
+///     idea (minimizing the number of "large x small" products), so its
+///     failure or success isolates whether the *association order* or the
+///     *product size itself* is the bottleneck.
+///
+///  2. Windowed strategies (k-operations / max-size / adaptive) for the
+///     windowed middle ground, including the adaptive extension that sizes
+///     the window relative to the current state DD.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/equivalence.hpp"
+
+namespace {
+
+using namespace ddsim;
+
+/// Time building the full circuit unitary by a left fold (paper Eq. 2).
+double timeLeftFold(const ir::Circuit& circuit, std::size_t* nodes) {
+  const sim::Timer timer;
+  dd::Package pkg(circuit.numQubits());
+  const dd::MEdge u = sim::buildCircuitMatrix(pkg, circuit);
+  *nodes = pkg.size(u);
+  return timer.seconds();
+}
+
+/// Time building the full unitary as a balanced pairwise tree.
+double timeBalancedTree(const ir::Circuit& circuit, std::size_t* nodes) {
+  const sim::Timer timer;
+  dd::Package pkg(circuit.numQubits());
+  const ir::Circuit flat = circuit.flattened();
+
+  std::vector<dd::MEdge> level;
+  level.reserve(flat.numOps());
+  for (const auto& op : flat.ops()) {
+    ir::Circuit single(circuit.numQubits());
+    single.append(op->clone());
+    dd::MEdge g = sim::buildCircuitMatrix(pkg, single);
+    pkg.incRef(g);
+    level.push_back(g);
+  }
+  while (level.size() > 1) {
+    std::vector<dd::MEdge> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      // level[i] is applied first: product = later * earlier.
+      dd::MEdge prod = pkg.multiply(level[i + 1], level[i]);
+      pkg.incRef(prod);
+      pkg.decRef(level[i]);
+      pkg.decRef(level[i + 1]);
+      next.push_back(prod);
+    }
+    if (level.size() % 2 != 0) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+    pkg.maybeGarbageCollect();
+  }
+  *nodes = pkg.size(level[0]);
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  // Much smaller instances than the figure benches: full combination
+  // (Eq. 2) builds the whole circuit unitary, whose DD approaches 4^n nodes
+  // for unstructured circuits — the blow-up regime is the point here, but
+  // it must stay within memory.
+  const std::vector<bench::Instance> instances = {
+      {"grover_8", [] { return algo::makeGroverCircuit(8, 123); }},
+      {"shor_15_7_11", [] { return algo::makeShorBeauregardCircuit(15, 7); }},
+      {"supremacy_8_9",
+       [] { return algo::makeSupremacyCircuit({3, 3, 8, 7}); }},
+  };
+
+  std::printf("Ablation 1 — full operation combination (Eq. 2): association "
+              "order\n");
+  bench::printRule(86);
+  std::printf("%-16s %14s %12s %14s %12s\n", "benchmark", "leftfold[s]",
+              "nodes", "balanced[s]", "nodes");
+  bench::printRule(86);
+  for (const auto& inst : instances) {
+    // The unitary of a circuit with measurements is undefined; these three
+    // are measurement-free except shor — strip trailing measurement rounds
+    // by building only the first CUa block for the shor instance.
+    ir::Circuit circuit = inst.make();
+    if (inst.name.rfind("shor", 0) == 0) {
+      ir::Circuit prefix(circuit.numQubits());
+      for (const auto& op : circuit.ops()) {
+        if (op->kind() != ir::OpKind::Standard) {
+          break;
+        }
+        prefix.append(op->clone());
+      }
+      circuit = std::move(prefix);
+    }
+    std::size_t nodesFold = 0;
+    std::size_t nodesTree = 0;
+    const double tFold = timeLeftFold(circuit, &nodesFold);
+    const double tTree = timeBalancedTree(circuit, &nodesTree);
+    std::printf("%-16s %14.3f %12zu %14.3f %12zu\n", inst.name.c_str(), tFold,
+                nodesFold, tTree, nodesTree);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nAblation 2 — windowed strategies (incl. adaptive "
+              "extension)\n");
+  bench::printRule(86);
+  std::printf("%-16s %10s %10s %10s %12s %12s\n", "benchmark", "seq[s]",
+              "k=8[s]", "s=1024[s]", "adapt.25[s]", "adapt1.0[s]");
+  bench::printRule(86);
+  const double cap = 120.0;
+  for (const auto& inst : instances) {
+    const ir::Circuit circuit = inst.make();
+    const double tSeq =
+        bench::timedRun(circuit, sim::StrategyConfig::sequential(), cap);
+    const double tK =
+        bench::timedRun(circuit, sim::StrategyConfig::kOperations(8), cap);
+    const double tS =
+        bench::timedRun(circuit, sim::StrategyConfig::maxSizeStrategy(1024), cap);
+    const double tA25 =
+        bench::timedRun(circuit, sim::StrategyConfig::adaptive(0.25), cap);
+    const double tA1 =
+        bench::timedRun(circuit, sim::StrategyConfig::adaptive(1.0), cap);
+    std::printf("%-16s %10s %10s %10s %12s %12s\n", inst.name.c_str(),
+                bench::formatSeconds(tSeq, cap).c_str(),
+                bench::formatSeconds(tK, cap).c_str(),
+                bench::formatSeconds(tS, cap).c_str(),
+                bench::formatSeconds(tA25, cap).c_str(),
+                bench::formatSeconds(tA1, cap).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file bench_common.hpp
+/// \brief Shared infrastructure for the table/figure reproduction benches:
+///        the benchmark instance families of the paper's Section V and
+///        formatted output helpers.
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algo/grover.hpp"
+#include "algo/shor.hpp"
+#include "algo/supremacy.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim::bench {
+
+struct Instance {
+  std::string name;
+  std::function<ir::Circuit()> make;
+};
+
+/// The benchmark families of the paper (grover_*, shor_*, supremacy_*),
+/// scaled to sizes that run in seconds on a laptop-class machine (see
+/// DESIGN.md, substitution table). Sizes chosen so that sequential DD
+/// simulation is non-trivial but every sweep point finishes quickly.
+inline std::vector<Instance> figureBenchmarks() {
+  return {
+      {"grover_16", [] { return algo::makeGroverCircuit(16, 48879); }},
+      {"grover_18", [] { return algo::makeGroverCircuit(18, 123456); }},
+      {"shor_119_15_17",
+       [] { return algo::makeShorBeauregardCircuit(119, 15); }},
+      {"shor_253_16_19",
+       [] { return algo::makeShorBeauregardCircuit(253, 16); }},
+      {"supremacy_16_16",
+       [] { return algo::makeSupremacyCircuit({4, 4, 16, 7}); }},
+      {"supremacy_8_20",
+       [] { return algo::makeSupremacyCircuit({4, 5, 8, 11}); }},
+  };
+}
+
+/// Simulate once and return wall seconds (plus optional full stats). A
+/// positive \p timeLimitSeconds caps the run like the paper's 2h CPU budget;
+/// a timed-out run reports +infinity (rendered as "t/o" by the benches).
+inline double timedRun(const ir::Circuit& circuit, sim::StrategyConfig config,
+                       double timeLimitSeconds = 0.0,
+                       sim::SimulationStats* statsOut = nullptr) {
+  config.timeLimitSeconds = timeLimitSeconds;
+  try {
+    const auto result = sim::simulate(circuit, config, /*seed=*/12345);
+    if (statsOut != nullptr) {
+      *statsOut = result.stats;
+    }
+    return result.stats.wallSeconds;
+  } catch (const sim::SimulationTimeout&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+/// Render a seconds cell, using the paper's ">limit" notation for timeouts.
+inline std::string formatSeconds(double seconds, double limit) {
+  char buffer[32];
+  if (std::isinf(seconds)) {
+    std::snprintf(buffer, sizeof buffer, ">%.0f", limit);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.3f", seconds);
+  }
+  return buffer;
+}
+
+inline void printRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::fputc('-', stdout);
+  }
+  std::fputc('\n', stdout);
+}
+
+}  // namespace ddsim::bench

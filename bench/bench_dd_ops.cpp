@@ -1,0 +1,177 @@
+/// \file bench_dd_ops.cpp
+/// \brief Micro-benchmarks of the DD primitives, quantifying the cost
+///        asymmetry the paper exploits (Section III / Example 3 / Fig. 5):
+///        matrix-matrix products of *small* elementary-gate DDs are cheap,
+///        matrix-vector products against a *large* intermediate state DD
+///        are expensive — the opposite of the array-based intuition.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "algo/supremacy.hpp"
+#include "dd/package.hpp"
+#include "ir/gate.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ddsim;
+
+constexpr std::size_t kQubits = 16;
+
+/// A "large" intermediate state: simulate a supremacy-style prefix.
+dd::VEdge makeLargeState(dd::Package& pkg) {
+  const auto circuit = algo::makeSupremacyCircuit({4, 4, 10, 5});
+  dd::VEdge state = pkg.makeZeroState();
+  pkg.incRef(state);
+  for (const auto& op : circuit.ops()) {
+    const auto& s = static_cast<const ir::StandardOperation&>(*op);
+    const dd::MEdge g = pkg.makeGateDD(s.matrix(), s.targets()[0], s.controls());
+    dd::VEdge next = pkg.multiply(g, state);
+    pkg.incRef(next);
+    pkg.decRef(state);
+    state = next;
+  }
+  return state;
+}
+
+void BM_MakeGateDD(benchmark::State& state) {
+  dd::Package pkg(kQubits);
+  const auto h = ir::gateMatrix(ir::GateType::H);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.makeGateDD(h, 7, {dd::Control{3}}));
+  }
+}
+BENCHMARK(BM_MakeGateDD);
+
+void BM_MakePermutationDD(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  dd::Package pkg(bits);
+  std::vector<std::uint64_t> perm(1ULL << bits);
+  for (std::uint64_t i = 0; i < perm.size(); ++i) {
+    perm[i] = (i * 5 + 3) % perm.size();  // affine permutation (odd factor)
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.makePermutationDD(perm));
+    state.PauseTiming();
+    pkg.garbageCollect();
+    state.ResumeTiming();
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(perm.size()));
+}
+BENCHMARK(BM_MakePermutationDD)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Complexity();
+
+/// MxM of two elementary gate DDs: both operands linear-size.
+void BM_MatrixMatrix_SmallGates(benchmark::State& state) {
+  dd::Package pkg(kQubits);
+  const dd::MEdge a =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::H), 3);
+  const dd::MEdge b =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::X), 9, {dd::Control{3}});
+  pkg.incRef(a);
+  pkg.incRef(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.multiply(a, b));
+    state.PauseTiming();
+    pkg.garbageCollect();  // defeat the compute-table between iterations
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_MatrixMatrix_SmallGates);
+
+/// MxV against a large intermediate state: the expensive step the paper's
+/// strategies try to do less often.
+void BM_MatrixVector_LargeState(benchmark::State& state) {
+  dd::Package pkg(kQubits);
+  dd::VEdge v = makeLargeState(pkg);
+  const dd::MEdge g =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::H), 7);
+  pkg.incRef(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.multiply(g, v));
+    state.PauseTiming();
+    pkg.garbageCollect();
+    state.ResumeTiming();
+  }
+  state.counters["stateNodes"] =
+      static_cast<double>(pkg.size(v));
+}
+BENCHMARK(BM_MatrixVector_LargeState);
+
+/// The head-to-head of Example 3: apply two gates to a large state either
+/// as two MxV (Eq. 1) or as one MxM plus one MxV (Eq. 2 for a window of 2).
+void BM_Example3_TwoMxV(benchmark::State& state) {
+  dd::Package pkg(kQubits);
+  dd::VEdge v = makeLargeState(pkg);
+  const dd::MEdge g1 =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::T), 4);
+  const dd::MEdge g2 =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::X), 11, {dd::Control{4}});
+  pkg.incRef(g1);
+  pkg.incRef(g2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.multiply(g2, pkg.multiply(g1, v)));
+    state.PauseTiming();
+    pkg.garbageCollect();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Example3_TwoMxV);
+
+void BM_Example3_MxMThenMxV(benchmark::State& state) {
+  dd::Package pkg(kQubits);
+  dd::VEdge v = makeLargeState(pkg);
+  const dd::MEdge g1 =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::T), 4);
+  const dd::MEdge g2 =
+      pkg.makeGateDD(ir::gateMatrix(ir::GateType::X), 11, {dd::Control{4}});
+  pkg.incRef(g1);
+  pkg.incRef(g2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.multiply(pkg.multiply(g2, g1), v));
+    state.PauseTiming();
+    pkg.garbageCollect();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Example3_MxMThenMxV);
+
+void BM_VectorAdd(benchmark::State& state) {
+  dd::Package pkg(10);
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> dist;
+  std::vector<dd::ComplexValue> a(1U << 10);
+  std::vector<dd::ComplexValue> b(1U << 10);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {dist(rng), dist(rng)};
+    b[i] = {dist(rng), dist(rng)};
+  }
+  const dd::VEdge va = pkg.makeStateFromVector(a);
+  const dd::VEdge vb = pkg.makeStateFromVector(b);
+  pkg.incRef(va);
+  pkg.incRef(vb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.add(va, vb));
+    state.PauseTiming();
+    pkg.garbageCollect();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_VectorAdd);
+
+void BM_InnerProduct(benchmark::State& state) {
+  dd::Package pkg(kQubits);
+  dd::VEdge v = makeLargeState(pkg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.innerProduct(v, v));
+    state.PauseTiming();
+    pkg.garbageCollect();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_InnerProduct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/// \file bench_density_noise.cpp
+/// \brief Scaling of noisy density-matrix simulation — the all-MxM workload.
+///
+/// Every step of density-matrix simulation is a matrix-matrix product
+/// (rho -> U rho U^dagger, plus a Kraus sum per noisy qubit), i.e. the
+/// operation the paper rehabilitates for DDs. This bench records how run
+/// time and the density-DD size scale with qubit count and noise strength
+/// on GHZ preparation (compact rho) and QFT prefixes (dense rho).
+
+#include <cstdio>
+#include <vector>
+
+#include "algo/supremacy.hpp"
+#include "algo/textbook.hpp"
+#include "bench_common.hpp"
+#include "sim/density.hpp"
+
+namespace {
+
+using namespace ddsim;
+
+struct Row {
+  const char* family;
+  std::size_t qubits;
+  ir::Circuit circuit;
+};
+
+void report(const Row& row, double p) {
+  sim::NoiseModel noise;
+  if (p > 0) {
+    noise.channels.push_back(sim::NoiseChannel::depolarizing(p));
+  }
+  sim::DensityMatrixSimulator simulator(row.circuit, noise);
+  const auto result = simulator.run();
+  // purity = Tr(rho^2) multiplies rho with itself; on large, dense-ish
+  // density DDs that costs more than the whole simulation, so skip it there.
+  char purity[16] = "     -";
+  if (result.finalNodes < 10000) {
+    std::snprintf(purity, sizeof purity, "%.4f",
+                  simulator.purity(result.rho));
+  }
+  std::printf("%-10s n=%-3zu p=%-5.3f  time %8.3f s  rho nodes: peak %6zu "
+              "final %6zu  purity %s\n",
+              row.family, row.qubits, p, result.wallSeconds, result.peakNodes,
+              result.finalNodes, purity);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Density-matrix simulation scaling (rho -> U rho U^dagger: "
+              "matrix-matrix products only)\n");
+  ddsim::bench::printRule(96);
+
+  std::vector<Row> rows;
+  for (const std::size_t n : {4U, 8U, 12U, 16U, 20U}) {
+    rows.push_back({"ghz", n, ddsim::algo::makeGHZCircuit(n)});
+  }
+  rows.push_back(
+      {"supremacy", 9, ddsim::algo::makeSupremacyCircuit({3, 3, 8, 7})});
+
+  for (const auto& row : rows) {
+    for (const double p : {0.0, 0.01}) {
+      report(row, p);
+    }
+  }
+
+  std::printf(
+      "\nNoiseless rho = |psi><psi| stays as compact as the state DD. Noise "
+      "buys mixedness with nodes: depolarizing channels inflate the density "
+      "DD by orders of magnitude (though still far below the dense 4^n), "
+      "which is the memory price of exact open-system simulation.\n");
+  return 0;
+}

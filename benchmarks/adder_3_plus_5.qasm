@@ -1,0 +1,25 @@
+// Draper adder in Fourier space on 3 qubits: |x> -> |x + 5 mod 8>.
+// Swapless QFT, constant phase additions, swapless inverse QFT
+// (angles follow src/algo/arithmetic.cpp: theta_j = 2*pi*5 / 2^(j+1)).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+// QFT (no swaps)
+h q[2];
+cp(pi/2) q[1], q[2];
+cp(pi/4) q[0], q[2];
+h q[1];
+cp(pi/2) q[0], q[1];
+h q[0];
+// phiADD(5): 5 mod 2 = 1, 5 mod 4 = 1, 5 mod 8 = 5
+p(pi) q[0];
+p(pi/2) q[1];
+p(5*pi/4) q[2];
+// inverse QFT (no swaps)
+h q[0];
+cp(-pi/2) q[0], q[1];
+h q[1];
+cp(-pi/4) q[0], q[2];
+cp(-pi/2) q[1], q[2];
+h q[2];

@@ -1,0 +1,52 @@
+// 5-qubit Grover search for |10110> (marked element 22), 4 iterations,
+// written with this project's multi-control extension (mcz).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+// --- iteration 1: oracle (phase-flip |10110>), then diffusion
+x q[0]; x q[3];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[3];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+// --- iteration 2
+x q[0]; x q[3];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[3];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+// --- iteration 3
+x q[0]; x q[3];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[3];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+// --- iteration 4
+x q[0]; x q[3];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[3];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+mcz q[1], q[2], q[3], q[4], q[0];
+x q[0]; x q[1]; x q[2]; x q[3]; x q[4];
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+measure q[4] -> c[4];

@@ -1,0 +1,81 @@
+/// \file noisy_simulation.cpp
+/// \brief Density-matrix simulation with noise channels — the all-MxM
+///        workload: every gate is U rho U^dagger and every channel a Kraus
+///        sum, so the whole run consists of the matrix-matrix products the
+///        paper shows to be DD-friendly.
+///
+/// Usage: noisy_simulation [num_qubits] [depolarizing_p]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dd/pauli.hpp"
+#include "sim/density.hpp"
+#include "sim/stochastic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddsim;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const double p = argc > 2 ? std::strtod(argv[2], nullptr) : 0.01;
+
+  // GHZ preparation — the canonical coherence benchmark.
+  ir::Circuit circuit(n);
+  circuit.h(0);
+  for (std::size_t q = 1; q < n; ++q) {
+    circuit.cx(static_cast<ir::Qubit>(q - 1), static_cast<ir::Qubit>(q));
+  }
+
+  std::printf("GHZ-%zu under depolarizing noise (p = %g per touched qubit per "
+              "gate)\n\n",
+              n, p);
+
+  const std::string allZ(n, 'Z');
+  const std::string allX(n, 'X');
+
+  for (const double prob : {0.0, p, 5 * p}) {
+    sim::NoiseModel noise;
+    if (prob > 0) {
+      noise.channels.push_back(sim::NoiseChannel::depolarizing(prob));
+    }
+    sim::DensityMatrixSimulator simulator(circuit, noise);
+    const auto result = simulator.run();
+
+    const double purity = simulator.purity(result.rho);
+    const double pAll0 = simulator.basisProbability(result.rho, 0);
+    const double zz = simulator
+                          .expectation(result.rho, dd::makePauliStringDD(
+                                                       simulator.package(), allZ))
+                          .r;
+    const double xx = simulator
+                          .expectation(result.rho, dd::makePauliStringDD(
+                                                       simulator.package(), allX))
+                          .r;
+    std::printf("p=%-6g time %6.3f s  rho DD %4zu nodes  purity %.4f  "
+                "P(0..0) %.4f  <Z..Z> %+.4f  <X..X> %+.4f\n",
+                prob, result.wallSeconds, result.finalNodes, purity, pAll0, zz,
+                xx);
+  }
+
+  std::printf("\nTrace is preserved, purity and the coherence witness <X..X> "
+              "decay with noise, while the classical correlator <Z..Z> is "
+              "more robust for even n.\n");
+
+  // Cross-check: the Monte-Carlo trajectory engine converges to the exact
+  // density-matrix marginals.
+  sim::NoiseModel noise{{sim::NoiseChannel::depolarizing(p)}};
+  sim::DensityMatrixSimulator exact(circuit, noise);
+  const auto exactResult = exact.run();
+  const std::size_t trajectories = 500;
+  const auto sampled = sim::simulateStochastic(circuit, noise, trajectories, 7);
+  std::printf("\ndensity vs. %zu stochastic trajectories (%.3f s), "
+              "P(qubit = 1):\n",
+              trajectories, sampled.wallSeconds);
+  for (std::size_t q = 0; q < n; ++q) {
+    std::printf("  qubit %zu: exact %.4f  sampled %.4f\n", q,
+                exact.probabilityOfOne(exactResult.rho,
+                                       static_cast<ir::Qubit>(q)),
+                sampled.meanProbabilityOfOne[q]);
+  }
+  return 0;
+}

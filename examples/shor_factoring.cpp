@@ -1,0 +1,72 @@
+/// \file shor_factoring.cpp
+/// \brief Factor a number with Shor's algorithm, demonstrating the paper's
+///        *DD-construct* strategy: the modular-exponentiation oracle is
+///        turned into a permutation DD directly (n+1 qubits) instead of
+///        simulating Beauregard's full 2n+3-qubit gate-level circuit.
+///
+/// Usage: shor_factoring [N] [a] [--gate-level]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "algo/numbertheory.hpp"
+#include "algo/shor.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddsim;
+
+  const std::uint64_t N = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 15;
+  const std::uint64_t a = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  const bool gateLevel = argc > 3 && std::strcmp(argv[3], "--gate-level") == 0;
+
+  if (algo::gcd(a, N) != 1) {
+    std::printf("gcd(%llu, %llu) = %llu > 1 — classical shortcut, no quantum "
+                "part needed.\n",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(N),
+                static_cast<unsigned long long>(algo::gcd(a, N)));
+    return 0;
+  }
+
+  const std::size_t m = 2 * algo::bitLength(N);
+  const ir::Circuit circuit = gateLevel ? algo::makeShorBeauregardCircuit(N, a)
+                                        : algo::makeShorOracleCircuit(N, a);
+
+  std::printf("Shor order finding for a=%llu mod N=%llu\n",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(N));
+  std::printf("  variant: %s (%zu qubits, %zu elementary ops, %zu phase bits)\n\n",
+              gateLevel ? "Beauregard gate-level (2n+3 qubits)"
+                        : "DD-construct oracle (n+1 qubits)",
+              circuit.numQubits(), circuit.flatGateCount(), m);
+
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const auto result = sim::simulate(circuit, {}, seed);
+    const std::uint64_t measured =
+        algo::shorMeasuredValue(result.classicalBits, m);
+    std::printf("  attempt %2llu: measured %6llu/2^%zu  (%7.3f s)",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(measured), m,
+                result.stats.wallSeconds);
+
+    const auto order =
+        algo::orderFromPhase(measured, static_cast<std::uint32_t>(m), a, N);
+    if (!order) {
+      std::printf("  -> no usable order, retrying\n");
+      continue;
+    }
+    std::printf("  -> order r = %llu", static_cast<unsigned long long>(*order));
+    if (const auto factors = algo::factorsFromOrder(N, a, *order)) {
+      std::printf("  -> %llu = %llu x %llu\n",
+                  static_cast<unsigned long long>(N),
+                  static_cast<unsigned long long>(factors->first),
+                  static_cast<unsigned long long>(factors->second));
+      return 0;
+    }
+    std::printf("  -> order gives no non-trivial factor, retrying\n");
+  }
+  std::printf("no factors found in 16 attempts (try another a)\n");
+  return 1;
+}

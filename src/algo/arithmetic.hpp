@@ -1,0 +1,54 @@
+/// \file arithmetic.hpp
+/// \brief Quantum arithmetic building blocks for Beauregard's Shor circuit:
+///        Draper adders in Fourier space and controlled modular blocks.
+///
+/// Conventions: a register is a list of qubits, least significant first.
+/// "phi" blocks act on a register that is in the (swapless) Fourier basis,
+/// i.e. after appendQFT(..., withSwaps=false) qubit reg[j] carries the
+/// phase weight 2 pi / 2^{j+1}.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::algo {
+
+/// phiADD(a): add the classical constant \p a to the Fourier-space register
+/// \p reg — one (possibly controlled) phase gate per qubit, no carries.
+/// With \p subtract the angles are negated (phiADD(a)^-1).
+void appendPhiAdd(ir::Circuit& circuit, const std::vector<ir::Qubit>& reg,
+                  std::uint64_t a, bool subtract = false,
+                  const ir::Controls& controls = {});
+
+/// Doubly-controlled modular adder phiADDmod(a, N) of Beauregard: maps the
+/// Fourier-space register b (n+1 qubits, value < N) to (b + a) mod N when
+/// both controls are satisfied. \p ancilla is a scratch qubit that is
+/// returned to |0>. With \p subtract the inverse is appended.
+void appendCCPhiAddMod(ir::Circuit& circuit, const std::vector<ir::Qubit>& b,
+                       ir::Qubit ancilla, std::uint64_t a, std::uint64_t modulus,
+                       const ir::Controls& controls, bool subtract = false);
+
+/// Controlled modular multiply-accumulate CMULT(a): |x>|b> -> |x>|(b + a x)
+/// mod N> when \p control is satisfied (identity on b otherwise). b must
+/// hold n+1 qubits in the computational basis; QFT/iQFT are emitted inside.
+/// With \p subtract the inverse (b - a x mod N) is appended.
+void appendCMultMod(ir::Circuit& circuit, const std::vector<ir::Qubit>& x,
+                    const std::vector<ir::Qubit>& b, ir::Qubit ancilla,
+                    std::uint64_t a, std::uint64_t modulus, ir::Qubit control,
+                    bool subtract = false);
+
+/// Controlled modular multiplier CUa: |x> -> |a x mod N> on register x when
+/// \p control is satisfied, using b (n+1 zero-initialized qubits) and
+/// \p ancilla as scratch returned to zero. Requires gcd(a, N) = 1.
+void appendCUa(ir::Circuit& circuit, const std::vector<ir::Qubit>& x,
+               const std::vector<ir::Qubit>& b, ir::Qubit ancilla,
+               std::uint64_t a, std::uint64_t modulus, ir::Qubit control);
+
+/// Self-contained adder circuit |x> -> |x + a mod 2^n> over n qubits
+/// (QFT, phiADD(a), iQFT). Used by unit tests and the quickstart example.
+[[nodiscard]] ir::Circuit makeAdderCircuit(std::size_t numQubits, std::uint64_t a);
+
+}  // namespace ddsim::algo

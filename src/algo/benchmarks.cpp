@@ -1,0 +1,159 @@
+#include "algo/benchmarks.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "algo/grover.hpp"
+#include "algo/qft.hpp"
+#include "algo/shor.hpp"
+#include "algo/qaoa.hpp"
+#include "algo/supremacy.hpp"
+#include "algo/textbook.hpp"
+
+namespace ddsim::algo {
+
+namespace {
+
+std::vector<std::string> splitUnderscore(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  std::istringstream ss(s);
+  while (std::getline(ss, cur, '_')) {
+    parts.push_back(cur);
+  }
+  return parts;
+}
+
+std::optional<std::uint64_t> parseNumber(const std::string& s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<ir::Circuit> makeBenchmark(const std::string& name) {
+  const auto parts = splitUnderscore(name);
+  if (parts.empty()) {
+    return std::nullopt;
+  }
+  try {
+    if (parts[0] == "grover" && parts.size() >= 2) {
+      const auto n = parseNumber(parts[1]);
+      if (!n) {
+        return std::nullopt;
+      }
+      // Deterministic marked element: a fixed pattern folded into range.
+      const std::uint64_t marked =
+          0x5DEECE66DULL & ((1ULL << *n) - 1);
+      return makeGroverCircuit(*n, parts.size() >= 3
+                                       ? parseNumber(parts[2]).value_or(marked)
+                                       : marked);
+    }
+    if ((parts[0] == "shor" || parts[0] == "shordd") && parts.size() >= 3) {
+      const auto N = parseNumber(parts[1]);
+      const auto a = parseNumber(parts[2]);
+      if (!N || !a) {
+        return std::nullopt;
+      }
+      return parts[0] == "shor" ? makeShorBeauregardCircuit(*N, *a)
+                                : makeShorOracleCircuit(*N, *a);
+    }
+    if (parts[0] == "supremacy" && parts.size() >= 3) {
+      const auto cross = parts[1].find('x');
+      if (cross == std::string::npos) {
+        return std::nullopt;
+      }
+      const auto rows = parseNumber(parts[1].substr(0, cross));
+      const auto cols = parseNumber(parts[1].substr(cross + 1));
+      const auto depth = parseNumber(parts[2]);
+      if (!rows || !cols || !depth) {
+        return std::nullopt;
+      }
+      SupremacyOptions options;
+      options.rows = *rows;
+      options.cols = *cols;
+      options.depth = *depth;
+      options.seed = parts.size() >= 4 ? parseNumber(parts[3]).value_or(1) : 1;
+      return makeSupremacyCircuit(options);
+    }
+    if (parts[0] == "qft" && parts.size() >= 2) {
+      const auto n = parseNumber(parts[1]);
+      if (!n) {
+        return std::nullopt;
+      }
+      return makeQFTCircuit(*n);
+    }
+    if (parts[0] == "ghz" && parts.size() >= 2) {
+      const auto n = parseNumber(parts[1]);
+      return n ? std::optional(makeGHZCircuit(*n)) : std::nullopt;
+    }
+    if (parts[0] == "wstate" && parts.size() >= 2) {
+      const auto n = parseNumber(parts[1]);
+      return n ? std::optional(makeWStateCircuit(*n)) : std::nullopt;
+    }
+    if (parts[0] == "bv" && parts.size() >= 2) {
+      const auto n = parseNumber(parts[1]);
+      if (!n) {
+        return std::nullopt;
+      }
+      const std::uint64_t hidden =
+          parts.size() >= 3
+              ? parseNumber(parts[2]).value_or(0)
+              : 0xB5F1C3A96E2D47ULL & ((*n >= 64 ? ~0ULL : (1ULL << *n) - 1));
+      return makeBernsteinVaziraniCircuit(hidden, *n);
+    }
+    if (parts[0] == "qaoa" && parts.size() >= 3) {
+      const auto n = parseNumber(parts[1]);
+      const auto p = parseNumber(parts[2]);
+      if (!n || !p || *p == 0 || *p > 16) {
+        return std::nullopt;
+      }
+      const std::uint64_t seed =
+          parts.size() >= 4 ? parseNumber(parts[3]).value_or(1) : 1;
+      const Graph graph = Graph::random(*n, 0.5, seed);
+      // Fixed representative angles; the registry provides workloads, not
+      // optimized parameters.
+      std::vector<double> gammas(*p, 0.45);
+      std::vector<double> betas(*p, 0.35);
+      return makeQaoaMaxCutCircuit(graph, gammas, betas);
+    }
+    if (parts[0] == "qpe" && parts.size() >= 2) {
+      const auto bits = parseNumber(parts[1]);
+      if (!bits) {
+        return std::nullopt;
+      }
+      // Optional numerator: phi = num / 2^bits (default: a non-terminating
+      // phase, 1/3).
+      const double phi =
+          parts.size() >= 3
+              ? static_cast<double>(parseNumber(parts[2]).value_or(1)) /
+                    static_cast<double>(1ULL << *bits)
+              : 1.0 / 3.0;
+      return makePhaseEstimationCircuit(phi, *bits);
+    }
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // well-formed name, invalid instance parameters
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> benchmarkExamples() {
+  return {
+      "grover_14",        "grover_16_12345",    "shor_15_7",
+      "shordd_15_7",      "shor_33_5",          "shordd_2561_2409",
+      "supremacy_4x4_12", "supremacy_4x5_16_3", "qft_20",
+      "ghz_24",           "wstate_16",          "bv_24",
+      "qpe_10",           "qpe_8_3",            "qaoa_12_2",
+  };
+}
+
+}  // namespace ddsim::algo

@@ -1,0 +1,26 @@
+/// \file benchmarks.hpp
+/// \brief Named benchmark registry, following the paper's naming scheme:
+///        grover_<qubits>, shor_<N>_<a> (Beauregard gate level),
+///        shordd_<N>_<a> (DD-construct oracle variant), and
+///        supremacy_<rows>x<cols>_<depth>[_<seed>].
+///
+/// Used by the bench binaries and the run_benchmark example so every
+/// experiment is reproducible from a single string.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::algo {
+
+/// Build the named benchmark circuit; std::nullopt for unknown names.
+[[nodiscard]] std::optional<ir::Circuit> makeBenchmark(const std::string& name);
+
+/// Example names accepted by makeBenchmark (for --help texts).
+[[nodiscard]] std::vector<std::string> benchmarkExamples();
+
+}  // namespace ddsim::algo

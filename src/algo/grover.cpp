@@ -1,0 +1,93 @@
+#include "algo/grover.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ddsim::algo {
+
+using ir::Control;
+using ir::Controls;
+using ir::Qubit;
+
+std::size_t groverIterations(std::size_t numQubits) noexcept {
+  const double space = std::pow(2.0, static_cast<double>(numQubits));
+  return static_cast<std::size_t>(
+      std::floor(std::numbers::pi / 4.0 * std::sqrt(space)));
+}
+
+namespace {
+
+/// Phase flip of |marked>: Z on qubit 0, controls on qubits 1..n-1 whose
+/// polarity encodes the corresponding bit of `marked`. If bit 0 of `marked`
+/// is 0 the Z is conjugated with X on qubit 0.
+void appendOracle(ir::Circuit& circuit, std::size_t n, std::uint64_t marked) {
+  Controls controls;
+  for (std::size_t q = 1; q < n; ++q) {
+    controls.push_back(Control{static_cast<Qubit>(q), ((marked >> q) & 1U) != 0});
+  }
+  const bool bit0 = (marked & 1U) != 0;
+  if (!bit0) {
+    circuit.x(0);
+  }
+  circuit.mcz(controls, 0);
+  if (!bit0) {
+    circuit.x(0);
+  }
+}
+
+/// Diffusion operator: H^n X^n (controlled-Z on all) X^n H^n.
+void appendDiffusion(ir::Circuit& circuit, std::size_t n) {
+  for (std::size_t q = 0; q < n; ++q) {
+    circuit.h(static_cast<Qubit>(q));
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    circuit.x(static_cast<Qubit>(q));
+  }
+  Controls controls;
+  for (std::size_t q = 1; q < n; ++q) {
+    controls.push_back(Control{static_cast<Qubit>(q)});
+  }
+  circuit.mcz(controls, 0);
+  for (std::size_t q = 0; q < n; ++q) {
+    circuit.x(static_cast<Qubit>(q));
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    circuit.h(static_cast<Qubit>(q));
+  }
+}
+
+}  // namespace
+
+ir::Circuit makeGroverIteration(std::size_t numQubits, std::uint64_t marked) {
+  ir::Circuit block(numQubits, 0, "grover-iteration");
+  appendOracle(block, numQubits, marked);
+  appendDiffusion(block, numQubits);
+  return block;
+}
+
+ir::Circuit makeGroverCircuit(std::size_t numQubits, std::uint64_t marked,
+                              const GroverOptions& options) {
+  if (numQubits < 2 || numQubits > 62) {
+    throw std::invalid_argument("grover: qubit count must be in [2, 62]");
+  }
+  if (numQubits < 64 && (marked >> numQubits) != 0) {
+    throw std::invalid_argument("grover: marked element out of range");
+  }
+  const std::size_t reps =
+      options.iterations != 0 ? options.iterations : groverIterations(numQubits);
+
+  ir::Circuit circuit(numQubits, options.measure ? numQubits : 0,
+                      "grover_" + std::to_string(numQubits));
+  for (std::size_t q = 0; q < numQubits; ++q) {
+    circuit.h(static_cast<Qubit>(q));
+  }
+  circuit.appendRepeated(makeGroverIteration(numQubits, marked), reps,
+                         "grover-iteration");
+  if (options.measure) {
+    circuit.measureAll();
+  }
+  return circuit;
+}
+
+}  // namespace ddsim::algo

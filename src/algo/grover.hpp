@@ -1,0 +1,39 @@
+/// \file grover.hpp
+/// \brief Grover's database-search algorithm (paper Fig. 6).
+///
+/// n qubits are put in superposition, then the Grover iteration (oracle
+/// phase flip of the marked element followed by the diffusion operator) is
+/// repeated ~ (pi/4) sqrt(2^n) times. The iteration is emitted as a
+/// CompoundOperation, which is exactly the repeated sub-circuit the paper's
+/// *DD-repeating* strategy exploits. Oracles and diffusion use native
+/// multi-controlled gates (the DD package handles arbitrary control sets
+/// without ancilla decomposition).
+
+#pragma once
+
+#include <cstdint>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::algo {
+
+/// Optimal number of Grover iterations for an n-qubit search space.
+[[nodiscard]] std::size_t groverIterations(std::size_t numQubits) noexcept;
+
+/// One Grover iteration (oracle for \p marked + diffusion) as a circuit.
+[[nodiscard]] ir::Circuit makeGroverIteration(std::size_t numQubits,
+                                              std::uint64_t marked);
+
+struct GroverOptions {
+  /// Override the iteration count (0 = optimal).
+  std::size_t iterations = 0;
+  /// Append a full measurement at the end.
+  bool measure = false;
+};
+
+/// Complete Grover circuit searching for \p marked among 2^n elements.
+[[nodiscard]] ir::Circuit makeGroverCircuit(std::size_t numQubits,
+                                            std::uint64_t marked,
+                                            const GroverOptions& options = {});
+
+}  // namespace ddsim::algo

@@ -1,0 +1,56 @@
+/// \file numbertheory.hpp
+/// \brief Classical number theory used by Shor's algorithm (order finding,
+///        continued-fraction postprocessing) and its oracles.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ddsim::algo {
+
+[[nodiscard]] std::uint64_t gcd(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// (a * b) mod m without overflow for m < 2^63.
+[[nodiscard]] std::uint64_t mulMod(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t m) noexcept;
+
+/// (base ^ exp) mod m.
+[[nodiscard]] std::uint64_t powMod(std::uint64_t base, std::uint64_t exp,
+                                   std::uint64_t m) noexcept;
+
+/// Modular inverse of a mod m; empty if gcd(a, m) != 1.
+[[nodiscard]] std::optional<std::uint64_t> invMod(std::uint64_t a, std::uint64_t m);
+
+/// Multiplicative order of a mod n (smallest r > 0 with a^r = 1); empty if
+/// gcd(a, n) != 1. Brute force — fine for the benchmark sizes.
+[[nodiscard]] std::optional<std::uint64_t> multiplicativeOrder(std::uint64_t a,
+                                                               std::uint64_t n);
+
+/// Number of bits needed to represent n (bitLength(1) == 1).
+[[nodiscard]] std::uint32_t bitLength(std::uint64_t n) noexcept;
+
+[[nodiscard]] bool isPrime(std::uint64_t n) noexcept;
+
+struct Fraction {
+  std::uint64_t num = 0;
+  std::uint64_t den = 1;
+};
+
+/// Convergents of the continued-fraction expansion of x / 2^bits with
+/// denominators bounded by maxDen — the classical post-processing step of
+/// Shor's phase estimation.
+[[nodiscard]] std::vector<Fraction> convergents(std::uint64_t x, std::uint32_t bits,
+                                                std::uint64_t maxDen);
+
+/// Recover the multiplicative order r of a mod n from a phase-estimation
+/// sample `measured` over `bits` bits (measured / 2^bits ~ s/r). Returns the
+/// order if some convergent denominator (or a small multiple) verifies
+/// a^r = 1 mod n.
+[[nodiscard]] std::optional<std::uint64_t> orderFromPhase(std::uint64_t measured,
+                                                          std::uint32_t bits,
+                                                          std::uint64_t a,
+                                                          std::uint64_t n);
+
+}  // namespace ddsim::algo

@@ -1,0 +1,62 @@
+#include "algo/qft.hpp"
+
+#include <numbers>
+
+namespace ddsim::algo {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+// Convention: qubits[k] carries weight 2^k of the represented integer. The
+// QFT maps |x> to (1/sqrt(2^n)) sum_y exp(2 pi i x y / 2^n) |y>.
+void appendQFT(ir::Circuit& circuit, const std::vector<ir::Qubit>& qubits,
+               bool withSwaps) {
+  const auto n = static_cast<int>(qubits.size());
+  for (int j = n - 1; j >= 0; --j) {
+    circuit.h(qubits[static_cast<std::size_t>(j)]);
+    for (int k = j - 1; k >= 0; --k) {
+      const double theta = kPi / static_cast<double>(1ULL << (j - k));
+      circuit.cphase(theta, qubits[static_cast<std::size_t>(k)],
+                     qubits[static_cast<std::size_t>(j)]);
+    }
+  }
+  if (withSwaps) {
+    for (int i = 0; i < n / 2; ++i) {
+      circuit.swap(qubits[static_cast<std::size_t>(i)],
+                   qubits[static_cast<std::size_t>(n - 1 - i)]);
+    }
+  }
+}
+
+void appendInverseQFT(ir::Circuit& circuit, const std::vector<ir::Qubit>& qubits,
+                      bool withSwaps) {
+  const auto n = static_cast<int>(qubits.size());
+  if (withSwaps) {
+    for (int i = 0; i < n / 2; ++i) {
+      circuit.swap(qubits[static_cast<std::size_t>(i)],
+                   qubits[static_cast<std::size_t>(n - 1 - i)]);
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < j; ++k) {
+      const double theta = -kPi / static_cast<double>(1ULL << (j - k));
+      circuit.cphase(theta, qubits[static_cast<std::size_t>(k)],
+                     qubits[static_cast<std::size_t>(j)]);
+    }
+    circuit.h(qubits[static_cast<std::size_t>(j)]);
+  }
+}
+
+ir::Circuit makeQFTCircuit(std::size_t numQubits, bool withSwaps) {
+  ir::Circuit circuit(numQubits, 0, "qft_" + std::to_string(numQubits));
+  std::vector<ir::Qubit> qubits;
+  qubits.reserve(numQubits);
+  for (std::size_t q = 0; q < numQubits; ++q) {
+    qubits.push_back(static_cast<ir::Qubit>(q));
+  }
+  appendQFT(circuit, qubits, withSwaps);
+  return circuit;
+}
+
+}  // namespace ddsim::algo

@@ -1,0 +1,27 @@
+/// \file qft.hpp
+/// \brief Quantum Fourier transform circuit builders.
+
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::algo {
+
+/// Append the QFT over \p qubits (given least-significant first) to
+/// \p circuit. With \p withSwaps the textbook bit-reversal swaps are
+/// included at the end; the Draper-adder style usage inside Shor's circuit
+/// leaves them out and reverses indices implicitly.
+void appendQFT(ir::Circuit& circuit, const std::vector<ir::Qubit>& qubits,
+               bool withSwaps = true);
+
+/// Append the inverse QFT over \p qubits.
+void appendInverseQFT(ir::Circuit& circuit, const std::vector<ir::Qubit>& qubits,
+                      bool withSwaps = true);
+
+/// Standalone QFT circuit on n qubits.
+[[nodiscard]] ir::Circuit makeQFTCircuit(std::size_t numQubits,
+                                         bool withSwaps = true);
+
+}  // namespace ddsim::algo

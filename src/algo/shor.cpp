@@ -1,0 +1,149 @@
+#include "algo/shor.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "algo/arithmetic.hpp"
+#include "algo/numbertheory.hpp"
+
+namespace ddsim::algo {
+
+using ir::Circuit;
+using ir::Control;
+using ir::GateType;
+using ir::Qubit;
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+void validateInstance(std::uint64_t N, std::uint64_t a) {
+  if (N < 3) {
+    throw std::invalid_argument("shor: N must be >= 3");
+  }
+  if (a < 2 || a >= N) {
+    throw std::invalid_argument("shor: need 2 <= a < N");
+  }
+  if (gcd(a, N) != 1) {
+    throw std::invalid_argument("shor: a must be co-prime to N");
+  }
+}
+
+/// Semiclassical inverse-QFT tail of one phase-estimation round: the
+/// corrections conditioned on the k previously measured bits, then H,
+/// measure, and the classically controlled reset of the control qubit.
+void emitSemiclassicalRound(Circuit& circuit, Qubit control, std::size_t k) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double theta = -kPi / static_cast<double>(1ULL << (k - p));
+    circuit.classicControlled(GateType::Phase, control, {}, {theta}, p);
+  }
+  circuit.h(control);
+  circuit.measure(control, k);
+  circuit.classicControlled(GateType::X, control, {}, {}, k);
+}
+
+}  // namespace
+
+Circuit makeShorBeauregardCircuit(std::uint64_t N, std::uint64_t a,
+                                  const ShorOptions& options) {
+  validateInstance(N, a);
+  const std::size_t n = bitLength(N);
+  const std::size_t m = options.phaseBits != 0 ? options.phaseBits : 2 * n;
+
+  // Layout: b = qubits 0..n (n+1 scratch), x = n+1..2n (value register),
+  // ancilla = 2n+1, recycled control = 2n+2. Total 2n+3.
+  const std::size_t numQubits = 2 * n + 3;
+  Circuit circuit(numQubits, m, shorBenchmarkName(N, a));
+
+  std::vector<Qubit> b;
+  for (std::size_t j = 0; j <= n; ++j) {
+    b.push_back(static_cast<Qubit>(j));
+  }
+  std::vector<Qubit> x;
+  for (std::size_t j = 0; j < n; ++j) {
+    x.push_back(static_cast<Qubit>(n + 1 + j));
+  }
+  const Qubit ancilla = static_cast<Qubit>(2 * n + 1);
+  const Qubit control = static_cast<Qubit>(2 * n + 2);
+
+  circuit.x(x[0]);  // value register starts at 1
+
+  for (std::size_t k = 0; k < m; ++k) {
+    circuit.h(control);
+    // This round contributes phase bit m-1-k, so it applies U^(2^(m-1-k)).
+    const std::uint64_t ak = powMod(a, 1ULL << (m - 1 - k), N);
+    appendCUa(circuit, x, b, ancilla, ak, N, control);
+    emitSemiclassicalRound(circuit, control, k);
+  }
+  return circuit;
+}
+
+Circuit makeShorOracleCircuit(std::uint64_t N, std::uint64_t a,
+                              const ShorOptions& options) {
+  validateInstance(N, a);
+  const std::size_t n = bitLength(N);
+  const std::size_t m = options.phaseBits != 0 ? options.phaseBits : 2 * n;
+
+  // Layout: x = qubits 0..n-1, recycled control = n. Total n+1 (the paper's
+  // point: no working qubits when the oracle is constructed directly).
+  Circuit circuit(n + 1, m, shorBenchmarkName(N, a, /*oracleVariant=*/true));
+  const Qubit control = static_cast<Qubit>(n);
+
+  circuit.x(0);  // value register starts at 1
+
+  for (std::size_t k = 0; k < m; ++k) {
+    circuit.h(control);
+    const std::uint64_t ak = powMod(a, 1ULL << (m - 1 - k), N);
+    // Multiplication by a^(2^i) mod N as a permutation of [0, 2^n):
+    // values >= N are fixed points, keeping the map a bijection.
+    circuit.oracle("mul_" + std::to_string(ak) + "_mod_" + std::to_string(N), n,
+                   [ak, N](std::uint64_t v) {
+                     return v < N ? mulMod(ak, v, N) : v;
+                   },
+                   {Control{control}});
+    emitSemiclassicalRound(circuit, control, k);
+  }
+  return circuit;
+}
+
+std::uint64_t shorMeasuredValue(const std::vector<bool>& clbits,
+                                std::size_t phaseBits) {
+  if (clbits.size() < phaseBits) {
+    throw std::invalid_argument("shorMeasuredValue: not enough classical bits");
+  }
+  std::uint64_t value = 0;
+  for (std::size_t k = 0; k < phaseBits; ++k) {
+    if (clbits[k]) {
+      value |= 1ULL << k;
+    }
+  }
+  return value;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>> factorsFromOrder(
+    std::uint64_t N, std::uint64_t a, std::uint64_t r) {
+  if (r == 0 || (r & 1U) != 0) {
+    return std::nullopt;
+  }
+  const std::uint64_t half = powMod(a, r / 2, N);
+  if (half == N - 1) {
+    return std::nullopt;  // a^{r/2} = -1 mod N: trivial
+  }
+  const std::uint64_t f1 = gcd(half + 1, N);
+  const std::uint64_t f2 = gcd(half >= 1 ? half - 1 : 0, N);
+  for (const std::uint64_t f : {f1, f2}) {
+    if (f != 1 && f != N && N % f == 0) {
+      return std::make_pair(f, N / f);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string shorBenchmarkName(std::uint64_t N, std::uint64_t a, bool oracleVariant) {
+  const std::size_t n = bitLength(N);
+  const std::size_t qubits = oracleVariant ? n + 1 : 2 * n + 3;
+  return std::string("shor") + (oracleVariant ? "dd" : "") + "_" +
+         std::to_string(N) + "_" + std::to_string(a) + "_" +
+         std::to_string(qubits);
+}
+
+}  // namespace ddsim::algo

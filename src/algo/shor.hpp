@@ -1,0 +1,60 @@
+/// \file shor.hpp
+/// \brief Shor's factoring algorithm (paper Fig. 7) in two flavours:
+///
+///  * `makeShorBeauregardCircuit` — the gate-level 2n+3 qubit realization of
+///    Beauregard [27]: controlled modular multipliers built from Draper
+///    phi-adders, with the inverse QFT performed semiclassically on a single
+///    recycled control qubit (measure + classically controlled phases).
+///    This is what the paper's *sota* and *general* columns simulate.
+///
+///  * `makeShorOracleCircuit` — the *DD-construct* variant (Section IV-B):
+///    each controlled modular multiplication is a single OracleOperation
+///    whose permutation-matrix DD is constructed directly, so no working
+///    qubits are needed; only n+1 qubits remain (n for the value register
+///    plus the recycled control).
+///
+/// Both circuits measure 2n phase bits into the classical register,
+/// LSB first; `shorMeasuredValue` reassembles them.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::algo {
+
+struct ShorOptions {
+  /// Number of phase-estimation bits (0 = the standard 2n).
+  std::size_t phaseBits = 0;
+};
+
+/// Gate-level Beauregard circuit for order finding of a mod N (2n+3 qubits).
+[[nodiscard]] ir::Circuit makeShorBeauregardCircuit(std::uint64_t N,
+                                                    std::uint64_t a,
+                                                    const ShorOptions& options = {});
+
+/// DD-construct variant with direct modular-multiplication oracles
+/// (n+1 qubits).
+[[nodiscard]] ir::Circuit makeShorOracleCircuit(std::uint64_t N, std::uint64_t a,
+                                                const ShorOptions& options = {});
+
+/// Reassemble the phase-estimation sample from the classical bits
+/// (bit k of the result = clbit k).
+[[nodiscard]] std::uint64_t shorMeasuredValue(const std::vector<bool>& clbits,
+                                              std::size_t phaseBits);
+
+/// Non-trivial factors of N from the multiplicative order r of a, if r is
+/// even and a^{r/2} != -1 mod N.
+[[nodiscard]] std::optional<std::pair<std::uint64_t, std::uint64_t>>
+factorsFromOrder(std::uint64_t N, std::uint64_t a, std::uint64_t r);
+
+/// Paper-style benchmark name "shor_N_a_<qubits>".
+[[nodiscard]] std::string shorBenchmarkName(std::uint64_t N, std::uint64_t a,
+                                            bool oracleVariant = false);
+
+}  // namespace ddsim::algo

@@ -1,0 +1,110 @@
+#include "algo/supremacy.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace ddsim::algo {
+
+using ir::GateType;
+using ir::Qubit;
+
+namespace {
+
+struct Pattern {
+  bool horizontal;
+  std::size_t colParity;
+  std::size_t rowParity;
+};
+
+/// Eight staggered CZ layouts alternating between horizontal and vertical
+/// neighbour pairs, offset so that every lattice edge recurs periodically.
+constexpr Pattern kPatterns[8] = {
+    {true, 0, 0}, {false, 0, 0}, {true, 1, 1}, {false, 1, 1},
+    {true, 0, 1}, {false, 1, 0}, {true, 1, 0}, {false, 0, 1},
+};
+
+}  // namespace
+
+ir::Circuit makeSupremacyCircuit(const SupremacyOptions& options) {
+  const std::size_t rows = options.rows;
+  const std::size_t cols = options.cols;
+  if (rows == 0 || cols == 0 || rows * cols < 2 || rows * cols > 62) {
+    throw std::invalid_argument("supremacy: grid must hold 2..62 qubits");
+  }
+  const std::size_t n = rows * cols;
+  ir::Circuit circuit(n, 0,
+                      "supremacy_" + std::to_string(options.depth) + "_" +
+                          std::to_string(n));
+  const auto qubitAt = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Qubit>(r * cols + c);
+  };
+
+  std::mt19937_64 rng(options.seed);
+
+  // Cycle 0: Hadamard everywhere.
+  for (std::size_t q = 0; q < n; ++q) {
+    circuit.h(static_cast<Qubit>(q));
+  }
+
+  std::vector<bool> inCzPrev(n, true);  // the H layer counts as activity
+  std::vector<bool> hadT(n, false);
+  std::vector<GateType> lastSingle(n, GateType::I);
+
+  for (std::size_t cycle = 0; cycle < options.depth; ++cycle) {
+    const Pattern& pat = kPatterns[cycle % 8];
+    std::vector<bool> inCzNow(n, false);
+
+    if (pat.horizontal) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (r % 2 != pat.rowParity) {
+          continue;
+        }
+        for (std::size_t c = pat.colParity; c + 1 < cols; c += 2) {
+          circuit.cz(qubitAt(r, c), qubitAt(r, c + 1));
+          inCzNow[r * cols + c] = true;
+          inCzNow[r * cols + c + 1] = true;
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (c % 2 != pat.colParity) {
+          continue;
+        }
+        for (std::size_t r = pat.rowParity; r + 1 < rows; r += 2) {
+          circuit.cz(qubitAt(r, c), qubitAt(r + 1, c));
+          inCzNow[r * cols + c] = true;
+          inCzNow[(r + 1) * cols + c] = true;
+        }
+      }
+    }
+
+    // Single-qubit gates on qubits idle this cycle but active last cycle.
+    for (std::size_t q = 0; q < n; ++q) {
+      if (inCzNow[q] || !inCzPrev[q]) {
+        continue;
+      }
+      GateType g;
+      if (!hadT[q]) {
+        g = GateType::T;
+        hadT[q] = true;
+      } else {
+        // Random sqrt(X)/sqrt(Y), never repeating the previous gate.
+        const GateType other =
+            lastSingle[q] == GateType::SX ? GateType::SY : GateType::SX;
+        if (lastSingle[q] == GateType::SX || lastSingle[q] == GateType::SY) {
+          g = other;
+        } else {
+          g = (rng() & 1U) != 0 ? GateType::SX : GateType::SY;
+        }
+      }
+      circuit.gate(g, static_cast<Qubit>(q));
+      lastSingle[q] = g;
+    }
+
+    inCzPrev = inCzNow;
+  }
+  return circuit;
+}
+
+}  // namespace ddsim::algo

@@ -1,0 +1,33 @@
+/// \file supremacy.hpp
+/// \brief Random circuits in the style of the Google quantum-supremacy
+///        proposal (Boixo et al. [11]), the third benchmark family of the
+///        paper's evaluation.
+///
+/// Qubits form a rows x cols grid. Cycle 0 applies Hadamards everywhere;
+/// each following cycle applies one of eight staggered CZ patterns and, on
+/// qubits that idled this cycle but took part in a CZ in the previous one,
+/// a random single-qubit gate: the first such gate on a qubit is a T, later
+/// ones alternate randomly between sqrt(X) and sqrt(Y) (never repeating the
+/// qubit's previous gate). The generator is fully deterministic given the
+/// seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::algo {
+
+struct SupremacyOptions {
+  std::size_t rows = 4;
+  std::size_t cols = 4;
+  /// Number of CZ cycles (circuit "depth" in the paper's naming
+  /// supremacy_<depth>_<qubits>).
+  std::size_t depth = 8;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] ir::Circuit makeSupremacyCircuit(const SupremacyOptions& options);
+
+}  // namespace ddsim::algo

@@ -1,0 +1,153 @@
+#include "baseline/dense_matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddsim::baseline {
+
+DenseMatrix::DenseMatrix(std::size_t dim, std::vector<Complex> rowMajor)
+    : dim_(dim), data_(std::move(rowMajor)) {
+  if (data_.size() != dim * dim) {
+    throw std::invalid_argument("DenseMatrix: data size mismatch");
+  }
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t dim) {
+  DenseMatrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    m.at(i, i) = 1.0;
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::fromGate(const dd::GateMatrix& g) {
+  DenseMatrix m(2);
+  m.at(0, 0) = g[0].toStd();
+  m.at(0, 1) = g[1].toStd();
+  m.at(1, 0) = g[2].toStd();
+  m.at(1, 1) = g[3].toStd();
+  return m;
+}
+
+DenseMatrix DenseMatrix::operator*(const DenseMatrix& rhs) const {
+  if (dim_ != rhs.dim_) {
+    throw std::invalid_argument("DenseMatrix: dimension mismatch");
+  }
+  DenseMatrix out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const Complex a = at(i, k);
+      if (a == Complex{}) {
+        continue;
+      }
+      for (std::size_t j = 0; j < dim_; ++j) {
+        out.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> DenseMatrix::operator*(const std::vector<Complex>& v) const {
+  if (dim_ != v.size()) {
+    throw std::invalid_argument("DenseMatrix: vector dimension mismatch");
+  }
+  std::vector<Complex> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    Complex sum{};
+    for (std::size_t j = 0; j < dim_; ++j) {
+      sum += at(i, j) * v[j];
+    }
+    out[i] = sum;
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::kron(const DenseMatrix& rhs) const {
+  DenseMatrix out(dim_ * rhs.dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const Complex a = at(i, j);
+      if (a == Complex{}) {
+        continue;
+      }
+      for (std::size_t k = 0; k < rhs.dim_; ++k) {
+        for (std::size_t l = 0; l < rhs.dim_; ++l) {
+          out.at(i * rhs.dim_ + k, j * rhs.dim_ + l) = a * rhs.at(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::dagger() const {
+  DenseMatrix out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      out.at(i, j) = std::conj(at(j, i));
+    }
+  }
+  return out;
+}
+
+bool DenseMatrix::approxEquals(const DenseMatrix& other, double tol) const {
+  if (dim_ != other.dim_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DenseMatrix::isUnitary(double tol) const {
+  return (*this * dagger()).approxEquals(identity(dim_), tol);
+}
+
+std::vector<dd::ComplexValue> DenseMatrix::toComplexValues() const {
+  std::vector<dd::ComplexValue> out;
+  out.reserve(data_.size());
+  for (const Complex& c : data_) {
+    out.push_back(dd::ComplexValue::fromStd(c));
+  }
+  return out;
+}
+
+DenseMatrix expandGate(const dd::GateMatrix& g, std::size_t numQubits,
+                       dd::Qubit target, const dd::Controls& controls) {
+  const std::size_t dim = 1ULL << numQubits;
+  DenseMatrix out(dim);
+  const std::size_t tMask = 1ULL << target;
+  for (std::size_t col = 0; col < dim; ++col) {
+    bool active = true;
+    for (const auto& c : controls) {
+      const bool bit = (col >> c.qubit) & 1U;
+      if (bit != c.positive) {
+        active = false;
+        break;
+      }
+    }
+    if (!active) {
+      out.at(col, col) = 1.0;
+      continue;
+    }
+    const bool t1 = (col & tMask) != 0;
+    const std::size_t col0 = col & ~tMask;
+    const std::size_t col1 = col | tMask;
+    // Column `col` of the operator: entries of the gate in the target slice.
+    if (!t1) {
+      out.at(col0, col) = g[0].toStd();
+      out.at(col1, col) = g[2].toStd();
+    } else {
+      out.at(col0, col) = g[1].toStd();
+      out.at(col1, col) = g[3].toStd();
+    }
+  }
+  return out;
+}
+
+}  // namespace ddsim::baseline

@@ -1,0 +1,185 @@
+#include "baseline/statevector.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddsim::baseline {
+
+namespace {
+bool controlsSatisfied(std::uint64_t basis, const dd::Controls& controls) {
+  for (const auto& c : controls) {
+    const bool bit = ((basis >> c.qubit) & 1U) != 0;
+    if (bit != c.positive) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+StateVector::StateVector(std::size_t numQubits)
+    : numQubits_(numQubits), amps_(1ULL << numQubits) {
+  if (numQubits == 0 || numQubits > 30) {
+    throw std::invalid_argument("StateVector: qubit count must be in [1, 30]");
+  }
+  amps_[0] = 1.0;
+}
+
+double StateVector::norm2() const {
+  double s = 0;
+  for (const auto& a : amps_) {
+    s += std::norm(a);
+  }
+  return s;
+}
+
+void StateVector::setBasisState(std::uint64_t basis) {
+  std::fill(amps_.begin(), amps_.end(), std::complex<double>{});
+  amps_.at(basis) = 1.0;
+}
+
+void StateVector::applyGate(const dd::GateMatrix& g, dd::Qubit target,
+                            const dd::Controls& controls) {
+  const std::uint64_t tMask = 1ULL << target;
+  const std::complex<double> u00 = g[0].toStd();
+  const std::complex<double> u01 = g[1].toStd();
+  const std::complex<double> u10 = g[2].toStd();
+  const std::complex<double> u11 = g[3].toStd();
+  for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & tMask) != 0 || !controlsSatisfied(i, controls)) {
+      continue;
+    }
+    const std::uint64_t j = i | tMask;
+    const std::complex<double> a0 = amps_[i];
+    const std::complex<double> a1 = amps_[j];
+    amps_[i] = u00 * a0 + u01 * a1;
+    amps_[j] = u10 * a0 + u11 * a1;
+  }
+}
+
+void StateVector::applySwap(dd::Qubit a, dd::Qubit b, const dd::Controls& controls) {
+  const std::uint64_t aMask = 1ULL << a;
+  const std::uint64_t bMask = 1ULL << b;
+  for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+    const bool ba = (i & aMask) != 0;
+    const bool bb = (i & bMask) != 0;
+    if (!ba || bb) {
+      continue;  // visit each (01) pair once, from the a=1,b=0 side
+    }
+    if (!controlsSatisfied(i, controls)) {
+      continue;
+    }
+    const std::uint64_t j = (i & ~aMask) | bMask;
+    std::swap(amps_[i], amps_[j]);
+  }
+}
+
+void StateVector::applyOracle(const ir::OracleOperation& oracle) {
+  const std::uint64_t tMask = (1ULL << oracle.numTargets()) - 1;
+  std::vector<std::complex<double>> out(amps_.size());
+  for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+    if (amps_[i] == std::complex<double>{}) {
+      continue;
+    }
+    std::uint64_t j = i;
+    if (controlsSatisfied(i, oracle.controls())) {
+      j = (i & ~tMask) | oracle.apply(i & tMask);
+    }
+    out[j] += amps_[i];
+  }
+  amps_ = std::move(out);
+}
+
+double StateVector::probabilityOfOne(dd::Qubit q) const {
+  const std::uint64_t mask = 1ULL << q;
+  double p = 0;
+  for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & mask) != 0) {
+      p += std::norm(amps_[i]);
+    }
+  }
+  return p;
+}
+
+int StateVector::measureCollapsing(dd::Qubit q, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const double p1 = probabilityOfOne(q);
+  const bool one = dist(rng) < p1;
+  const double norm = std::sqrt(one ? p1 : 1.0 - p1);
+  const std::uint64_t mask = 1ULL << q;
+  for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((((i & mask) != 0) == one)) {
+      amps_[i] /= norm;
+    } else {
+      amps_[i] = 0;
+    }
+  }
+  return one ? 1 : 0;
+}
+
+namespace {
+void runOps(const std::vector<std::unique_ptr<ir::Operation>>& ops,
+            StateVector& sv, std::vector<bool>& clbits, std::mt19937_64& rng) {
+  using ir::OpKind;
+  for (const auto& op : ops) {
+    switch (op->kind()) {
+      case OpKind::Standard: {
+        const auto& s = static_cast<const ir::StandardOperation&>(*op);
+        if (s.type() == ir::GateType::Swap) {
+          sv.applySwap(s.targets()[0], s.targets()[1], s.controls());
+        } else {
+          sv.applyGate(s.matrix(), s.targets()[0], s.controls());
+        }
+        break;
+      }
+      case OpKind::Measure: {
+        const auto& m = static_cast<const ir::MeasureOperation&>(*op);
+        clbits[m.clbit()] = sv.measureCollapsing(m.qubit(), rng) != 0;
+        break;
+      }
+      case OpKind::Reset: {
+        const auto& r = static_cast<const ir::ResetOperation&>(*op);
+        if (sv.measureCollapsing(r.qubit(), rng) != 0) {
+          sv.applyGate(ir::gateMatrix(ir::GateType::X), r.qubit());
+        }
+        break;
+      }
+      case OpKind::Barrier:
+        break;
+      case OpKind::Compound: {
+        const auto& comp = static_cast<const ir::CompoundOperation&>(*op);
+        for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+          runOps(comp.body(), sv, clbits, rng);
+        }
+        break;
+      }
+      case OpKind::ClassicControlled: {
+        const auto& c = static_cast<const ir::ClassicControlledOperation&>(*op);
+        if (clbits[c.clbit()] == c.expectedValue()) {
+          const auto& s = c.op();
+          if (s.type() == ir::GateType::Swap) {
+            sv.applySwap(s.targets()[0], s.targets()[1], s.controls());
+          } else {
+            sv.applyGate(s.matrix(), s.targets()[0], s.controls());
+          }
+        }
+        break;
+      }
+      case OpKind::Oracle:
+        sv.applyOracle(static_cast<const ir::OracleOperation&>(*op));
+        break;
+    }
+  }
+}
+}  // namespace
+
+StateVectorResult runOnStateVector(const ir::Circuit& circuit, std::uint64_t seed) {
+  StateVector sv(circuit.numQubits());
+  std::vector<bool> clbits(std::max<std::size_t>(1, circuit.numClbits()), false);
+  std::mt19937_64 rng(seed);
+  runOps(circuit.ops(), sv, clbits, rng);
+  return {std::move(sv), std::move(clbits)};
+}
+
+}  // namespace ddsim::baseline

@@ -1,0 +1,119 @@
+#include "dd/complex_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ddsim::dd {
+
+ComplexTable::ComplexTable(double tolerance)
+    : tol_(tolerance), cell_(2.0 * tolerance) {}
+
+std::int64_t ComplexTable::cellOf(double x) const noexcept {
+  return static_cast<std::int64_t>(std::llround(x / cell_));
+}
+
+std::uint64_t ComplexTable::cellKey(std::int64_t cr, std::int64_t ci) noexcept {
+  // Mix the two cell coordinates; splitmix64-style finalizer.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  return mix(static_cast<std::uint64_t>(cr)) ^
+         (mix(static_cast<std::uint64_t>(ci)) << 1);
+}
+
+CWeight ComplexTable::lookup(ComplexValue v) {
+  // Snap to the exact constants first; they are by far the most common
+  // weights and pointer identity with zero()/one() is relied upon by the
+  // package's fast paths.
+  if (v.approximatelyZero(tol_)) {
+    ++hits_;
+    return &zero_;
+  }
+  if (v.approximatelyOne(tol_)) {
+    ++hits_;
+    return &one_;
+  }
+
+  const std::int64_t cr = cellOf(v.r);
+  const std::int64_t ci = cellOf(v.i);
+  for (std::int64_t dr = -1; dr <= 1; ++dr) {
+    for (std::int64_t di = -1; di <= 1; ++di) {
+      const auto it = buckets_.find(cellKey(cr + dr, ci + di));
+      if (it == buckets_.end()) {
+        continue;
+      }
+      for (CWeight e : it->second) {
+        if (e->approximatelyEquals(v, tol_)) {
+          ++hits_;
+          return e;
+        }
+      }
+    }
+  }
+
+  ++misses_;
+  Entry* entry;
+  if (!freeList_.empty()) {
+    entry = freeList_.back();
+    freeList_.pop_back();
+    entry->v = v;
+    entry->rootRef = 0;
+  } else {
+    entries_.push_back(Entry{v, 0});
+    entry = &entries_.back();
+  }
+  CWeight w = &entry->v;
+  buckets_[cellKey(cr, ci)].push_back(w);
+  return w;
+}
+
+void ComplexTable::incRef(CWeight w) noexcept {
+  if (w == nullptr || w == &zero_ || w == &one_) {
+    return;
+  }
+  auto* entry = const_cast<Entry*>(asEntry(w));
+  if (entry->rootRef != std::numeric_limits<std::uint32_t>::max()) {
+    ++entry->rootRef;
+  }
+}
+
+void ComplexTable::decRef(CWeight w) noexcept {
+  if (w == nullptr || w == &zero_ || w == &one_) {
+    return;
+  }
+  auto* entry = const_cast<Entry*>(asEntry(w));
+  if (entry->rootRef != std::numeric_limits<std::uint32_t>::max()) {
+    assert(entry->rootRef > 0 && "decRef on unreferenced weight");
+    --entry->rootRef;
+  }
+}
+
+std::size_t ComplexTable::garbageCollect(const std::unordered_set<CWeight>& live) {
+  std::size_t collected = 0;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    auto& vec = it->second;
+    const auto removeBegin =
+        std::remove_if(vec.begin(), vec.end(), [&](CWeight w) {
+          if (live.count(w) != 0 || asEntry(w)->rootRef > 0) {
+            return false;
+          }
+          freeList_.push_back(const_cast<Entry*>(asEntry(w)));
+          return true;
+        });
+    collected += static_cast<std::size_t>(vec.end() - removeBegin);
+    vec.erase(removeBegin, vec.end());
+    if (vec.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+}  // namespace ddsim::dd

@@ -1,0 +1,101 @@
+/// \file complex_table.hpp
+/// \brief Canonicalization table for complex edge weights.
+///
+/// Every edge weight used by the DD package is a pointer to an entry owned
+/// by this table. lookup() maps a plain ComplexValue to its canonical entry:
+/// values that agree within tolerance share a single pointer. This turns
+/// node equality/hashing into exact pointer comparison, which is what makes
+/// the unique tables and compute tables of the package sound in the presence
+/// of floating-point rounding (machine-accuracy handling per [21]).
+///
+/// Implementation: entries are bucketed on a 2D grid whose cell size equals
+/// the tolerance; a lookup inspects the 3x3 neighbourhood of the target cell
+/// so that near-boundary values still find their canonical representative.
+///
+/// Long simulations create millions of transient weights, so the table is
+/// garbage-collected together with the node tables: entries referenced by a
+/// live node, pinned as a root weight (incRef/decRef — used by
+/// Package::incRef for the top weight of rooted edges), or equal to the
+/// 0/1 constants survive; everything else is recycled through a free list.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dd/complex_value.hpp"
+
+namespace ddsim::dd {
+
+/// Canonical complex weight: an immutable pointer into a ComplexTable.
+using CWeight = const ComplexValue*;
+
+class ComplexTable {
+ public:
+  explicit ComplexTable(double tolerance = kTolerance);
+
+  ComplexTable(const ComplexTable&) = delete;
+  ComplexTable& operator=(const ComplexTable&) = delete;
+
+  /// Canonical pointer for the given value. Returns the shared zero/one
+  /// entries for values within tolerance of 0 and 1 respectively.
+  CWeight lookup(ComplexValue v);
+  CWeight lookup(double r, double i) { return lookup(ComplexValue{r, i}); }
+
+  /// Shared canonical constants.
+  [[nodiscard]] CWeight zero() const noexcept { return &zero_; }
+  [[nodiscard]] CWeight one() const noexcept { return &one_; }
+
+  /// Pin/unpin a weight as the top weight of a rooted edge. The constants
+  /// are permanently pinned; calls on them are no-ops.
+  void incRef(CWeight w) noexcept;
+  void decRef(CWeight w) noexcept;
+
+  /// Drop every entry that is neither in \p live, nor root-pinned, nor a
+  /// constant. Freed entries are recycled by later lookups. Returns the
+  /// number of collected entries. Any un-rooted CWeight held by a caller is
+  /// dangling afterwards (same contract as node GC).
+  std::size_t garbageCollect(const std::unordered_set<CWeight>& live);
+
+  [[nodiscard]] double tolerance() const noexcept { return tol_; }
+
+  /// Number of live canonical entries (the two constants included).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return entries_.size() - freeList_.size() + 2;
+  }
+
+  /// Lookup statistics (for instrumentation and tests).
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    ComplexValue v;
+    std::uint32_t rootRef = 0;
+  };
+
+  static const Entry* asEntry(CWeight w) noexcept {
+    // Every non-constant CWeight handed out by lookup() points at the `v`
+    // member (first member, standard layout) of an Entry.
+    return reinterpret_cast<const Entry*>(w);
+  }
+
+  [[nodiscard]] std::int64_t cellOf(double x) const noexcept;
+  static std::uint64_t cellKey(std::int64_t cr, std::int64_t ci) noexcept;
+
+  double tol_;
+  double cell_;  ///< grid cell size (2 * tolerance)
+  ComplexValue zero_{0.0, 0.0};
+  ComplexValue one_{1.0, 0.0};
+  std::deque<Entry> entries_;  ///< deque: stable addresses
+  std::vector<Entry*> freeList_;
+  std::unordered_map<std::uint64_t, std::vector<CWeight>> buckets_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ddsim::dd

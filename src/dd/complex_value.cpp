@@ -1,0 +1,25 @@
+#include "dd/complex_value.hpp"
+
+#include <sstream>
+
+namespace ddsim::dd {
+
+ComplexValue operator/(ComplexValue a, ComplexValue b) noexcept {
+  const double d = b.mag2();
+  return {(a.r * b.r + a.i * b.i) / d, (a.i * b.r - a.r * b.i) / d};
+}
+
+std::string ComplexValue::toString(int precision) const {
+  std::ostringstream ss;
+  ss.precision(precision);
+  if (std::abs(i) <= kTolerance) {
+    ss << r;
+  } else if (std::abs(r) <= kTolerance) {
+    ss << i << "i";
+  } else {
+    ss << r << (i < 0 ? "" : "+") << i << "i";
+  }
+  return ss.str();
+}
+
+}  // namespace ddsim::dd

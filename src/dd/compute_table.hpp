@@ -1,0 +1,145 @@
+/// \file compute_table.hpp
+/// \brief Fixed-size direct-mapped operation caches.
+///
+/// Re-occurring sub-products/sub-sums only have to be computed once — this
+/// memoization is what makes the recursive DD operations of Figs. 3 and 4
+/// of the paper polynomial in the *DD size* rather than the vector size.
+/// A direct-mapped table (overwrite on collision) keeps lookup O(1) without
+/// any invalidation machinery; it is flushed on garbage collection because
+/// cached entries do not hold references.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ddsim::dd {
+
+namespace detail {
+inline void hashMix(std::uint64_t& h, const void* p) noexcept {
+  h ^= reinterpret_cast<std::uintptr_t>(p);
+  h *= 0x100000001b3ULL;
+  h ^= h >> 32;
+}
+}  // namespace detail
+
+/// Cache for binary DD operations. Keys are two edges (node and weight are
+/// canonical pointers, so equality is exact); the value is a result edge.
+template <typename LEdge, typename REdge, typename ResultEdge,
+          std::size_t NumEntries = (1U << 17)>
+class ComputeTable {
+  static_assert((NumEntries & (NumEntries - 1)) == 0,
+                "table size must be a power of two");
+
+ public:
+  ComputeTable() : table_(NumEntries) {}
+
+  void insert(const LEdge& a, const REdge& b, const ResultEdge& r) noexcept {
+    auto& entry = table_[slot(a, b)];
+    entry.a = a;
+    entry.b = b;
+    entry.result = r;
+    entry.valid = true;
+  }
+
+  /// Returns nullptr on miss; a pointer to the cached result on hit.
+  const ResultEdge* lookup(const LEdge& a, const REdge& b) noexcept {
+    auto& entry = table_[slot(a, b)];
+    if (entry.valid && entry.a == a && entry.b == b) {
+      ++hits_;
+      return &entry.result;
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  void clear() noexcept {
+    for (auto& entry : table_) {
+      entry.valid = false;
+    }
+  }
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    LEdge a{};
+    REdge b{};
+    ResultEdge result{};
+    bool valid = false;
+  };
+
+  static std::size_t slot(const LEdge& a, const REdge& b) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    detail::hashMix(h, a.p);
+    detail::hashMix(h, a.w);
+    detail::hashMix(h, b.p);
+    detail::hashMix(h, b.w);
+    return static_cast<std::size_t>(h) & (NumEntries - 1);
+  }
+
+  // Heap storage: a Package aggregates several of these tables, and stack
+  // allocation of multi-megabyte members would overflow the stack.
+  std::vector<Entry> table_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Cache for unary DD operations (conjugate-transpose, norm, ...).
+template <typename ArgEdge, typename ResultEdge, std::size_t NumEntries = (1U << 15)>
+class UnaryComputeTable {
+  static_assert((NumEntries & (NumEntries - 1)) == 0,
+                "table size must be a power of two");
+
+ public:
+  UnaryComputeTable() : table_(NumEntries) {}
+
+  void insert(const ArgEdge& a, const ResultEdge& r) noexcept {
+    auto& entry = table_[slot(a)];
+    entry.a = a;
+    entry.result = r;
+    entry.valid = true;
+  }
+
+  const ResultEdge* lookup(const ArgEdge& a) noexcept {
+    auto& entry = table_[slot(a)];
+    if (entry.valid && entry.a == a) {
+      ++hits_;
+      return &entry.result;
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  void clear() noexcept {
+    for (auto& entry : table_) {
+      entry.valid = false;
+    }
+  }
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    ArgEdge a{};
+    ResultEdge result{};
+    bool valid = false;
+  };
+
+  static std::size_t slot(const ArgEdge& a) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    detail::hashMix(h, a.p);
+    detail::hashMix(h, a.w);
+    return static_cast<std::size_t>(h) & (NumEntries - 1);
+  }
+
+  std::vector<Entry> table_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ddsim::dd

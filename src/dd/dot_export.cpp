@@ -1,0 +1,98 @@
+#include "dd/dot_export.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace ddsim::dd {
+
+namespace {
+
+template <std::size_t Arity>
+class DotWriter {
+ public:
+  DotWriter(std::ostream& os, const std::string& name) : os_(os) {
+    os_ << "digraph \"" << name << "\" {\n"
+        << "  rankdir=TB;\n"
+        << "  node [shape=circle, fixedsize=true, width=0.5];\n";
+  }
+
+  void write(const Edge<Arity>& root) {
+    os_ << "  root [shape=point, style=invis];\n";
+    if (root.w->exactlyZero()) {
+      os_ << "  zero [shape=square, label=\"0\"];\n"
+          << "  root -> zero;\n";
+    } else {
+      const std::size_t id = visit(root.p);
+      os_ << "  root -> n" << id << edgeLabel(root.w) << ";\n";
+    }
+    os_ << "}\n";
+  }
+
+ private:
+  std::size_t visit(const Node<Arity>* p) {
+    if (const auto it = ids_.find(p); it != ids_.end()) {
+      return it->second;
+    }
+    const std::size_t id = ids_.size();
+    ids_.emplace(p, id);
+    if (p->isTerminal()) {
+      os_ << "  n" << id << " [shape=square, label=\"1\"];\n";
+      return id;
+    }
+    os_ << "  n" << id << " [label=\"q" << p->v << "\"];\n";
+    for (std::size_t i = 0; i < Arity; ++i) {
+      const auto& e = p->e[i];
+      if (e.w->exactlyZero()) {
+        // Zero stubs are drawn as small filled points, as in the paper.
+        os_ << "  z" << id << "_" << i
+            << " [shape=point, width=0.1, label=\"\"];\n"
+            << "  n" << id << " -> z" << id << "_" << i << " [style=dashed"
+            << ", taillabel=\"" << i << "\"];\n";
+        continue;
+      }
+      const std::size_t cid = visit(e.p);
+      os_ << "  n" << id << " -> n" << cid << edgeLabel(e.w, i) << ";\n";
+    }
+    return id;
+  }
+
+  static std::string edgeLabel(CWeight w, std::size_t port = Arity) {
+    std::ostringstream ss;
+    ss << " [";
+    if (port < Arity) {
+      ss << "taillabel=\"" << port << "\", ";
+    }
+    if (!w->exactlyOne()) {
+      ss << "label=\"" << w->toString(4) << "\", ";
+    }
+    ss << "arrowsize=0.6]";
+    return ss.str();
+  }
+
+  std::ostream& os_;
+  std::unordered_map<const Node<Arity>*, std::size_t> ids_;
+};
+
+}  // namespace
+
+void exportDot(const VEdge& root, std::ostream& os, const std::string& graphName) {
+  DotWriter<2>(os, graphName).write(root);
+}
+
+void exportDot(const MEdge& root, std::ostream& os, const std::string& graphName) {
+  DotWriter<4>(os, graphName).write(root);
+}
+
+std::string toDot(const VEdge& root) {
+  std::ostringstream ss;
+  exportDot(root, ss);
+  return ss.str();
+}
+
+std::string toDot(const MEdge& root) {
+  std::ostringstream ss;
+  exportDot(root, ss);
+  return ss.str();
+}
+
+}  // namespace ddsim::dd

@@ -1,0 +1,25 @@
+/// \file dot_export.hpp
+/// \brief Graphviz export of decision diagrams (debugging/visualization,
+///        mirrors the DD drawings in Figs. 2-5 of the paper).
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "dd/node.hpp"
+
+namespace ddsim::dd {
+
+/// Write a vector DD in Graphviz dot format.
+void exportDot(const VEdge& root, std::ostream& os,
+               const std::string& graphName = "vectorDD");
+/// Write a matrix DD in Graphviz dot format.
+void exportDot(const MEdge& root, std::ostream& os,
+               const std::string& graphName = "matrixDD");
+
+/// Convenience: dot text as a string.
+std::string toDot(const VEdge& root);
+std::string toDot(const MEdge& root);
+
+}  // namespace ddsim::dd

@@ -1,0 +1,88 @@
+/// \file node.hpp
+/// \brief DD node and edge types for vectors (2 successors) and matrices
+///        (4 successors, the quadrants M00 M01 M10 M11).
+///
+/// Conventions (matching the paper's Section II-B):
+///  * Qubits are indexed 0..n-1; qubit n-1 ("q0" in the paper's notation,
+///    the most significant one) labels the root node, qubit 0 sits just
+///    above the terminal.
+///  * DDs are level-complete: every root-to-terminal path visits every
+///    variable exactly once. Gate DDs carry explicit identity chains, so
+///    add/multiply may assume aligned variables.
+///  * Edge weights are canonical pointers (CWeight) into a ComplexTable;
+///    node equality is component-wise pointer equality.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "dd/complex_table.hpp"
+#include "dd/complex_value.hpp"
+
+namespace ddsim::dd {
+
+/// Qubit/variable index. -1 marks the terminal node.
+using Qubit = std::int32_t;
+inline constexpr Qubit kTerminalVar = -1;
+
+template <std::size_t Arity>
+struct Node;
+
+/// An edge: target node plus canonical complex weight.
+template <std::size_t Arity>
+struct Edge {
+  Node<Arity>* p = nullptr;
+  CWeight w = nullptr;
+
+  constexpr bool operator==(const Edge&) const noexcept = default;
+
+  [[nodiscard]] bool isTerminal() const noexcept {
+    return p != nullptr && p->v == kTerminalVar;
+  }
+  /// True for the canonical representation of an all-zero vector/matrix:
+  /// terminal node with (approximately) zero weight.
+  [[nodiscard]] bool isZeroTerminal() const noexcept {
+    return isTerminal() && w->exactlyZero();
+  }
+};
+
+template <std::size_t Arity>
+struct Node {
+  std::array<Edge<Arity>, Arity> e{};
+  Node* next = nullptr;   ///< unique-table chain / free-list link
+  std::uint32_t ref = 0;  ///< root reference count (saturating)
+  Qubit v = kTerminalVar;
+
+  [[nodiscard]] bool isTerminal() const noexcept { return v == kTerminalVar; }
+};
+
+using VNode = Node<2>;
+using MNode = Node<4>;
+using VEdge = Edge<2>;
+using MEdge = Edge<4>;
+
+/// FNV-1a-style hash over the successor edges of a node candidate.
+/// Weights are canonical pointers, so hashing the pointer values is exact.
+template <std::size_t Arity>
+[[nodiscard]] std::size_t hashNode(const Node<Arity>& n) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mixIn = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+  };
+  for (const auto& edge : n.e) {
+    mixIn(reinterpret_cast<std::uintptr_t>(edge.p));
+    mixIn(reinterpret_cast<std::uintptr_t>(edge.w));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+template <std::size_t Arity>
+[[nodiscard]] bool sameChildren(const Node<Arity>& a, const Node<Arity>& b) noexcept {
+  return a.e == b.e;
+}
+
+}  // namespace ddsim::dd

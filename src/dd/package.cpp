@@ -1,0 +1,1033 @@
+#include "dd/package.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace ddsim::dd {
+
+namespace {
+constexpr std::uint32_t kRefSaturated = std::numeric_limits<std::uint32_t>::max();
+
+bool isPowerOfTwo(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint32_t log2OfPow2(std::uint64_t x) noexcept {
+  std::uint32_t l = 0;
+  while ((x >>= 1U) != 0) {
+    ++l;
+  }
+  return l;
+}
+}  // namespace
+
+Package::Package(std::size_t numQubits, double tolerance)
+    : numQubits_(numQubits),
+      ctab_(tolerance),
+      vUnique_(vMem_),
+      mUnique_(mMem_) {
+  if (numQubits == 0 || numQubits > 62) {
+    throw std::invalid_argument("Package: qubit count must be in [1, 62]");
+  }
+  vUnique_.resize(numQubits);
+  mUnique_.resize(numQubits);
+  vTerminal_.v = kTerminalVar;
+  vTerminal_.ref = kRefSaturated;
+  mTerminal_.v = kTerminalVar;
+  mTerminal_.ref = kRefSaturated;
+  identities_.reserve(numQubits);
+}
+
+CacheStats Package::cacheStats() const noexcept {
+  CacheStats cs;
+  cs.mulMVHits = mulMVTable_.hits();
+  cs.mulMVMisses = mulMVTable_.misses();
+  cs.mulMMHits = mulMMTable_.hits();
+  cs.mulMMMisses = mulMMTable_.misses();
+  cs.addHits = addVTable_.hits() + addMTable_.hits();
+  cs.addMisses = addVTable_.misses() + addMTable_.misses();
+  cs.uniqueTableHits = vUnique_.hits() + mUnique_.hits();
+  cs.uniqueTableMisses = vUnique_.misses() + mUnique_.misses();
+  cs.complexTableHits = ctab_.hits();
+  cs.complexTableMisses = ctab_.misses();
+  return cs;
+}
+
+// --------------------------------------------------------------- ref counts
+
+template <std::size_t Arity>
+void Package::incRefNode(Node<Arity>* n) noexcept {
+  if (n == nullptr || n->isTerminal() || n->ref == kRefSaturated) {
+    return;
+  }
+  ++n->ref;
+  if (n->ref == 1U) {
+    for (const auto& edge : n->e) {
+      incRefNode(edge.p);
+    }
+  }
+}
+
+template <std::size_t Arity>
+void Package::decRefNode(Node<Arity>* n) noexcept {
+  if (n == nullptr || n->isTerminal() || n->ref == kRefSaturated) {
+    return;
+  }
+  assert(n->ref > 0 && "decRef on unreferenced node");
+  --n->ref;
+  if (n->ref == 0U) {
+    for (const auto& edge : n->e) {
+      decRefNode(edge.p);
+    }
+  }
+}
+
+template void Package::incRefNode<2>(Node<2>*) noexcept;
+template void Package::incRefNode<4>(Node<4>*) noexcept;
+template void Package::decRefNode<2>(Node<2>*) noexcept;
+template void Package::decRefNode<4>(Node<4>*) noexcept;
+
+std::size_t Package::garbageCollect() {
+  const std::size_t collected =
+      vUnique_.garbageCollect() + mUnique_.garbageCollect();
+  // Sweep the complex table: weights referenced by the surviving nodes (or
+  // pinned as root weights / constants) stay, everything else is recycled.
+  std::unordered_set<CWeight> liveWeights;
+  liveWeights.reserve((vUnique_.liveCount() + mUnique_.liveCount()) * 2);
+  vUnique_.forEach([&liveWeights](const VNode* n) {
+    for (const auto& e : n->e) {
+      liveWeights.insert(e.w);
+    }
+  });
+  mUnique_.forEach([&liveWeights](const MNode* n) {
+    for (const auto& e : n->e) {
+      liveWeights.insert(e.w);
+    }
+  });
+  ctab_.garbageCollect(liveWeights);
+  addVTable_.clear();
+  addMTable_.clear();
+  mulMVTable_.clear();
+  mulMMTable_.clear();
+  kronMTable_.clear();
+  kronVTable_.clear();
+  transposeTable_.clear();
+  innerTable_.clear();
+  normTable_.clear();
+  traceTable_.clear();
+  ++stats_.garbageCollections;
+  stats_.nodesCollected += collected;
+  return collected;
+}
+
+bool Package::maybeGarbageCollect() {
+  const std::size_t live = vUnique_.liveCount() + mUnique_.liveCount();
+  if (live < gcThreshold_) {
+    return false;
+  }
+  garbageCollect();
+  const std::size_t remaining = vUnique_.liveCount() + mUnique_.liveCount();
+  if (remaining > gcThreshold_ / 2) {
+    gcThreshold_ *= 2;  // mostly-live table: back off to amortize sweeps
+  }
+  return true;
+}
+
+// --------------------------------------------------------- node construction
+
+VEdge Package::makeVNode(Qubit v, std::array<VEdge, 2> children) {
+  assert(v >= 0 && static_cast<std::size_t>(v) < numQubits_);
+  for (auto& c : children) {
+    if (c.w->exactlyZero()) {
+      c = vZero();  // canonical zero stub
+    }
+    assert(c.isTerminal() ? c.w->exactlyZero() || v == 0 : c.p->v == v - 1);
+  }
+  if (children[0].w->exactlyZero() && children[1].w->exactlyZero()) {
+    return vZero();
+  }
+
+  // Normalize: divide by the maximum-magnitude weight. Ties — including
+  // *near*-ties within the canonicalization tolerance — resolve to the
+  // lowest index. The tolerance matters: magnitudes that are equal up to
+  // floating-point drift must pick the same index on every construction
+  // path, or structurally identical subtrees stop being shared and the DD
+  // degenerates (cf. the accuracy discussion in [21]).
+  std::size_t maxIdx = 0;
+  double maxMag = children[0].w->mag2();
+  if (children[1].w->mag2() > maxMag + ctab_.tolerance()) {
+    maxIdx = 1;
+    maxMag = children[1].w->mag2();
+  }
+  const CWeight top = children[maxIdx].w;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (i == maxIdx) {
+      children[i].w = cone();
+    } else if (!children[i].w->exactlyZero()) {
+      children[i].w = clookup(*children[i].w / *top);
+    }
+  }
+
+  VNode* candidate = vMem_.get();
+  candidate->v = v;
+  candidate->e = children;
+  VNode* node = vUnique_.lookup(candidate);
+  stats_.peakLiveNodes = std::max(
+      stats_.peakLiveNodes, vUnique_.liveCount() + mUnique_.liveCount());
+  return {node, top};
+}
+
+MEdge Package::makeMNode(Qubit v, std::array<MEdge, 4> children) {
+  assert(v >= 0 && static_cast<std::size_t>(v) < numQubits_);
+  bool allZero = true;
+  for (auto& c : children) {
+    if (c.w->exactlyZero()) {
+      c = mZero();
+    } else {
+      allZero = false;
+    }
+    assert(c.isTerminal() ? c.w->exactlyZero() || v == 0 : c.p->v == v - 1);
+  }
+  if (allZero) {
+    return mZero();
+  }
+
+  // Near-tie tolerant maximum selection; see the vector-node comment.
+  std::size_t maxIdx = 0;
+  double maxMag = -1.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double m = children[i].w->mag2();
+    if (m > maxMag + ctab_.tolerance()) {
+      maxMag = m;
+      maxIdx = i;
+    }
+  }
+  const CWeight top = children[maxIdx].w;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == maxIdx) {
+      children[i].w = cone();
+    } else if (!children[i].w->exactlyZero()) {
+      children[i].w = clookup(*children[i].w / *top);
+    }
+  }
+
+  MNode* candidate = mMem_.get();
+  candidate->v = v;
+  candidate->e = children;
+  MNode* node = mUnique_.lookup(candidate);
+  stats_.peakLiveNodes = std::max(
+      stats_.peakLiveNodes, vUnique_.liveCount() + mUnique_.liveCount());
+  return {node, top};
+}
+
+// -------------------------------------------------------- state construction
+
+VEdge Package::makeZeroState() { return makeBasisState(0); }
+
+VEdge Package::makeBasisState(std::uint64_t bits) {
+  if (numQubits_ < 64 && (bits >> numQubits_) != 0) {
+    throw std::invalid_argument("makeBasisState: bits exceed qubit count");
+  }
+  VEdge e = vOneTerminal();
+  for (std::size_t q = 0; q < numQubits_; ++q) {
+    const bool one = ((bits >> q) & 1U) != 0;
+    e = makeVNode(static_cast<Qubit>(q),
+                  one ? std::array{vZero(), e} : std::array{e, vZero()});
+  }
+  return e;
+}
+
+VEdge Package::buildDenseVector(Qubit level, std::span<const ComplexValue> amps,
+                                std::uint64_t off, std::uint64_t dim) {
+  if (level < 0) {
+    return {&vTerminal_, clookup(amps[off])};
+  }
+  const std::uint64_t half = dim / 2;
+  return makeVNode(level, {buildDenseVector(level - 1, amps, off, half),
+                           buildDenseVector(level - 1, amps, off + half, half)});
+}
+
+VEdge Package::makeStateFromVector(std::span<const ComplexValue> amplitudes) {
+  if (amplitudes.size() != (1ULL << numQubits_)) {
+    throw std::invalid_argument("makeStateFromVector: size must be 2^n");
+  }
+  return buildDenseVector(static_cast<Qubit>(numQubits_) - 1, amplitudes, 0,
+                          amplitudes.size());
+}
+
+VEdge Package::makeSmallStateFromVector(std::span<const ComplexValue> amplitudes) {
+  if (!isPowerOfTwo(amplitudes.size()) ||
+      amplitudes.size() > (1ULL << numQubits_)) {
+    throw std::invalid_argument(
+        "makeSmallStateFromVector: size must be a power of two within range");
+  }
+  const auto top = static_cast<Qubit>(log2OfPow2(amplitudes.size())) - 1;
+  return buildDenseVector(top, amplitudes, 0, amplitudes.size());
+}
+
+// ------------------------------------------------------- matrix construction
+
+MEdge Package::makeIdent() {
+  return makeIdent(static_cast<Qubit>(numQubits_) - 1);
+}
+
+MEdge Package::makeIdent(Qubit topVar) {
+  if (topVar < 0) {
+    return mOneTerminal();
+  }
+  assert(static_cast<std::size_t>(topVar) < numQubits_);
+  while (identities_.size() <= static_cast<std::size_t>(topVar)) {
+    const auto q = static_cast<Qubit>(identities_.size());
+    MEdge below = identities_.empty() ? mOneTerminal() : identities_.back();
+    MEdge id = makeMNode(q, {below, mZero(), mZero(), below});
+    incRef(id);  // pin against garbage collection
+    identities_.push_back(id);
+  }
+  return identities_[static_cast<std::size_t>(topVar)];
+}
+
+MEdge Package::extendToFullWidth(MEdge e, const Controls& controls) {
+  Controls sorted = controls;
+  std::sort(sorted.begin(), sorted.end());
+  const Qubit base = e.isTerminal() ? -1 : e.p->v;
+  auto ctrl = sorted.begin();
+  for (Qubit q = base + 1; q < static_cast<Qubit>(numQubits_); ++q) {
+    while (ctrl != sorted.end() && ctrl->qubit < q) {
+      ++ctrl;
+    }
+    if (ctrl != sorted.end() && ctrl->qubit == q) {
+      MEdge id = makeIdent(q - 1);
+      e = ctrl->positive ? makeMNode(q, {id, mZero(), mZero(), e})
+                         : makeMNode(q, {e, mZero(), mZero(), id});
+    } else {
+      e = makeMNode(q, {e, mZero(), mZero(), e});
+    }
+  }
+  return e;
+}
+
+MEdge Package::makeGateDD(const GateMatrix& u, Qubit target,
+                          const Controls& controls) {
+  assert(target >= 0 && static_cast<std::size_t>(target) < numQubits_);
+  Controls sorted = controls;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& c : sorted) {
+    if (c.qubit == target) {
+      throw std::invalid_argument("makeGateDD: control equals target");
+    }
+    if (c.qubit < 0 || static_cast<std::size_t>(c.qubit) >= numQubits_) {
+      throw std::invalid_argument("makeGateDD: control out of range");
+    }
+  }
+
+  std::array<MEdge, 4> em;
+  for (std::size_t i = 0; i < 4; ++i) {
+    em[i] = u[i].approximatelyZero() ? mZero()
+                                     : MEdge{&mTerminal_, clookup(u[i])};
+  }
+
+  auto ctrl = sorted.begin();
+  // Levels below the target: tensor with identity, or embed the control
+  // test (on the unsatisfied branch, diagonal entries contribute identity,
+  // off-diagonal entries contribute zero).
+  for (Qubit q = 0; q < target; ++q) {
+    while (ctrl != sorted.end() && ctrl->qubit < q) {
+      ++ctrl;
+    }
+    const bool isControl = ctrl != sorted.end() && ctrl->qubit == q;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (!isControl) {
+        em[i] = makeMNode(q, {em[i], mZero(), mZero(), em[i]});
+      } else if (i == 0 || i == 3) {
+        MEdge id = makeIdent(q - 1);
+        em[i] = ctrl->positive
+                    ? makeMNode(q, {id, mZero(), mZero(), em[i]})
+                    : makeMNode(q, {em[i], mZero(), mZero(), id});
+      } else {
+        em[i] = ctrl->positive
+                    ? makeMNode(q, {mZero(), mZero(), mZero(), em[i]})
+                    : makeMNode(q, {em[i], mZero(), mZero(), mZero()});
+      }
+    }
+  }
+
+  MEdge e = makeMNode(target, em);
+
+  // Levels above the target.
+  Controls above;
+  for (const auto& c : sorted) {
+    if (c.qubit > target) {
+      above.push_back(c);
+    }
+  }
+  return extendToFullWidth(e, above);
+}
+
+MEdge Package::buildPermutation(
+    Qubit level, std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries) {
+  if (entries.empty()) {
+    return mZero();
+  }
+  if (level < 0) {
+    assert(entries.size() == 1);
+    return mOneTerminal();
+  }
+  const std::uint64_t mask = 1ULL << level;
+  std::array<std::vector<std::pair<std::uint64_t, std::uint64_t>>, 4> groups;
+  for (const auto& [col, row] : entries) {
+    const std::size_t i =
+        ((row & mask) != 0 ? 2U : 0U) + ((col & mask) != 0 ? 1U : 0U);
+    groups[i].emplace_back(col & ~mask, row & ~mask);
+  }
+  std::array<MEdge, 4> children;
+  for (std::size_t i = 0; i < 4; ++i) {
+    children[i] = buildPermutation(level - 1, groups[i]);
+  }
+  return makeMNode(level, children);
+}
+
+MEdge Package::makePermutationDD(const std::vector<std::uint64_t>& perm,
+                                 const Controls& controls) {
+  if (!isPowerOfTwo(perm.size())) {
+    throw std::invalid_argument("makePermutationDD: size must be a power of two");
+  }
+  const auto t = static_cast<Qubit>(log2OfPow2(perm.size()));
+  if (static_cast<std::size_t>(t) > numQubits_) {
+    throw std::invalid_argument("makePermutationDD: too many target qubits");
+  }
+#ifndef NDEBUG
+  {
+    std::vector<bool> seen(perm.size(), false);
+    for (const auto y : perm) {
+      assert(y < perm.size() && !seen[y] && "perm must be a bijection");
+      seen[y] = true;
+    }
+  }
+#endif
+  for (const auto& c : controls) {
+    if (c.qubit < t || static_cast<std::size_t>(c.qubit) >= numQubits_) {
+      throw std::invalid_argument(
+          "makePermutationDD: controls must lie above the permuted qubits");
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(perm.size());
+  for (std::uint64_t col = 0; col < perm.size(); ++col) {
+    entries.emplace_back(col, perm[col]);
+  }
+  MEdge e = buildPermutation(t - 1, entries);
+  return extendToFullWidth(e, controls);
+}
+
+MEdge Package::buildDense(Qubit level, std::span<const ComplexValue> rowMajor,
+                          std::uint64_t rowOff, std::uint64_t colOff,
+                          std::uint64_t dim) {
+  if (level < 0) {
+    const std::uint64_t fullDim = static_cast<std::uint64_t>(
+        std::llround(std::sqrt(static_cast<double>(rowMajor.size()))));
+    return {&mTerminal_, clookup(rowMajor[rowOff * fullDim + colOff])};
+  }
+  const std::uint64_t half = dim / 2;
+  std::array<MEdge, 4> children;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t r = rowOff + ((i & 2U) != 0 ? half : 0);
+    const std::uint64_t c = colOff + ((i & 1U) != 0 ? half : 0);
+    children[i] = buildDense(level - 1, rowMajor, r, c, half);
+  }
+  return makeMNode(level, children);
+}
+
+MEdge Package::makeMatrixFromDense(std::span<const ComplexValue> rowMajor,
+                                   const Controls& controls) {
+  std::uint64_t dim = 1;
+  while (dim * dim < rowMajor.size()) {
+    dim *= 2;
+  }
+  if (dim * dim != rowMajor.size() || !isPowerOfTwo(dim)) {
+    throw std::invalid_argument("makeMatrixFromDense: size must be 4^k");
+  }
+  const auto t = static_cast<Qubit>(log2OfPow2(dim));
+  if (static_cast<std::size_t>(t) > numQubits_) {
+    throw std::invalid_argument("makeMatrixFromDense: too many qubits");
+  }
+  MEdge e = buildDense(t - 1, rowMajor, 0, 0, dim);
+  return extendToFullWidth(e, controls);
+}
+
+MEdge Package::makeSmallMatrixFromDense(std::span<const ComplexValue> rowMajor) {
+  std::uint64_t dim = 1;
+  while (dim * dim < rowMajor.size()) {
+    dim *= 2;
+  }
+  if (dim * dim != rowMajor.size()) {
+    throw std::invalid_argument("makeSmallMatrixFromDense: size must be 4^k");
+  }
+  const auto t = static_cast<Qubit>(log2OfPow2(dim));
+  if (static_cast<std::size_t>(t) > numQubits_) {
+    throw std::invalid_argument("makeSmallMatrixFromDense: too many qubits");
+  }
+  return buildDense(t - 1, rowMajor, 0, 0, dim);
+}
+
+// ---------------------------------------------------------------- addition
+
+VEdge Package::add(const VEdge& a, const VEdge& b) { return addRec(a, b); }
+MEdge Package::add(const MEdge& a, const MEdge& b) { return addRec(a, b); }
+
+VEdge Package::addRec(const VEdge& a, const VEdge& b) {
+  ++stats_.recursiveAddCalls;
+  pollAbort();
+  if (a.w->exactlyZero()) {
+    return b;
+  }
+  if (b.w->exactlyZero()) {
+    return a;
+  }
+  if (a.p == b.p) {
+    const CWeight w = clookup(*a.w + *b.w);
+    return w->exactlyZero() ? vZero() : VEdge{a.p, w};
+  }
+
+  // Addition commutes: order operands to double the cache hit rate.
+  const VEdge& x = reinterpret_cast<std::uintptr_t>(a.p) <
+                           reinterpret_cast<std::uintptr_t>(b.p)
+                       ? a
+                       : b;
+  const VEdge& y = (&x == &a) ? b : a;
+  if (const VEdge* cached = addVTable_.lookup(x, y)) {
+    return *cached;
+  }
+
+  assert(!x.p->isTerminal() && x.p->v == y.p->v);
+  const Qubit var = x.p->v;
+  std::array<VEdge, 2> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    VEdge xe = x.p->e[i];
+    if (!xe.w->exactlyZero()) {
+      xe.w = clookup(*x.w * *xe.w);
+    }
+    VEdge ye = y.p->e[i];
+    if (!ye.w->exactlyZero()) {
+      ye.w = clookup(*y.w * *ye.w);
+    }
+    r[i] = addRec(xe, ye);
+  }
+  VEdge result = makeVNode(var, r);
+  addVTable_.insert(x, y, result);
+  return result;
+}
+
+MEdge Package::addRec(const MEdge& a, const MEdge& b) {
+  ++stats_.recursiveAddCalls;
+  pollAbort();
+  if (a.w->exactlyZero()) {
+    return b;
+  }
+  if (b.w->exactlyZero()) {
+    return a;
+  }
+  if (a.p == b.p) {
+    const CWeight w = clookup(*a.w + *b.w);
+    return w->exactlyZero() ? mZero() : MEdge{a.p, w};
+  }
+
+  const MEdge& x = reinterpret_cast<std::uintptr_t>(a.p) <
+                           reinterpret_cast<std::uintptr_t>(b.p)
+                       ? a
+                       : b;
+  const MEdge& y = (&x == &a) ? b : a;
+  if (const MEdge* cached = addMTable_.lookup(x, y)) {
+    return *cached;
+  }
+
+  assert(!x.p->isTerminal() && x.p->v == y.p->v);
+  const Qubit var = x.p->v;
+  std::array<MEdge, 4> r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    MEdge xe = x.p->e[i];
+    if (!xe.w->exactlyZero()) {
+      xe.w = clookup(*x.w * *xe.w);
+    }
+    MEdge ye = y.p->e[i];
+    if (!ye.w->exactlyZero()) {
+      ye.w = clookup(*y.w * *ye.w);
+    }
+    r[i] = addRec(xe, ye);
+  }
+  MEdge result = makeMNode(var, r);
+  addMTable_.insert(x, y, result);
+  return result;
+}
+
+// ------------------------------------------------------------ multiplication
+
+VEdge Package::multiply(const MEdge& m, const VEdge& v) {
+  ++stats_.matrixVectorMultiplications;
+  if (m.w->exactlyZero() || v.w->exactlyZero()) {
+    return vZero();
+  }
+  VEdge r = m.p->isTerminal() ? vOneTerminal() : mulNodesMV(m.p, v.p);
+  if (r.w->exactlyZero()) {
+    return vZero();
+  }
+  const CWeight w = clookup(*m.w * *v.w * *r.w);
+  return w->exactlyZero() ? vZero() : VEdge{r.p, w};
+}
+
+// Core of the paper's Fig. 3: four sub-products combined into two
+// intermediate vectors which are then added (Fig. 4). Weights of the operand
+// edges are factored out by the caller, so the cache is keyed on node pairs
+// and a cached product is reusable under any scalar prefactor.
+VEdge Package::mulNodesMV(MNode* a, VNode* b) {
+  ++stats_.recursiveMulVCalls;
+  pollAbort();
+  const MEdge ka{a, cone()};
+  const VEdge kb{b, cone()};
+  if (const VEdge* cached = mulMVTable_.lookup(ka, kb)) {
+    return *cached;
+  }
+
+  assert(!a->isTerminal() && a->v == b->v);
+  const Qubit var = a->v;
+  std::array<VEdge, 2> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    VEdge sum = vZero();
+    for (std::size_t k = 0; k < 2; ++k) {
+      const MEdge& me = a->e[2 * i + k];
+      const VEdge& ve = b->e[k];
+      if (me.w->exactlyZero() || ve.w->exactlyZero()) {
+        continue;
+      }
+      VEdge prod;
+      if (me.p->isTerminal()) {
+        assert(ve.p->isTerminal());
+        prod = {&vTerminal_, clookup(*me.w * *ve.w)};
+      } else {
+        const VEdge sub = mulNodesMV(me.p, ve.p);
+        prod = sub.w->exactlyZero()
+                   ? vZero()
+                   : VEdge{sub.p, clookup(*me.w * *ve.w * *sub.w)};
+      }
+      sum = sum.w->exactlyZero() ? prod : addRec(sum, prod);
+    }
+    r[i] = sum;
+  }
+  VEdge result = makeVNode(var, r);
+  mulMVTable_.insert(ka, kb, result);
+  return result;
+}
+
+MEdge Package::multiply(const MEdge& a, const MEdge& b) {
+  ++stats_.matrixMatrixMultiplications;
+  if (a.w->exactlyZero() || b.w->exactlyZero()) {
+    return mZero();
+  }
+  MEdge r = a.p->isTerminal() ? mOneTerminal() : mulNodesMM(a.p, b.p);
+  if (r.w->exactlyZero()) {
+    return mZero();
+  }
+  const CWeight w = clookup(*a.w * *b.w * *r.w);
+  return w->exactlyZero() ? mZero() : MEdge{r.p, w};
+}
+
+MEdge Package::mulNodesMM(MNode* a, MNode* b) {
+  ++stats_.recursiveMulMCalls;
+  pollAbort();
+  const MEdge ka{a, cone()};
+  const MEdge kb{b, cone()};
+  if (const MEdge* cached = mulMMTable_.lookup(ka, kb)) {
+    return *cached;
+  }
+
+  assert(!a->isTerminal() && a->v == b->v);
+  const Qubit var = a->v;
+  std::array<MEdge, 4> r;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      MEdge sum = mZero();
+      for (std::size_t k = 0; k < 2; ++k) {
+        const MEdge& ae = a->e[2 * i + k];
+        const MEdge& be = b->e[2 * k + j];
+        if (ae.w->exactlyZero() || be.w->exactlyZero()) {
+          continue;
+        }
+        MEdge prod;
+        if (ae.p->isTerminal()) {
+          assert(be.p->isTerminal());
+          prod = {&mTerminal_, clookup(*ae.w * *be.w)};
+        } else {
+          const MEdge sub = mulNodesMM(ae.p, be.p);
+          prod = sub.w->exactlyZero()
+                     ? mZero()
+                     : MEdge{sub.p, clookup(*ae.w * *be.w * *sub.w)};
+        }
+        sum = sum.w->exactlyZero() ? prod : addRec(sum, prod);
+      }
+      r[2 * i + j] = sum;
+    }
+  }
+  MEdge result = makeMNode(var, r);
+  mulMMTable_.insert(ka, kb, result);
+  return result;
+}
+
+// -------------------------------------------------------- kronecker product
+
+MEdge Package::kronecker(const MEdge& top, const MEdge& bottom) {
+  return kronRec(top, bottom);
+}
+
+VEdge Package::kronecker(const VEdge& top, const VEdge& bottom) {
+  return kronRec(top, bottom);
+}
+
+MEdge Package::kronRec(const MEdge& a, const MEdge& b) {
+  if (a.w->exactlyZero() || b.w->exactlyZero()) {
+    return mZero();
+  }
+  if (a.p->isTerminal()) {
+    return {b.p, clookup(*a.w * *b.w)};
+  }
+  if (const MEdge* cached = kronMTable_.lookup(a, b)) {
+    return *cached;
+  }
+  const Qubit shift = b.p->isTerminal() ? 0 : b.p->v + 1;
+  // kronRec consumes full edges, so the children's weights are folded in by
+  // the recursion; only a's own top weight remains to be applied.
+  std::array<MEdge, 4> children;
+  for (std::size_t i = 0; i < 4; ++i) {
+    children[i] = kronRec(a.p->e[i], b);
+  }
+  MEdge result = makeMNode(a.p->v + shift, children);
+  result = {result.p, clookup(*result.w * *a.w)};
+  kronMTable_.insert(a, b, result);
+  return result;
+}
+
+VEdge Package::kronRec(const VEdge& a, const VEdge& b) {
+  if (a.w->exactlyZero() || b.w->exactlyZero()) {
+    return vZero();
+  }
+  if (a.p->isTerminal()) {
+    return {b.p, clookup(*a.w * *b.w)};
+  }
+  if (const VEdge* cached = kronVTable_.lookup(a, b)) {
+    return *cached;
+  }
+  const Qubit shift = b.p->isTerminal() ? 0 : b.p->v + 1;
+  std::array<VEdge, 2> children;
+  for (std::size_t i = 0; i < 2; ++i) {
+    children[i] = kronRec(a.p->e[i], b);
+  }
+  VEdge result = makeVNode(a.p->v + shift, children);
+  result = {result.p, clookup(*result.w * *a.w)};
+  kronVTable_.insert(a, b, result);
+  return result;
+}
+
+// ------------------------------------------------------ conjugate transpose
+
+MEdge Package::conjugateTranspose(const MEdge& m) {
+  MEdge r = transposeRec({m.p, cone()});
+  const CWeight w = clookup(m.w->conj() * *r.w);
+  return w->exactlyZero() ? mZero() : MEdge{r.p, w};
+}
+
+MEdge Package::transposeRec(const MEdge& m) {
+  if (m.p->isTerminal()) {
+    return {m.p, m.w};
+  }
+  if (const MEdge* cached = transposeTable_.lookup(m)) {
+    return *cached;
+  }
+  std::array<MEdge, 4> children;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      const MEdge& src = m.p->e[2 * j + i];  // transpose: swap quadrant index
+      if (src.w->exactlyZero()) {
+        children[2 * i + j] = mZero();
+      } else {
+        MEdge sub = transposeRec({src.p, cone()});
+        children[2 * i + j] = {sub.p, clookup(src.w->conj() * *sub.w)};
+      }
+    }
+  }
+  MEdge result = makeMNode(m.p->v, children);
+  transposeTable_.insert(m, result);
+  return result;
+}
+
+// ------------------------------------------------- inner products and norms
+
+ComplexValue Package::innerProduct(const VEdge& a, const VEdge& b) {
+  if (a.w->exactlyZero() || b.w->exactlyZero()) {
+    return {0.0, 0.0};
+  }
+  return a.w->conj() * *b.w * innerProductRec(a.p, b.p);
+}
+
+ComplexValue Package::innerProductRec(VNode* a, VNode* b) {
+  if (a->isTerminal()) {
+    assert(b->isTerminal());
+    return {1.0, 0.0};
+  }
+  const VEdge ka{a, cone()};
+  const VEdge kb{b, cone()};
+  if (const CVal* cached = innerTable_.lookup(ka, kb)) {
+    return cached->v;
+  }
+  ComplexValue sum{0.0, 0.0};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const VEdge& ea = a->e[i];
+    const VEdge& eb = b->e[i];
+    if (ea.w->exactlyZero() || eb.w->exactlyZero()) {
+      continue;
+    }
+    sum += ea.w->conj() * *eb.w * innerProductRec(ea.p, eb.p);
+  }
+  innerTable_.insert(ka, kb, {sum});
+  return sum;
+}
+
+double Package::fidelity(const VEdge& a, const VEdge& b) {
+  return innerProduct(a, b).mag2();
+}
+
+ComplexValue Package::expectationValue(const MEdge& observable, const VEdge& v) {
+  return innerProduct(v, multiply(observable, v));
+}
+
+ComplexValue Package::trace(const MEdge& m) {
+  if (m.w->exactlyZero()) {
+    return {0.0, 0.0};
+  }
+  return *m.w * traceNode(m.p);
+}
+
+ComplexValue Package::traceNode(MNode* p) {
+  if (p->isTerminal()) {
+    return {1.0, 0.0};
+  }
+  const MEdge key{p, cone()};
+  if (const CVal* cached = traceTable_.lookup(key)) {
+    return cached->v;
+  }
+  ComplexValue sum{0.0, 0.0};
+  for (const std::size_t i : {0UL, 3UL}) {  // diagonal quadrants
+    const MEdge& e = p->e[i];
+    if (!e.w->exactlyZero()) {
+      sum += *e.w * traceNode(e.p);
+    }
+  }
+  traceTable_.insert(key, {sum});
+  return sum;
+}
+
+double Package::norm2(const VEdge& v) {
+  if (v.w->exactlyZero()) {
+    return 0.0;
+  }
+  return v.w->mag2() * normNode(v.p);
+}
+
+double Package::normNode(VNode* p) {
+  if (p->isTerminal()) {
+    return 1.0;
+  }
+  const VEdge key{p, cone()};
+  if (const DVal* cached = normTable_.lookup(key)) {
+    return cached->d;
+  }
+  double sum = 0.0;
+  for (const auto& e : p->e) {
+    if (!e.w->exactlyZero()) {
+      sum += e.w->mag2() * normNode(e.p);
+    }
+  }
+  normTable_.insert(key, {sum});
+  return sum;
+}
+
+// ---------------------------------------------------------------- inspection
+
+ComplexValue Package::getAmplitude(const VEdge& v, std::uint64_t index) {
+  ComplexValue amp = *v.w;
+  const VNode* p = v.p;
+  while (!p->isTerminal()) {
+    const VEdge& e = p->e[(index >> p->v) & 1U];
+    if (e.w->exactlyZero()) {
+      return {0.0, 0.0};
+    }
+    amp *= *e.w;
+    p = e.p;
+  }
+  return amp;
+}
+
+namespace {
+void fillVector(const VEdge& e, Qubit level, std::uint64_t offset,
+                ComplexValue factor, std::vector<ComplexValue>& out) {
+  if (e.w->exactlyZero()) {
+    return;
+  }
+  const ComplexValue f = factor * *e.w;
+  if (level < 0) {
+    out[offset] = f;
+    return;
+  }
+  const std::uint64_t half = 1ULL << level;
+  fillVector(e.p->e[0], level - 1, offset, f, out);
+  fillVector(e.p->e[1], level - 1, offset + half, f, out);
+}
+
+void fillMatrix(const MEdge& e, Qubit level, std::uint64_t rowOff,
+                std::uint64_t colOff, std::uint64_t dim, ComplexValue factor,
+                std::vector<ComplexValue>& out) {
+  if (e.w->exactlyZero()) {
+    return;
+  }
+  const ComplexValue f = factor * *e.w;
+  if (level < 0) {
+    out[rowOff * dim + colOff] = f;
+    return;
+  }
+  const std::uint64_t half = 1ULL << level;
+  for (std::size_t i = 0; i < 4; ++i) {
+    fillMatrix(e.p->e[i], level - 1, rowOff + ((i & 2U) != 0 ? half : 0),
+               colOff + ((i & 1U) != 0 ? half : 0), dim, f, out);
+  }
+}
+}  // namespace
+
+std::vector<ComplexValue> Package::getVector(const VEdge& v) {
+  std::vector<ComplexValue> out(1ULL << numQubits_, ComplexValue{});
+  fillVector(v, static_cast<Qubit>(numQubits_) - 1, 0, {1.0, 0.0}, out);
+  return out;
+}
+
+std::vector<ComplexValue> Package::getMatrix(const MEdge& m) {
+  const std::uint64_t dim = 1ULL << numQubits_;
+  std::vector<ComplexValue> out(dim * dim, ComplexValue{});
+  fillMatrix(m, static_cast<Qubit>(numQubits_) - 1, 0, 0, dim, {1.0, 0.0}, out);
+  return out;
+}
+
+namespace {
+template <std::size_t Arity>
+void countNodes(const Node<Arity>* p, std::unordered_set<const void*>& seen) {
+  if (!seen.insert(p).second) {
+    return;
+  }
+  if (p->isTerminal()) {
+    return;
+  }
+  for (const auto& e : p->e) {
+    countNodes(e.p, seen);
+  }
+}
+}  // namespace
+
+std::size_t Package::size(const VEdge& v) const {
+  std::unordered_set<const void*> seen;
+  countNodes(v.p, seen);
+  return seen.size();
+}
+
+std::size_t Package::size(const MEdge& m) const {
+  std::unordered_set<const void*> seen;
+  countNodes(m.p, seen);
+  return seen.size();
+}
+
+// --------------------------------------------------------------- measurement
+
+std::uint64_t Package::measureAll(VEdge& v, std::mt19937_64& rng, bool collapse) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::uint64_t result = 0;
+  const VNode* p = v.p;
+  while (p != nullptr && !p->isTerminal()) {
+    const double m0 =
+        p->e[0].w->exactlyZero() ? 0.0 : p->e[0].w->mag2() * normNode(p->e[0].p);
+    const double m1 =
+        p->e[1].w->exactlyZero() ? 0.0 : p->e[1].w->mag2() * normNode(p->e[1].p);
+    const double p1 = m1 / (m0 + m1);
+    const bool one = dist(rng) < p1;
+    if (one) {
+      result |= 1ULL << p->v;
+    }
+    p = p->e[one ? 1 : 0].p;
+  }
+  if (collapse) {
+    VEdge collapsed = makeBasisState(result);
+    incRef(collapsed);
+    decRef(v);
+    v = collapsed;
+  }
+  return result;
+}
+
+double Package::probabilityOfOne(const VEdge& v, Qubit q) {
+  if (v.w->exactlyZero()) {
+    return 0.0;
+  }
+  // Mass of all basis states with bit q set, divided by the total norm.
+  std::unordered_map<const VNode*, double> memo;
+  auto massOne = [&](auto&& self, const VNode* p) -> double {
+    if (const auto it = memo.find(p); it != memo.end()) {
+      return it->second;
+    }
+    double m = 0.0;
+    if (p->v == q) {
+      const VEdge& e1 = p->e[1];
+      m = e1.w->exactlyZero() ? 0.0 : e1.w->mag2() * normNode(e1.p);
+    } else {
+      assert(p->v > q);
+      for (const auto& e : p->e) {
+        if (!e.w->exactlyZero()) {
+          m += e.w->mag2() * self(self, e.p);
+        }
+      }
+    }
+    memo.emplace(p, m);
+    return m;
+  };
+  const double total = norm2(v);
+  return v.w->mag2() * massOne(massOne, v.p) / total;
+}
+
+std::map<std::uint64_t, std::size_t> Package::sampleCounts(const VEdge& v,
+                                                           std::size_t shots,
+                                                           std::mt19937_64& rng) {
+  std::map<std::uint64_t, std::size_t> histogram;
+  VEdge state = v;  // measureAll without collapse leaves the edge untouched
+  for (std::size_t s = 0; s < shots; ++s) {
+    ++histogram[measureAll(state, rng, /*collapse=*/false)];
+  }
+  return histogram;
+}
+
+int Package::measureOneCollapsing(VEdge& v, Qubit q, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const double p1 = probabilityOfOne(v, q);
+  const bool one = dist(rng) < p1;
+  const double prob = one ? p1 : 1.0 - p1;
+
+  static constexpr GateMatrix kProject0{
+      ComplexValue{1, 0}, ComplexValue{0, 0}, ComplexValue{0, 0}, ComplexValue{0, 0}};
+  static constexpr GateMatrix kProject1{
+      ComplexValue{0, 0}, ComplexValue{0, 0}, ComplexValue{0, 0}, ComplexValue{1, 0}};
+  const MEdge projector = makeGateDD(one ? kProject1 : kProject0, q);
+  VEdge projected = multiply(projector, v);
+  projected.w = clookup(*projected.w * (1.0 / std::sqrt(prob)));
+  incRef(projected);
+  decRef(v);
+  v = projected;
+  return one ? 1 : 0;
+}
+
+}  // namespace ddsim::dd

@@ -1,0 +1,50 @@
+#include "dd/pauli.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace ddsim::dd {
+
+namespace {
+GateMatrix pauliMatrix(char p) {
+  switch (p) {
+    case 'I':
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {1, 0}};
+    case 'X':
+      return {ComplexValue{0, 0}, {1, 0}, {1, 0}, {0, 0}};
+    case 'Y':
+      return {ComplexValue{0, 0}, {0, -1}, {0, 1}, {0, 0}};
+    case 'Z':
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {-1, 0}};
+    default:
+      throw std::invalid_argument(std::string("invalid Pauli character '") + p +
+                                  "'");
+  }
+}
+}  // namespace
+
+MEdge makePauliStringDD(Package& pkg, const std::string& pauli) {
+  if (pauli.size() != pkg.qubits()) {
+    throw std::invalid_argument("Pauli string length must equal qubit count");
+  }
+  // Single-qubit factors act on disjoint qubits, so the product of their
+  // identity-padded DDs is exactly the tensor product.
+  MEdge result = pkg.makeIdent();
+  for (std::size_t i = 0; i < pauli.size(); ++i) {
+    const char p =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(pauli[i])));
+    if (p == 'I') {
+      continue;
+    }
+    const auto target = static_cast<Qubit>(pauli.size() - 1 - i);
+    result = pkg.multiply(pkg.makeGateDD(pauliMatrix(p), target), result);
+  }
+  return result;
+}
+
+ComplexValue pauliExpectation(Package& pkg, const std::string& pauli,
+                              const VEdge& v) {
+  return pkg.expectationValue(makePauliStringDD(pkg, pauli), v);
+}
+
+}  // namespace ddsim::dd

@@ -1,0 +1,29 @@
+/// \file pauli.hpp
+/// \brief Pauli-string observables as matrix DDs.
+///
+/// A Pauli string like "ZXIY" denotes a tensor product of single-qubit
+/// operators; its matrix DD is linear in the number of qubits, which makes
+/// expectation values <psi|P|psi> cheap to evaluate on DD states — one of
+/// the standard applications of the matrix-matrix machinery this package
+/// provides.
+
+#pragma once
+
+#include <string>
+
+#include "dd/package.hpp"
+
+namespace ddsim::dd {
+
+/// Matrix DD of the Pauli string \p pauli. The string is read right to
+/// left: the last character acts on qubit 0. Characters: I, X, Y, Z
+/// (case-insensitive). The string must have exactly pkg.qubits() characters.
+MEdge makePauliStringDD(Package& pkg, const std::string& pauli);
+
+/// <v|P|v> for the Pauli string \p pauli; the imaginary part vanishes for
+/// normalized states (Pauli strings are Hermitian) and is returned for
+/// diagnostic purposes.
+ComplexValue pauliExpectation(Package& pkg, const std::string& pauli,
+                              const VEdge& v);
+
+}  // namespace ddsim::dd

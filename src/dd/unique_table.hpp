@@ -1,0 +1,113 @@
+/// \file unique_table.hpp
+/// \brief Per-variable hash tables enforcing DD canonicity.
+///
+/// Shared nodes are what give decision diagrams their compactness (paper
+/// Section II-B): before a new node becomes part of a DD it is looked up
+/// here; if a structurally identical node already exists, the existing node
+/// is reused and the candidate is recycled.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "dd/memory_manager.hpp"
+#include "dd/node.hpp"
+
+namespace ddsim::dd {
+
+template <typename NodeT>
+class UniqueTable {
+ public:
+  static constexpr std::size_t kBucketsPerVar = 1U << 15;
+
+  explicit UniqueTable(MemoryManager<NodeT>& mm) : mm_(&mm) {}
+
+  UniqueTable(const UniqueTable&) = delete;
+  UniqueTable& operator=(const UniqueTable&) = delete;
+
+  /// Make room for variables 0..n-1.
+  void resize(std::size_t numVars) {
+    if (numVars > tables_.size()) {
+      tables_.resize(numVars);
+      for (auto& t : tables_) {
+        if (t.empty()) {
+          t.resize(kBucketsPerVar, nullptr);
+        }
+      }
+    }
+  }
+
+  /// Canonicalize: return the unique node equal to *candidate. On a hit the
+  /// candidate is recycled into the memory manager; on a miss it is inserted.
+  NodeT* lookup(NodeT* candidate) {
+    assert(candidate->v >= 0 &&
+           static_cast<std::size_t>(candidate->v) < tables_.size());
+    auto& buckets = tables_[static_cast<std::size_t>(candidate->v)];
+    const std::size_t idx = hashNode(*candidate) & (kBucketsPerVar - 1);
+    for (NodeT* n = buckets[idx]; n != nullptr; n = n->next) {
+      if (sameChildren(*n, *candidate)) {
+        ++hits_;
+        mm_->free(candidate);
+        return n;
+      }
+    }
+    ++misses_;
+    candidate->next = buckets[idx];
+    buckets[idx] = candidate;
+    ++liveCount_;
+    return candidate;
+  }
+
+  /// Sweep: remove and recycle every node with a zero reference count.
+  /// Returns the number of collected nodes. The caller must ensure that
+  /// nothing outside ref-counted roots points at unreferenced nodes (i.e.
+  /// compute tables are flushed right after).
+  std::size_t garbageCollect() {
+    std::size_t collected = 0;
+    for (auto& buckets : tables_) {
+      for (auto& head : buckets) {
+        NodeT** link = &head;
+        while (*link != nullptr) {
+          NodeT* n = *link;
+          if (n->ref == 0) {
+            *link = n->next;
+            mm_->free(n);
+            ++collected;
+          } else {
+            link = &n->next;
+          }
+        }
+      }
+    }
+    liveCount_ -= collected;
+    return collected;
+  }
+
+  /// Nodes currently stored across all variables.
+  [[nodiscard]] std::size_t liveCount() const noexcept { return liveCount_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+  /// Visit every stored node (used by tests and diagnostics).
+  template <typename F>
+  void forEach(F&& f) const {
+    for (const auto& buckets : tables_) {
+      for (NodeT* head : buckets) {
+        for (NodeT* n = head; n != nullptr; n = n->next) {
+          f(n);
+        }
+      }
+    }
+  }
+
+ private:
+  MemoryManager<NodeT>* mm_;
+  std::vector<std::vector<NodeT*>> tables_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t liveCount_ = 0;
+};
+
+}  // namespace ddsim::dd

@@ -1,0 +1,189 @@
+#include "ir/gate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ddsim::ir {
+
+using dd::ComplexValue;
+using dd::GateMatrix;
+
+std::size_t gateNumParams(GateType t) noexcept {
+  switch (t) {
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::Phase:
+    case GateType::GPhase:
+      return 1;
+    case GateType::U:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::size_t gateNumTargets(GateType t) noexcept {
+  return t == GateType::Swap ? 2 : 1;
+}
+
+std::string gateName(GateType t) {
+  switch (t) {
+    case GateType::I: return "id";
+    case GateType::X: return "x";
+    case GateType::Y: return "y";
+    case GateType::Z: return "z";
+    case GateType::H: return "h";
+    case GateType::S: return "s";
+    case GateType::Sdg: return "sdg";
+    case GateType::T: return "t";
+    case GateType::Tdg: return "tdg";
+    case GateType::SX: return "sx";
+    case GateType::SXdg: return "sxdg";
+    case GateType::SY: return "sy";
+    case GateType::SYdg: return "sydg";
+    case GateType::RX: return "rx";
+    case GateType::RY: return "ry";
+    case GateType::RZ: return "rz";
+    case GateType::Phase: return "p";
+    case GateType::GPhase: return "gphase";
+    case GateType::U: return "u";
+    case GateType::Swap: return "swap";
+  }
+  return "?";
+}
+
+std::optional<GateType> gateFromName(const std::string& name) {
+  static const std::unordered_map<std::string, GateType> kMap = {
+      {"id", GateType::I},     {"i", GateType::I},
+      {"x", GateType::X},      {"y", GateType::Y},
+      {"z", GateType::Z},      {"h", GateType::H},
+      {"s", GateType::S},      {"sdg", GateType::Sdg},
+      {"t", GateType::T},      {"tdg", GateType::Tdg},
+      {"sx", GateType::SX},    {"sxdg", GateType::SXdg},
+      {"sy", GateType::SY},    {"sydg", GateType::SYdg},
+      {"rx", GateType::RX},    {"ry", GateType::RY},
+      {"rz", GateType::RZ},    {"p", GateType::Phase},
+      {"u1", GateType::Phase}, {"u3", GateType::U},
+      {"u", GateType::U},      {"swap", GateType::Swap},
+  };
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+GateMatrix gateMatrix(GateType t, const double* params) {
+  constexpr double kInvSqrt2 = std::numbers::sqrt2 / 2.0;
+  switch (t) {
+    case GateType::I:
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {1, 0}};
+    case GateType::X:
+      return {ComplexValue{0, 0}, {1, 0}, {1, 0}, {0, 0}};
+    case GateType::Y:
+      return {ComplexValue{0, 0}, {0, -1}, {0, 1}, {0, 0}};
+    case GateType::Z:
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {-1, 0}};
+    case GateType::H:
+      return {ComplexValue{kInvSqrt2, 0}, {kInvSqrt2, 0}, {kInvSqrt2, 0},
+              {-kInvSqrt2, 0}};
+    case GateType::S:
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {0, 1}};
+    case GateType::Sdg:
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {0, -1}};
+    case GateType::T:
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {kInvSqrt2, kInvSqrt2}};
+    case GateType::Tdg:
+      return {ComplexValue{1, 0}, {0, 0}, {0, 0}, {kInvSqrt2, -kInvSqrt2}};
+    case GateType::SX:
+      return {ComplexValue{0.5, 0.5}, {0.5, -0.5}, {0.5, -0.5}, {0.5, 0.5}};
+    case GateType::SXdg:
+      return {ComplexValue{0.5, -0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.5, -0.5}};
+    case GateType::SY:
+      return {ComplexValue{0.5, 0.5}, {-0.5, -0.5}, {0.5, 0.5}, {0.5, 0.5}};
+    case GateType::SYdg:
+      return {ComplexValue{0.5, -0.5}, {0.5, -0.5}, {-0.5, 0.5}, {0.5, -0.5}};
+    case GateType::RX: {
+      const double c = std::cos(params[0] / 2);
+      const double s = std::sin(params[0] / 2);
+      return {ComplexValue{c, 0}, {0, -s}, {0, -s}, {c, 0}};
+    }
+    case GateType::RY: {
+      const double c = std::cos(params[0] / 2);
+      const double s = std::sin(params[0] / 2);
+      return {ComplexValue{c, 0}, {-s, 0}, {s, 0}, {c, 0}};
+    }
+    case GateType::RZ: {
+      const double c = std::cos(params[0] / 2);
+      const double s = std::sin(params[0] / 2);
+      return {ComplexValue{c, -s}, {0, 0}, {0, 0}, {c, s}};
+    }
+    case GateType::Phase: {
+      return {ComplexValue{1, 0},
+              {0, 0},
+              {0, 0},
+              {std::cos(params[0]), std::sin(params[0])}};
+    }
+    case GateType::GPhase: {
+      const ComplexValue w{std::cos(params[0]), std::sin(params[0])};
+      return {w, {0, 0}, {0, 0}, w};
+    }
+    case GateType::U: {
+      const double theta = params[0];
+      const double phi = params[1];
+      const double lambda = params[2];
+      const double c = std::cos(theta / 2);
+      const double s = std::sin(theta / 2);
+      return {ComplexValue{c, 0},
+              {-std::cos(lambda) * s, -std::sin(lambda) * s},
+              {std::cos(phi) * s, std::sin(phi) * s},
+              {std::cos(phi + lambda) * c, std::sin(phi + lambda) * c}};
+    }
+    case GateType::Swap:
+      throw std::invalid_argument("gateMatrix: Swap has no single-qubit matrix");
+  }
+  throw std::invalid_argument("gateMatrix: unknown gate type");
+}
+
+InverseGate gateInverse(GateType t, const double* params) {
+  switch (t) {
+    case GateType::I:
+    case GateType::X:
+    case GateType::Y:
+    case GateType::Z:
+    case GateType::H:
+    case GateType::Swap:
+      return {t, {0, 0, 0}};
+    case GateType::S:
+      return {GateType::Sdg, {0, 0, 0}};
+    case GateType::Sdg:
+      return {GateType::S, {0, 0, 0}};
+    case GateType::T:
+      return {GateType::Tdg, {0, 0, 0}};
+    case GateType::Tdg:
+      return {GateType::T, {0, 0, 0}};
+    case GateType::SX:
+      return {GateType::SXdg, {0, 0, 0}};
+    case GateType::SXdg:
+      return {GateType::SX, {0, 0, 0}};
+    case GateType::SY:
+      return {GateType::SYdg, {0, 0, 0}};
+    case GateType::SYdg:
+      return {GateType::SY, {0, 0, 0}};
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::Phase:
+    case GateType::GPhase:
+      return {t, {-params[0], 0, 0}};
+    case GateType::U:
+      // U(theta, phi, lambda)^-1 = U(-theta, -lambda, -phi)
+      return {t, {-params[0], -params[2], -params[1]}};
+  }
+  throw std::invalid_argument("gateInverse: unknown gate type");
+}
+
+}  // namespace ddsim::ir

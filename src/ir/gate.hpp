@@ -1,0 +1,69 @@
+/// \file gate.hpp
+/// \brief Elementary gate set and their 2x2 unitaries.
+///
+/// The set covers everything the paper's benchmarks need: the textbook
+/// single-qubit gates (Section II-A), the rotation/phase family used by the
+/// QFT and the Draper adders inside Beauregard's Shor circuit, and the
+/// sqrt(X)/sqrt(Y)/T gates of the Google supremacy circuits. Controls are
+/// not part of the gate type: any gate can carry an arbitrary set of
+/// positive/negative controls (see ir::StandardOperation).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "dd/package.hpp"
+
+namespace ddsim::ir {
+
+enum class GateType {
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,    ///< sqrt(X)
+  SXdg,  ///< sqrt(X)^dagger
+  SY,    ///< sqrt(Y)
+  SYdg,  ///< sqrt(Y)^dagger
+  RX,    ///< exp(-i X theta/2), one parameter
+  RY,    ///< exp(-i Y theta/2), one parameter
+  RZ,    ///< exp(-i Z theta/2), one parameter
+  Phase, ///< diag(1, e^{i theta}), one parameter
+  GPhase,///< global phase e^{i theta} I, one parameter (exact gate fusion)
+  U,     ///< generic single-qubit unitary U(theta, phi, lambda)
+  Swap,  ///< two-target; lowered to three CX by the simulators
+};
+
+/// Number of real parameters the gate type expects.
+[[nodiscard]] std::size_t gateNumParams(GateType t) noexcept;
+
+/// Number of target qubits (1, or 2 for Swap).
+[[nodiscard]] std::size_t gateNumTargets(GateType t) noexcept;
+
+/// Lower-case mnemonic ("x", "sdg", "rx", ...).
+[[nodiscard]] std::string gateName(GateType t);
+
+/// Inverse of gateName; empty optional for unknown names. Accepts the
+/// OpenQASM aliases "p"/"u1" (Phase), "u3" (U) and "id" (I).
+[[nodiscard]] std::optional<GateType> gateFromName(const std::string& name);
+
+/// The 2x2 unitary of a single-target gate. \p params must have
+/// gateNumParams(t) entries. Throws std::invalid_argument for Swap.
+[[nodiscard]] dd::GateMatrix gateMatrix(GateType t, const double* params = nullptr);
+
+/// The gate type realizing the inverse, together with adjusted parameters.
+/// Used by circuit builders that emit un-computation blocks.
+struct InverseGate {
+  GateType type;
+  double params[3];
+};
+[[nodiscard]] InverseGate gateInverse(GateType t, const double* params = nullptr);
+
+}  // namespace ddsim::ir

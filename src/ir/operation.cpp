@@ -1,0 +1,206 @@
+#include "ir/operation.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddsim::ir {
+
+// ---------------------------------------------------------- StandardOperation
+
+StandardOperation::StandardOperation(GateType type, std::vector<Qubit> targets,
+                                     Controls controls, std::vector<double> params)
+    : type_(type),
+      targets_(std::move(targets)),
+      controls_(std::move(controls)),
+      params_(std::move(params)) {
+  if (targets_.size() != gateNumTargets(type_)) {
+    throw std::invalid_argument("StandardOperation: wrong number of targets for " +
+                                gateName(type_));
+  }
+  if (params_.size() != gateNumParams(type_)) {
+    throw std::invalid_argument("StandardOperation: wrong number of parameters for " +
+                                gateName(type_));
+  }
+  for (const auto& c : controls_) {
+    if (std::find(targets_.begin(), targets_.end(), c.qubit) != targets_.end()) {
+      throw std::invalid_argument("StandardOperation: control equals target");
+    }
+  }
+  std::sort(controls_.begin(), controls_.end());
+}
+
+dd::GateMatrix StandardOperation::matrix() const {
+  return gateMatrix(type_, params_.empty() ? nullptr : params_.data());
+}
+
+StandardOperation StandardOperation::inverse() const {
+  const InverseGate inv =
+      gateInverse(type_, params_.empty() ? nullptr : params_.data());
+  std::vector<double> invParams(gateNumParams(inv.type));
+  for (std::size_t i = 0; i < invParams.size(); ++i) {
+    invParams[i] = inv.params[i];
+  }
+  return {inv.type, targets_, controls_, std::move(invParams)};
+}
+
+Qubit StandardOperation::maxQubit() const noexcept {
+  Qubit m = -1;
+  for (const Qubit t : targets_) {
+    m = std::max(m, t);
+  }
+  for (const auto& c : controls_) {
+    m = std::max(m, c.qubit);
+  }
+  return m;
+}
+
+std::string StandardOperation::toString() const {
+  std::ostringstream ss;
+  ss << gateName(type_);
+  if (!params_.empty()) {
+    ss << "(";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      ss << (i != 0 ? "," : "") << params_[i];
+    }
+    ss << ")";
+  }
+  ss << " ";
+  bool first = true;
+  for (const auto& c : controls_) {
+    ss << (first ? "" : ", ") << (c.positive ? "c" : "!c") << "q" << c.qubit;
+    first = false;
+  }
+  for (const Qubit t : targets_) {
+    ss << (first ? "" : ", ") << "q" << t;
+    first = false;
+  }
+  return ss.str();
+}
+
+// ----------------------------------------------------------- Measure / Reset
+
+std::string MeasureOperation::toString() const {
+  std::ostringstream ss;
+  ss << "measure q" << qubit_ << " -> c" << clbit_;
+  return ss.str();
+}
+
+std::string ResetOperation::toString() const {
+  std::ostringstream ss;
+  ss << "reset q" << qubit_;
+  return ss.str();
+}
+
+// ---------------------------------------------------------- CompoundOperation
+
+CompoundOperation::CompoundOperation(std::vector<std::unique_ptr<Operation>> body,
+                                     std::size_t repetitions, std::string label)
+    : body_(std::move(body)), repetitions_(repetitions), label_(std::move(label)) {
+  if (repetitions_ == 0) {
+    throw std::invalid_argument("CompoundOperation: zero repetitions");
+  }
+}
+
+CompoundOperation::CompoundOperation(const CompoundOperation& other)
+    : Operation(other), repetitions_(other.repetitions_), label_(other.label_) {
+  body_.reserve(other.body_.size());
+  for (const auto& op : other.body_) {
+    body_.push_back(op->clone());
+  }
+}
+
+CompoundOperation& CompoundOperation::operator=(const CompoundOperation& other) {
+  if (this != &other) {
+    repetitions_ = other.repetitions_;
+    label_ = other.label_;
+    body_.clear();
+    body_.reserve(other.body_.size());
+    for (const auto& op : other.body_) {
+      body_.push_back(op->clone());
+    }
+  }
+  return *this;
+}
+
+std::size_t CompoundOperation::flatGateCount() const noexcept {
+  std::size_t inner = 0;
+  for (const auto& op : body_) {
+    inner += op->flatGateCount();
+  }
+  return inner * repetitions_;
+}
+
+Qubit CompoundOperation::maxQubit() const noexcept {
+  Qubit m = -1;
+  for (const auto& op : body_) {
+    m = std::max(m, op->maxQubit());
+  }
+  return m;
+}
+
+std::string CompoundOperation::toString() const {
+  std::ostringstream ss;
+  ss << "repeat x" << repetitions_;
+  if (!label_.empty()) {
+    ss << " [" << label_ << "]";
+  }
+  ss << " { " << body_.size() << " ops }";
+  return ss.str();
+}
+
+// ------------------------------------------------ ClassicControlledOperation
+
+std::string ClassicControlledOperation::toString() const {
+  std::ostringstream ss;
+  ss << "if (c" << clbit_ << " == " << (expected_ ? 1 : 0) << ") "
+     << op_.toString();
+  return ss.str();
+}
+
+// ------------------------------------------------------------ OracleOperation
+
+OracleOperation::OracleOperation(std::string name, std::size_t numTargets,
+                                 OracleFunction fn, Controls controls)
+    : name_(std::move(name)),
+      numTargets_(numTargets),
+      fn_(std::move(fn)),
+      controls_(std::move(controls)) {
+  if (numTargets_ == 0 || numTargets_ > 62) {
+    throw std::invalid_argument("OracleOperation: bad target count");
+  }
+  for (const auto& c : controls_) {
+    if (c.qubit < static_cast<Qubit>(numTargets_)) {
+      throw std::invalid_argument(
+          "OracleOperation: controls must lie above the target register");
+    }
+  }
+  std::sort(controls_.begin(), controls_.end());
+}
+
+Qubit OracleOperation::maxQubit() const noexcept {
+  Qubit m = static_cast<Qubit>(numTargets_) - 1;
+  for (const auto& c : controls_) {
+    m = std::max(m, c.qubit);
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> OracleOperation::permutationTable() const {
+  std::vector<std::uint64_t> table(1ULL << numTargets_);
+  for (std::uint64_t x = 0; x < table.size(); ++x) {
+    table[x] = fn_(x);
+  }
+  return table;
+}
+
+std::string OracleOperation::toString() const {
+  std::ostringstream ss;
+  ss << "oracle " << name_ << " on q0..q" << (numTargets_ - 1);
+  for (const auto& c : controls_) {
+    ss << (c.positive ? " cq" : " !cq") << c.qubit;
+  }
+  return ss.str();
+}
+
+}  // namespace ddsim::ir

@@ -1,0 +1,230 @@
+/// \file operation.hpp
+/// \brief Circuit operations: standard (controlled) gates, measurements,
+///        resets, barriers, repeated compound blocks and oracle operations.
+///
+/// Two of the operation kinds exist specifically for the paper's
+/// knowledge-based strategies (Section IV-B):
+///  * CompoundOperation marks a sub-circuit repeated r times (e.g. a Grover
+///    iteration). The *DD-repeating* strategy combines the block into a
+///    single matrix DD once and re-applies it, without any further
+///    matrix-matrix multiplications.
+///  * OracleOperation carries the Boolean functionality of an oracle as a
+///    classical bijection instead of elementary gates. The *DD-construct*
+///    strategy turns it into a permutation-matrix DD directly.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dd/package.hpp"
+#include "ir/gate.hpp"
+
+namespace ddsim::ir {
+
+using dd::Control;
+using dd::Controls;
+using dd::Qubit;
+
+enum class OpKind {
+  Standard,
+  Measure,
+  Reset,
+  Barrier,
+  Compound,
+  ClassicControlled,
+  Oracle,
+};
+
+class Operation {
+ public:
+  Operation() = default;
+  Operation(const Operation&) = default;
+  Operation& operator=(const Operation&) = default;
+  virtual ~Operation() = default;
+
+  [[nodiscard]] virtual OpKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::unique_ptr<Operation> clone() const = 0;
+  [[nodiscard]] virtual std::string toString() const = 0;
+  /// Number of elementary unitary gates after flattening compound blocks
+  /// (Swap counts as one; measurements/resets/barriers count as zero).
+  [[nodiscard]] virtual std::size_t flatGateCount() const noexcept { return 1; }
+  /// Largest qubit index touched (-1 if none).
+  [[nodiscard]] virtual Qubit maxQubit() const noexcept = 0;
+};
+
+/// A gate from the elementary set, on one target (two for Swap), with an
+/// arbitrary set of positive/negative controls.
+class StandardOperation final : public Operation {
+ public:
+  StandardOperation(GateType type, std::vector<Qubit> targets,
+                    Controls controls = {}, std::vector<double> params = {});
+
+  [[nodiscard]] OpKind kind() const noexcept override { return OpKind::Standard; }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<StandardOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override;
+  [[nodiscard]] Qubit maxQubit() const noexcept override;
+
+  [[nodiscard]] GateType type() const noexcept { return type_; }
+  [[nodiscard]] const std::vector<Qubit>& targets() const noexcept { return targets_; }
+  [[nodiscard]] const Controls& controls() const noexcept { return controls_; }
+  [[nodiscard]] const std::vector<double>& params() const noexcept { return params_; }
+  /// The 2x2 matrix for single-target gates.
+  [[nodiscard]] dd::GateMatrix matrix() const;
+  /// A StandardOperation realizing the inverse gate (same targets/controls).
+  [[nodiscard]] StandardOperation inverse() const;
+
+ private:
+  GateType type_;
+  std::vector<Qubit> targets_;
+  Controls controls_;
+  std::vector<double> params_;
+};
+
+class MeasureOperation final : public Operation {
+ public:
+  MeasureOperation(Qubit qubit, std::size_t clbit) : qubit_(qubit), clbit_(clbit) {}
+
+  [[nodiscard]] OpKind kind() const noexcept override { return OpKind::Measure; }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<MeasureOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override;
+  [[nodiscard]] std::size_t flatGateCount() const noexcept override { return 0; }
+  [[nodiscard]] Qubit maxQubit() const noexcept override { return qubit_; }
+
+  [[nodiscard]] Qubit qubit() const noexcept { return qubit_; }
+  [[nodiscard]] std::size_t clbit() const noexcept { return clbit_; }
+
+ private:
+  Qubit qubit_;
+  std::size_t clbit_;
+};
+
+/// Measure-and-restore-to-|0>: measurement followed by a conditional X.
+class ResetOperation final : public Operation {
+ public:
+  explicit ResetOperation(Qubit qubit) : qubit_(qubit) {}
+
+  [[nodiscard]] OpKind kind() const noexcept override { return OpKind::Reset; }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<ResetOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override;
+  [[nodiscard]] std::size_t flatGateCount() const noexcept override { return 0; }
+  [[nodiscard]] Qubit maxQubit() const noexcept override { return qubit_; }
+
+  [[nodiscard]] Qubit qubit() const noexcept { return qubit_; }
+
+ private:
+  Qubit qubit_;
+};
+
+/// Scheduling fence: strategies flush any accumulated operation product here.
+class BarrierOperation final : public Operation {
+ public:
+  [[nodiscard]] OpKind kind() const noexcept override { return OpKind::Barrier; }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<BarrierOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override { return "barrier"; }
+  [[nodiscard]] std::size_t flatGateCount() const noexcept override { return 0; }
+  [[nodiscard]] Qubit maxQubit() const noexcept override { return -1; }
+};
+
+/// A sub-circuit repeated `repetitions` times (Grover iterations, trotter
+/// steps, ...). Simulators may inline it or exploit the repetition.
+class CompoundOperation final : public Operation {
+ public:
+  CompoundOperation(std::vector<std::unique_ptr<Operation>> body,
+                    std::size_t repetitions, std::string label = "");
+  CompoundOperation(const CompoundOperation& other);
+  CompoundOperation& operator=(const CompoundOperation& other);
+
+  [[nodiscard]] OpKind kind() const noexcept override { return OpKind::Compound; }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<CompoundOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override;
+  [[nodiscard]] std::size_t flatGateCount() const noexcept override;
+  [[nodiscard]] Qubit maxQubit() const noexcept override;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Operation>>& body() const noexcept {
+    return body_;
+  }
+  [[nodiscard]] std::size_t repetitions() const noexcept { return repetitions_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+ private:
+  std::vector<std::unique_ptr<Operation>> body_;
+  std::size_t repetitions_;
+  std::string label_;
+};
+
+/// A gate applied only if a previously measured classical bit has the
+/// expected value (semiclassical inverse QFT in Beauregard's Shor circuit).
+class ClassicControlledOperation final : public Operation {
+ public:
+  ClassicControlledOperation(StandardOperation op, std::size_t clbit,
+                             bool expectedValue = true)
+      : op_(std::move(op)), clbit_(clbit), expected_(expectedValue) {}
+
+  [[nodiscard]] OpKind kind() const noexcept override {
+    return OpKind::ClassicControlled;
+  }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<ClassicControlledOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override;
+  [[nodiscard]] Qubit maxQubit() const noexcept override { return op_.maxQubit(); }
+
+  [[nodiscard]] const StandardOperation& op() const noexcept { return op_; }
+  [[nodiscard]] std::size_t clbit() const noexcept { return clbit_; }
+  [[nodiscard]] bool expectedValue() const noexcept { return expected_; }
+
+ private:
+  StandardOperation op_;
+  std::size_t clbit_;
+  bool expected_;
+};
+
+/// Classical bijection on the packed value of `numTargets` qubits.
+using OracleFunction = std::function<std::uint64_t(std::uint64_t)>;
+
+/// An oracle: unitary defined by a classical bijection f over the low
+/// `numTargets` qubits (targets are qubits 0 .. numTargets-1 by convention),
+/// optionally controlled by qubits above.
+///
+/// |c>|x> -> |c>|f(x)> when all controls are satisfied, identity otherwise.
+class OracleOperation final : public Operation {
+ public:
+  OracleOperation(std::string name, std::size_t numTargets, OracleFunction fn,
+                  Controls controls = {});
+
+  [[nodiscard]] OpKind kind() const noexcept override { return OpKind::Oracle; }
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<OracleOperation>(*this);
+  }
+  [[nodiscard]] std::string toString() const override;
+  [[nodiscard]] Qubit maxQubit() const noexcept override;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t numTargets() const noexcept { return numTargets_; }
+  [[nodiscard]] const Controls& controls() const noexcept { return controls_; }
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const { return fn_(x); }
+  /// Materialize the full permutation table (size 2^numTargets).
+  [[nodiscard]] std::vector<std::uint64_t> permutationTable() const;
+
+ private:
+  std::string name_;
+  std::size_t numTargets_;
+  OracleFunction fn_;
+  Controls controls_;
+};
+
+}  // namespace ddsim::ir

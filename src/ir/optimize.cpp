@@ -1,0 +1,284 @@
+#include "ir/optimize.hpp"
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+namespace ddsim::ir {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+using Cx = std::complex<double>;
+
+std::array<Cx, 4> toStd(const dd::GateMatrix& m) {
+  return {m[0].toStd(), m[1].toStd(), m[2].toStd(), m[3].toStd()};
+}
+
+/// All qubits an operation touches (targets + controls).
+std::vector<Qubit> touchedQubits(const StandardOperation& op) {
+  std::vector<Qubit> qs = op.targets();
+  for (const auto& c : op.controls()) {
+    qs.push_back(c.qubit);
+  }
+  return qs;
+}
+
+bool overlaps(const StandardOperation& a, const StandardOperation& b) {
+  for (const Qubit qa : touchedQubits(a)) {
+    for (const Qubit qb : touchedQubits(b)) {
+      if (qa == qb) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool sameOperands(const StandardOperation& a, const StandardOperation& b) {
+  return a.targets() == b.targets() && a.controls() == b.controls();
+}
+
+/// 2x2 product check: does applying a then b realize the identity (up to
+/// kEps, global phase included)?
+bool productIsIdentity(const StandardOperation& a, const StandardOperation& b) {
+  const auto ma = toStd(a.matrix());
+  const auto mb = toStd(b.matrix());
+  // b * a, row-major 2x2
+  const Cx p00 = mb[0] * ma[0] + mb[1] * ma[2];
+  const Cx p01 = mb[0] * ma[1] + mb[1] * ma[3];
+  const Cx p10 = mb[2] * ma[0] + mb[3] * ma[2];
+  const Cx p11 = mb[2] * ma[1] + mb[3] * ma[3];
+  return std::abs(p00 - 1.0) < 1e-10 && std::abs(p01) < 1e-10 &&
+         std::abs(p10) < 1e-10 && std::abs(p11 - 1.0) < 1e-10;
+}
+
+bool isIdentityGate(const StandardOperation& op) {
+  if (op.type() == GateType::Swap) {
+    return false;
+  }
+  if (op.type() == GateType::I) {
+    return true;
+  }
+  const auto m = toStd(op.matrix());
+  return std::abs(m[0] - 1.0) < kEps && std::abs(m[1]) < kEps &&
+         std::abs(m[2]) < kEps && std::abs(m[3] - 1.0) < kEps;
+}
+
+bool isSingleQubitUncontrolled(const StandardOperation& op) {
+  return op.type() != GateType::Swap && op.controls().empty();
+}
+
+/// One optimization sweep over a flat operation list. Returns true if
+/// anything changed.
+bool sweep(std::vector<std::unique_ptr<Operation>>& ops,
+           const OptimizeOptions& options, OptimizeStats& stats) {
+  bool changed = false;
+  std::vector<bool> removed(ops.size(), false);
+
+  const auto standard = [&](std::size_t i) -> const StandardOperation* {
+    if (removed[i] || ops[i]->kind() != OpKind::Standard) {
+      return nullptr;
+    }
+    return static_cast<const StandardOperation*>(ops[i].get());
+  };
+
+  // Pass 1: identity removal.
+  if (options.removeIdentities) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (const auto* s = standard(i); s != nullptr && isIdentityGate(*s)) {
+        removed[i] = true;
+        ++stats.removedIdentities;
+        changed = true;
+      }
+    }
+  }
+
+  // Pass 2: inverse-pair cancellation (commuting past disjoint operations).
+  if (options.cancelInversePairs) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto* a = standard(i);
+      if (a == nullptr) {
+        continue;
+      }
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (removed[j]) {
+          continue;
+        }
+        if (ops[j]->kind() != OpKind::Standard) {
+          break;  // measurements/barriers/compounds fence the search
+        }
+        const auto* b = standard(j);
+        if (b == nullptr) {
+          break;
+        }
+        if (sameOperands(*a, *b)) {
+          const bool cancels = a->type() == GateType::Swap
+                                   ? b->type() == GateType::Swap
+                                   : productIsIdentity(*a, *b);
+          if (cancels) {
+            removed[i] = true;
+            removed[j] = true;
+            ++stats.cancelledPairs;
+            changed = true;
+          }
+          break;  // same operands but no cancellation: blocked either way
+        }
+        if (overlaps(*a, *b)) {
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 3: single-qubit gate fusion.
+  if (options.fuseSingleQubitGates) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto* first = standard(i);
+      if (first == nullptr || !isSingleQubitUncontrolled(*first)) {
+        continue;
+      }
+      const Qubit q = first->targets()[0];
+      std::vector<std::size_t> run{i};
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (removed[j]) {
+          continue;
+        }
+        if (ops[j]->kind() != OpKind::Standard) {
+          break;
+        }
+        const auto* b = standard(j);
+        if (b == nullptr) {
+          break;
+        }
+        if (isSingleQubitUncontrolled(*b) && b->targets()[0] == q) {
+          run.push_back(j);
+          continue;
+        }
+        if (overlaps(*first, *b)) {
+          break;
+        }
+      }
+      if (run.size() < 2) {
+        continue;
+      }
+
+      // Multiply the run (later gates on the left).
+      std::array<Cx, 4> acc = toStd(
+          static_cast<const StandardOperation*>(ops[run[0]].get())->matrix());
+      for (std::size_t k = 1; k < run.size(); ++k) {
+        const auto m = toStd(
+            static_cast<const StandardOperation*>(ops[run[k]].get())->matrix());
+        const std::array<Cx, 4> next = {
+            m[0] * acc[0] + m[1] * acc[2], m[0] * acc[1] + m[1] * acc[3],
+            m[2] * acc[0] + m[3] * acc[2], m[2] * acc[1] + m[3] * acc[3]};
+        acc = next;
+      }
+      const dd::GateMatrix fusedMatrix = {
+          dd::ComplexValue::fromStd(acc[0]), dd::ComplexValue::fromStd(acc[1]),
+          dd::ComplexValue::fromStd(acc[2]), dd::ComplexValue::fromStd(acc[3])};
+      const U3Decomposition dec = decomposeU3(fusedMatrix);
+
+      stats.fusedGates += run.size();
+      changed = true;
+      // Replace the first op of the run with the fused gate; the rest go.
+      ops[run[0]] = std::make_unique<StandardOperation>(
+          GateType::U, std::vector<Qubit>{q}, Controls{},
+          std::vector<double>{dec.theta, dec.phi, dec.lambda});
+      for (std::size_t k = 1; k < run.size(); ++k) {
+        removed[run[k]] = true;
+      }
+      if (std::abs(dec.alpha) > kEps) {
+        // Global phase: re-use the last slot of the run for exactness.
+        ops[run[1]] = std::make_unique<StandardOperation>(
+            GateType::GPhase, std::vector<Qubit>{q}, Controls{},
+            std::vector<double>{dec.alpha});
+        removed[run[1]] = false;
+        --stats.fusedGates;
+      }
+    }
+  }
+
+  if (changed) {
+    std::vector<std::unique_ptr<Operation>> kept;
+    kept.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!removed[i]) {
+        kept.push_back(std::move(ops[i]));
+      }
+    }
+    ops = std::move(kept);
+  }
+  return changed;
+}
+
+std::vector<std::unique_ptr<Operation>> optimizeOps(
+    const std::vector<std::unique_ptr<Operation>>& in,
+    const OptimizeOptions& options, OptimizeStats& stats) {
+  std::vector<std::unique_ptr<Operation>> ops;
+  ops.reserve(in.size());
+  for (const auto& op : in) {
+    if (op->kind() == OpKind::Compound) {
+      const auto& comp = static_cast<const CompoundOperation&>(*op);
+      auto body = optimizeOps(comp.body(), options, stats);
+      if (!body.empty()) {
+        ops.push_back(std::make_unique<CompoundOperation>(
+            std::move(body), comp.repetitions(), comp.label()));
+      }
+    } else {
+      ops.push_back(op->clone());
+    }
+  }
+
+  for (int pass = 0; pass < 16; ++pass) {
+    ++stats.passes;
+    if (!sweep(ops, options, stats) || !options.iterateToFixpoint) {
+      break;
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+U3Decomposition decomposeU3(const dd::GateMatrix& matrix) {
+  const auto m = toStd(matrix);
+  U3Decomposition d;
+  const double n00 = std::abs(m[0]);
+  const double n10 = std::abs(m[2]);
+  d.theta = 2.0 * std::atan2(n10, n00);
+  if (n10 < kEps) {  // diagonal
+    d.theta = 0.0;
+    d.alpha = std::arg(m[0]);
+    d.phi = 0.0;
+    d.lambda = std::arg(m[3]) - d.alpha;
+  } else if (n00 < kEps) {  // anti-diagonal
+    d.theta = std::numbers::pi;
+    d.alpha = 0.0;
+    d.phi = std::arg(m[2]);
+    d.lambda = std::arg(-m[1]);
+  } else {
+    d.alpha = std::arg(m[0]);
+    d.phi = std::arg(m[2]) - d.alpha;
+    d.lambda = std::arg(-m[1]) - d.alpha;
+  }
+  return d;
+}
+
+Circuit optimize(const Circuit& circuit, const OptimizeOptions& options,
+                 OptimizeStats* stats) {
+  OptimizeStats local;
+  Circuit out(circuit.numQubits(), circuit.numClbits(), circuit.name());
+  for (auto& op : optimizeOps(circuit.ops(), options, local)) {
+    out.append(std::move(op));
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
+}  // namespace ddsim::ir

@@ -1,0 +1,56 @@
+/// \file optimize.hpp
+/// \brief Gate-level circuit optimization passes.
+///
+/// Reducing the number of elementary operations before simulation helps
+/// every schedule (fewer multiplications of either kind), making this the
+/// natural companion of the paper's combination strategies. Three classic
+/// passes are provided; all preserve the circuit's unitary exactly
+/// (fusion emits an explicit global-phase gate instead of dropping phases).
+
+#pragma once
+
+#include <cstddef>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::ir {
+
+struct OptimizeOptions {
+  /// Drop identity gates and zero-angle rotations/phases.
+  bool removeIdentities = true;
+  /// Cancel adjacent gate/inverse pairs (commuting past operations on
+  /// disjoint qubits).
+  bool cancelInversePairs = true;
+  /// Fuse runs of uncontrolled single-qubit gates on the same qubit into a
+  /// single U gate plus (when needed) a global-phase gate.
+  bool fuseSingleQubitGates = true;
+  /// Re-run the pass pipeline until nothing changes.
+  bool iterateToFixpoint = true;
+};
+
+struct OptimizeStats {
+  std::size_t removedIdentities = 0;
+  std::size_t cancelledPairs = 0;
+  std::size_t fusedGates = 0;  ///< gates consumed by fusion
+  std::size_t passes = 0;
+};
+
+/// Optimize a circuit. Compound blocks are optimized recursively (their
+/// repetition structure is preserved); non-unitary operations are barriers
+/// for all passes. The result is exactly equivalent (including global
+/// phase) to the input.
+[[nodiscard]] Circuit optimize(const Circuit& circuit,
+                               const OptimizeOptions& options = {},
+                               OptimizeStats* stats = nullptr);
+
+/// Decompose a 2x2 unitary into U(theta, phi, lambda) parameters and a
+/// global phase alpha such that matrix == e^{i alpha} * U3(theta,phi,lambda).
+struct U3Decomposition {
+  double theta = 0;
+  double phi = 0;
+  double lambda = 0;
+  double alpha = 0;  ///< global phase
+};
+[[nodiscard]] U3Decomposition decomposeU3(const dd::GateMatrix& matrix);
+
+}  // namespace ddsim::ir

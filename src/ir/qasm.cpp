@@ -1,0 +1,528 @@
+#include "ir/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <numbers>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace ddsim::ir {
+
+namespace {
+
+// ------------------------------------------------- parameter expressions
+// Grammar: expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
+//          factor := ('-'|'+') factor | number | 'pi' | '(' expr ')'
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, std::size_t line) : text_(text), line_(line) {}
+
+  double parse() {
+    const double v = expr();
+    skipSpace();
+    if (pos_ != text_.size()) {
+      throw QasmError("trailing characters in expression", line_);
+    }
+    return v;
+  }
+
+ private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skipSpace();
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      skipSpace();
+      if (consume('*')) {
+        v *= factor();
+      } else if (consume('/')) {
+        v /= factor();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skipSpace();
+    if (consume('-')) {
+      return -factor();
+    }
+    if (consume('+')) {
+      return factor();
+    }
+    if (consume('(')) {
+      const double v = expr();
+      skipSpace();
+      if (!consume(')')) {
+        throw QasmError("expected ')'", line_);
+      }
+      return v;
+    }
+    if (pos_ + 1 < text_.size() && text_.compare(pos_, 2, "pi") == 0) {
+      pos_ += 2;
+      return std::numbers::pi;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw QasmError("expected number, 'pi' or '('", line_);
+    }
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+struct Statement {
+  std::string text;
+  std::size_t line;
+};
+
+/// Strip comments, split on ';', remember originating line numbers.
+std::vector<Statement> splitStatements(const std::string& source) {
+  std::vector<Statement> stmts;
+  std::string current;
+  std::size_t line = 1;
+  std::size_t stmtLine = 1;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        ++i;
+      }
+      --i;
+      continue;
+    }
+    if (source[i] == '\n') {
+      ++line;
+      current.push_back(' ');
+      continue;
+    }
+    if (source[i] == ';') {
+      stmts.push_back({current, stmtLine});
+      current.clear();
+      stmtLine = line;
+      continue;
+    }
+    if (current.empty() &&
+        std::isspace(static_cast<unsigned char>(source[i])) != 0) {
+      stmtLine = line;
+      continue;
+    }
+    current.push_back(source[i]);
+  }
+  // A trailing statement without ';' is tolerated if blank.
+  std::string trimmed = current;
+  while (!trimmed.empty() &&
+         std::isspace(static_cast<unsigned char>(trimmed.back())) != 0) {
+    trimmed.pop_back();
+  }
+  if (!trimmed.empty()) {
+    throw QasmError("missing ';' after '" + trimmed + "'", stmtLine);
+  }
+  return stmts;
+}
+
+std::string trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::vector<std::string> splitList(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    }
+    if (c == sep && depth == 0) {
+      parts.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!trim(cur).empty() || !parts.empty()) {
+    parts.push_back(trim(cur));
+  }
+  return parts;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : stmts_(splitStatements(source)) {}
+
+  Circuit parse() {
+    // First pass: register declarations (to size the circuit).
+    for (const auto& [text, line] : stmts_) {
+      handleDeclaration(text, line);
+    }
+    if (numQubits_ == 0) {
+      throw QasmError("no qreg declared", 1);
+    }
+    Circuit circuit(numQubits_, numClbits_ == 0 ? numQubits_ : numClbits_);
+    for (const auto& [text, line] : stmts_) {
+      handleStatement(circuit, text, line);
+    }
+    return circuit;
+  }
+
+ private:
+  void handleDeclaration(const std::string& text, std::size_t line) {
+    std::istringstream ss(text);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword != "qreg" && keyword != "creg") {
+      return;
+    }
+    std::string decl;
+    std::getline(ss, decl);
+    decl = trim(decl);
+    const auto open = decl.find('[');
+    const auto close = decl.find(']');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      throw QasmError("malformed register declaration", line);
+    }
+    const std::string name = trim(decl.substr(0, open));
+    const std::size_t size = std::stoul(decl.substr(open + 1, close - open - 1));
+    if (size == 0) {
+      throw QasmError("empty register", line);
+    }
+    if (keyword == "qreg") {
+      if (qregs_.count(name) != 0) {
+        throw QasmError("duplicate qreg '" + name + "'", line);
+      }
+      qregs_[name] = {numQubits_, size};
+      numQubits_ += size;
+    } else {
+      if (cregs_.count(name) != 0) {
+        throw QasmError("duplicate creg '" + name + "'", line);
+      }
+      cregs_[name] = {numClbits_, size};
+      numClbits_ += size;
+    }
+  }
+
+  Qubit resolveQubit(const std::string& ref, std::size_t line) const {
+    return static_cast<Qubit>(resolve(qregs_, ref, line, "qubit"));
+  }
+
+  std::size_t resolveClbit(const std::string& ref, std::size_t line) const {
+    return resolve(cregs_, ref, line, "classical bit");
+  }
+
+  static std::size_t resolve(
+      const std::map<std::string, std::pair<std::size_t, std::size_t>>& regs,
+      const std::string& ref, std::size_t line, const char* what) {
+    const auto open = ref.find('[');
+    const auto close = ref.find(']');
+    if (open == std::string::npos || close == std::string::npos) {
+      throw QasmError(std::string("expected indexed ") + what + " reference '" +
+                          ref + "'",
+                      line);
+    }
+    const std::string name = trim(ref.substr(0, open));
+    const std::size_t idx = std::stoul(ref.substr(open + 1, close - open - 1));
+    const auto it = regs.find(name);
+    if (it == regs.end()) {
+      throw QasmError("unknown register '" + name + "'", line);
+    }
+    if (idx >= it->second.second) {
+      throw QasmError("index out of range in '" + ref + "'", line);
+    }
+    return it->second.first + idx;
+  }
+
+  void handleStatement(Circuit& circuit, const std::string& stmt,
+                       std::size_t line) {
+    if (stmt.empty()) {
+      return;
+    }
+    std::istringstream ss(stmt);
+    std::string head;
+    ss >> head;
+    if (head == "OPENQASM" || head == "include" || head == "qreg" ||
+        head == "creg") {
+      return;
+    }
+    if (head == "barrier") {
+      circuit.barrier();
+      return;
+    }
+
+    std::string rest;
+    std::getline(ss, rest);
+    rest = trim(rest);
+
+    if (head == "measure") {
+      const auto arrow = rest.find("->");
+      if (arrow == std::string::npos) {
+        throw QasmError("measure expects 'q -> c'", line);
+      }
+      circuit.measure(resolveQubit(trim(rest.substr(0, arrow)), line),
+                      resolveClbit(trim(rest.substr(arrow + 2)), line));
+      return;
+    }
+    if (head == "reset") {
+      circuit.reset(resolveQubit(rest, line));
+      return;
+    }
+
+    // Gate application. `head` may carry the parameter list: name(expr,...)
+    std::string name = head;
+    std::vector<double> params;
+    const auto paren = head.find('(');
+    if (paren != std::string::npos) {
+      if (head.back() != ')') {
+        // Parameters may contain spaces; re-join from the raw statement.
+        const auto openPos = stmt.find('(');
+        const auto closePos = stmt.rfind(')');
+        if (closePos == std::string::npos || closePos < openPos) {
+          throw QasmError("malformed parameter list", line);
+        }
+        name = trim(stmt.substr(0, openPos));
+        for (const auto& p :
+             splitList(stmt.substr(openPos + 1, closePos - openPos - 1), ',')) {
+          params.push_back(ExprParser(p, line).parse());
+        }
+        rest = trim(stmt.substr(closePos + 1));
+      } else {
+        name = head.substr(0, paren);
+        for (const auto& p :
+             splitList(head.substr(paren + 1, head.size() - paren - 2), ',')) {
+          params.push_back(ExprParser(p, line).parse());
+        }
+      }
+    }
+
+    std::vector<Qubit> operands;
+    for (const auto& ref : splitList(rest, ',')) {
+      operands.push_back(resolveQubit(ref, line));
+    }
+    emitGate(circuit, name, params, operands, line);
+  }
+
+  static void emitGate(Circuit& circuit, const std::string& name,
+                       const std::vector<double>& params,
+                       const std::vector<Qubit>& operands, std::size_t line) {
+    // Count leading 'c's for the controlled shorthand, then the multi-control
+    // extension prefix "mc".
+    std::string base = name;
+    bool multiControl = false;
+    std::size_t numControls = 0;
+    if (base.rfind("mc", 0) == 0) {
+      base = base.substr(2);
+      multiControl = true;
+    } else {
+      // Strip the shortest prefix of 'c's that leaves a known gate, so that
+      // "ccx" resolves to X with two controls even though "cx" itself is not
+      // a base gate name.
+      std::size_t leading = 0;
+      while (leading + 1 < base.size() && base[leading] == 'c') {
+        ++leading;
+      }
+      for (std::size_t k = 0; k <= leading; ++k) {
+        if (gateFromName(base.substr(k))) {
+          base = base.substr(k);
+          numControls = k;
+          break;
+        }
+      }
+    }
+    const auto type = gateFromName(base);
+    if (!type) {
+      throw QasmError("unknown gate '" + name + "'", line);
+    }
+    const std::size_t numTargets = gateNumTargets(*type);
+    if (multiControl) {
+      if (operands.size() <= numTargets) {
+        throw QasmError("mc-gate needs at least one control", line);
+      }
+      numControls = operands.size() - numTargets;
+    }
+    if (operands.size() != numControls + numTargets) {
+      throw QasmError("wrong operand count for '" + name + "'", line);
+    }
+    Controls controls;
+    for (std::size_t i = 0; i < numControls; ++i) {
+      controls.push_back(Control{operands[i]});
+    }
+    std::vector<Qubit> targets(operands.begin() + static_cast<long>(numControls),
+                               operands.end());
+    circuit.append(std::make_unique<StandardOperation>(*type, std::move(targets),
+                                                       std::move(controls),
+                                                       params));
+  }
+
+  std::vector<Statement> stmts_;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> qregs_;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> cregs_;
+  std::size_t numQubits_ = 0;
+  std::size_t numClbits_ = 0;
+};
+
+void writeOperation(const Operation& op, std::ostream& os);
+
+void writeStandard(const StandardOperation& op, std::ostream& os) {
+  const std::size_t nc = op.controls().size();
+  for (const auto& c : op.controls()) {
+    if (!c.positive) {
+      // Negative controls: conjugate with X in the serialized form.
+      os << "x q[" << c.qubit << "];\n";
+    }
+  }
+  std::string name = gateName(op.type());
+  if (nc == 1) {
+    name = "c" + name;
+  } else if (nc == 2 && op.type() == GateType::X) {
+    name = "ccx";
+  } else if (nc >= 2) {
+    name = "mc" + name;
+  }
+  os << name;
+  if (!op.params().empty()) {
+    // Round-trip exactly: max_digits10 guarantees the parsed double equals
+    // the written one.
+    const auto oldPrecision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    os << "(";
+    for (std::size_t i = 0; i < op.params().size(); ++i) {
+      os << (i != 0 ? "," : "") << op.params()[i];
+    }
+    os << ")";
+    os.precision(oldPrecision);
+  }
+  os << " ";
+  bool first = true;
+  for (const auto& c : op.controls()) {
+    os << (first ? "" : ", ") << "q[" << c.qubit << "]";
+    first = false;
+  }
+  for (const Qubit t : op.targets()) {
+    os << (first ? "" : ", ") << "q[" << t << "]";
+    first = false;
+  }
+  os << ";\n";
+  for (const auto& c : op.controls()) {
+    if (!c.positive) {
+      os << "x q[" << c.qubit << "];\n";
+    }
+  }
+}
+
+void writeOperation(const Operation& op, std::ostream& os) {
+  switch (op.kind()) {
+    case OpKind::Standard:
+      writeStandard(static_cast<const StandardOperation&>(op), os);
+      break;
+    case OpKind::Measure: {
+      const auto& m = static_cast<const MeasureOperation&>(op);
+      os << "measure q[" << m.qubit() << "] -> c[" << m.clbit() << "];\n";
+      break;
+    }
+    case OpKind::Reset: {
+      const auto& r = static_cast<const ResetOperation&>(op);
+      os << "reset q[" << r.qubit() << "];\n";
+      break;
+    }
+    case OpKind::Barrier:
+      os << "barrier q;\n";
+      break;
+    case OpKind::Compound: {
+      const auto& comp = static_cast<const CompoundOperation&>(op);
+      for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+        for (const auto& inner : comp.body()) {
+          writeOperation(*inner, os);
+        }
+      }
+      break;
+    }
+    case OpKind::ClassicControlled:
+      throw std::invalid_argument(
+          "writeQasm: classically controlled operations are not representable "
+          "in the OpenQASM 2.0 subset");
+    case OpKind::Oracle:
+      throw std::invalid_argument(
+          "writeQasm: oracle operations have no gate-level representation");
+  }
+}
+
+}  // namespace
+
+Circuit parseQasm(const std::string& source) { return Parser(source).parse(); }
+
+Circuit parseQasmFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open QASM file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parseQasm(ss.str());
+}
+
+void writeQasm(const Circuit& circuit, std::ostream& os) {
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.numQubits() << "];\n";
+  os << "creg c[" << std::max<std::size_t>(1, circuit.numClbits()) << "];\n";
+  for (const auto& op : circuit.ops()) {
+    writeOperation(*op, os);
+  }
+}
+
+std::string toQasm(const Circuit& circuit) {
+  std::ostringstream ss;
+  writeQasm(circuit, ss);
+  return ss.str();
+}
+
+}  // namespace ddsim::ir

@@ -1,0 +1,43 @@
+/// \file qasm.hpp
+/// \brief OpenQASM 2.0 subset reader/writer.
+///
+/// Supported statements: OPENQASM/include headers (ignored), qreg/creg
+/// declarations (multiple registers are flattened in declaration order),
+/// the built-in gate applications of our gate set with controlled forms
+/// (cx, cz, cp, ccx, cswap), measure, reset, barrier, and — as an
+/// extension used for round-tripping multi-controlled gates — `mcx`,
+/// `mcz` and `mcp(theta)` whose last operand is the target. Parameter
+/// expressions understand numbers, `pi`, parentheses and + - * /.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace ddsim::ir {
+
+class QasmError : public std::runtime_error {
+ public:
+  QasmError(const std::string& message, std::size_t line)
+      : std::runtime_error("qasm:" + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse QASM source text into a circuit.
+[[nodiscard]] Circuit parseQasm(const std::string& source);
+/// Parse a QASM file.
+[[nodiscard]] Circuit parseQasmFile(const std::string& path);
+
+/// Serialize. Compound blocks are flattened; oracle operations cannot be
+/// represented and raise std::invalid_argument.
+void writeQasm(const Circuit& circuit, std::ostream& os);
+[[nodiscard]] std::string toQasm(const Circuit& circuit);
+
+}  // namespace ddsim::ir

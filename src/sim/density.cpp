@@ -1,0 +1,207 @@
+#include "sim/density.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/build_dd.hpp"
+
+namespace ddsim::sim {
+
+using dd::MEdge;
+
+namespace {
+constexpr dd::GateMatrix kProject0{dd::ComplexValue{1, 0}, {0, 0}, {0, 0}, {0, 0}};
+constexpr dd::GateMatrix kProject1{dd::ComplexValue{0, 0}, {0, 0}, {0, 0}, {1, 0}};
+}  // namespace
+
+DensityMatrixSimulator::DensityMatrixSimulator(const ir::Circuit& circuit,
+                                               NoiseModel noise,
+                                               std::uint64_t seed)
+    : circuit_(circuit),
+      noise_(std::move(noise)),
+      pkg_(std::make_unique<dd::Package>(circuit.numQubits())),
+      rng_(seed),
+      clbits_(std::max<std::size_t>(1, circuit.numClbits()), false) {
+  for (const auto& channel : noise_.channels) {
+    if (!channel.isTracePreserving()) {
+      throw std::invalid_argument("noise channel '" + channel.name() +
+                                  "' is not trace preserving");
+    }
+  }
+}
+
+DensityResult DensityMatrixSimulator::run() {
+  if (ran_) {
+    throw std::logic_error("DensityMatrixSimulator::run may only be called once");
+  }
+  ran_ = true;
+  const Timer timer;
+
+  // rho_0 = |0...0><0...0|: one node per qubit, everything in the
+  // upper-left quadrant.
+  MEdge rho = pkg_->mOneTerminal();
+  for (std::size_t q = 0; q < circuit_.numQubits(); ++q) {
+    rho = pkg_->makeMNode(static_cast<dd::Qubit>(q),
+                          {rho, pkg_->mZero(), pkg_->mZero(), pkg_->mZero()});
+  }
+  rho_ = rho;
+  pkg_->incRef(rho_);
+  peakNodes_ = pkg_->size(rho_);
+
+  processOps(circuit_.ops());
+
+  return {rho_, clbits_, timer.seconds(), peakNodes_, pkg_->size(rho_)};
+}
+
+void DensityMatrixSimulator::processOps(
+    const std::vector<std::unique_ptr<ir::Operation>>& ops) {
+  using ir::OpKind;
+  for (const auto& op : ops) {
+    switch (op->kind()) {
+      case OpKind::Standard:
+      case OpKind::Oracle:
+        applyConjugation(buildOpDD(*op));
+        applyChannels(*op);
+        break;
+      case OpKind::ClassicControlled: {
+        const auto& c = static_cast<const ir::ClassicControlledOperation&>(*op);
+        if (clbits_[c.clbit()] == c.expectedValue()) {
+          applyConjugation(buildOpDD(c.op()));
+          applyChannels(c.op());
+        }
+        break;
+      }
+      case OpKind::Measure: {
+        const auto& m = static_cast<const ir::MeasureOperation&>(*op);
+        clbits_[m.clbit()] = measureCollapsing(m.qubit()) != 0;
+        break;
+      }
+      case OpKind::Reset: {
+        const auto& r = static_cast<const ir::ResetOperation&>(*op);
+        if (measureCollapsing(r.qubit()) != 0) {
+          applyConjugation(
+              pkg_->makeGateDD(ir::gateMatrix(ir::GateType::X), r.qubit()));
+        }
+        break;
+      }
+      case OpKind::Barrier:
+        break;
+      case OpKind::Compound: {
+        const auto& comp = static_cast<const ir::CompoundOperation&>(*op);
+        for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+          processOps(comp.body());
+        }
+        break;
+      }
+    }
+  }
+}
+
+dd::MEdge DensityMatrixSimulator::buildOpDD(const ir::Operation& op) {
+  return buildOperationDD(*pkg_, op);
+}
+
+void DensityMatrixSimulator::replaceRho(const MEdge& next) {
+  pkg_->incRef(next);
+  pkg_->decRef(rho_);
+  rho_ = next;
+  peakNodes_ = std::max(peakNodes_, pkg_->size(rho_));
+  pkg_->maybeGarbageCollect();
+}
+
+void DensityMatrixSimulator::applyConjugation(const MEdge& u) {
+  // rho -> U rho U^dagger: pure matrix-matrix multiplication.
+  const MEdge udag = pkg_->conjugateTranspose(u);
+  replaceRho(pkg_->multiply(pkg_->multiply(u, rho_), udag));
+}
+
+void DensityMatrixSimulator::applyChannels(const ir::Operation& op) {
+  if (noise_.empty()) {
+    return;
+  }
+  // Every qubit the operation touches passes through every channel.
+  std::vector<dd::Qubit> touched;
+  if (op.kind() == ir::OpKind::Oracle) {
+    const auto& o = static_cast<const ir::OracleOperation&>(op);
+    for (std::size_t q = 0; q < o.numTargets(); ++q) {
+      touched.push_back(static_cast<dd::Qubit>(q));
+    }
+    for (const auto& c : o.controls()) {
+      touched.push_back(c.qubit);
+    }
+  } else {
+    const auto& s = static_cast<const ir::StandardOperation&>(op);
+    touched = s.targets();
+    for (const auto& c : s.controls()) {
+      touched.push_back(c.qubit);
+    }
+  }
+  for (const auto& channel : noise_.channels) {
+    for (const dd::Qubit q : touched) {
+      applyChannelOnQubit(channel, q);
+    }
+  }
+}
+
+void DensityMatrixSimulator::applyChannelOnQubit(const NoiseChannel& channel,
+                                                 dd::Qubit q) {
+  // rho -> sum_k K_k rho K_k^dagger
+  MEdge sum = pkg_->mZero();
+  for (const auto& kraus : channel.kraus()) {
+    const MEdge k = pkg_->makeGateDD(kraus, q);
+    const MEdge kd = pkg_->conjugateTranspose(k);
+    const MEdge term = pkg_->multiply(pkg_->multiply(k, rho_), kd);
+    sum = pkg_->add(sum, term);
+  }
+  replaceRho(sum);
+}
+
+int DensityMatrixSimulator::measureCollapsing(dd::Qubit q) {
+  const double p1 = probabilityOfOne(rho_, q);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool one = dist(rng_) < p1;
+  const double prob = one ? p1 : 1.0 - p1;
+
+  const MEdge projector = pkg_->makeGateDD(one ? kProject1 : kProject0, q);
+  MEdge collapsed = pkg_->multiply(pkg_->multiply(projector, rho_), projector);
+  collapsed.w = pkg_->clookup(*collapsed.w * (1.0 / prob));
+  replaceRho(collapsed);
+  return one ? 1 : 0;
+}
+
+double DensityMatrixSimulator::trace(const MEdge& rho) {
+  return pkg_->trace(rho).r;
+}
+
+double DensityMatrixSimulator::purity(const MEdge& rho) {
+  return pkg_->trace(pkg_->multiply(rho, rho)).r;
+}
+
+double DensityMatrixSimulator::probabilityOfOne(const MEdge& rho, dd::Qubit q) {
+  const MEdge projector = pkg_->makeGateDD(kProject1, q);
+  return pkg_->trace(pkg_->multiply(projector, rho)).r;
+}
+
+double DensityMatrixSimulator::basisProbability(const MEdge& rho,
+                                                std::uint64_t bits) {
+  // Diagonal entry (bits, bits): walk the matching quadrants.
+  dd::ComplexValue value = *rho.w;
+  const dd::MNode* node = rho.p;
+  while (!node->isTerminal()) {
+    const std::size_t bit = (bits >> node->v) & 1U;
+    const dd::MEdge& e = node->e[3 * bit];  // e[0] or e[3]
+    if (e.w->exactlyZero()) {
+      return 0.0;
+    }
+    value *= *e.w;
+    node = e.p;
+  }
+  return value.r;
+}
+
+dd::ComplexValue DensityMatrixSimulator::expectation(const MEdge& rho,
+                                                     const MEdge& observable) {
+  return pkg_->trace(pkg_->multiply(observable, rho));
+}
+
+}  // namespace ddsim::sim

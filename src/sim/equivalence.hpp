@@ -1,0 +1,34 @@
+/// \file equivalence.hpp
+/// \brief DD-based circuit equivalence checking.
+///
+/// A natural by-product of having matrix-matrix multiplication on DDs
+/// (paper Section II-B / III): build the full unitary of each circuit as a
+/// matrix DD and compare. Canonicity makes the comparison cheap — two equal
+/// unitaries collapse to the same node, and phase-equivalent ones differ
+/// only in the root weight.
+
+#pragma once
+
+#include "dd/package.hpp"
+#include "ir/circuit.hpp"
+
+namespace ddsim::sim {
+
+/// The full unitary of a (purely unitary) circuit as a matrix DD inside
+/// \p pkg. Throws std::invalid_argument for non-unitary operations.
+dd::MEdge buildCircuitMatrix(dd::Package& pkg, const ir::Circuit& circuit);
+
+enum class Equivalence {
+  Equivalent,           ///< equal as matrices
+  EquivalentUpToPhase,  ///< equal up to a global phase factor
+  NotEquivalent,
+};
+
+/// Compare two circuits over the same number of qubits by building both
+/// unitaries as DDs.
+Equivalence checkEquivalence(const ir::Circuit& a, const ir::Circuit& b);
+
+/// Convenience: true for Equivalent or EquivalentUpToPhase.
+bool areEquivalent(const ir::Circuit& a, const ir::Circuit& b);
+
+}  // namespace ddsim::sim

@@ -1,0 +1,107 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace ddsim::sim {
+
+using dd::ComplexValue;
+using dd::GateMatrix;
+
+NoiseChannel::NoiseChannel(std::string name,
+                           std::vector<GateMatrix> krausOperators)
+    : name_(std::move(name)), kraus_(std::move(krausOperators)) {
+  if (kraus_.empty()) {
+    throw std::invalid_argument("NoiseChannel: needs at least one Kraus operator");
+  }
+}
+
+bool NoiseChannel::isTracePreserving(double tol) const {
+  // sum_k K^dagger K accumulated entry-wise on 2x2 matrices.
+  std::complex<double> sum[4] = {};
+  for (const auto& k : kraus_) {
+    const std::complex<double> m[4] = {k[0].toStd(), k[1].toStd(), k[2].toStd(),
+                                       k[3].toStd()};
+    // (K^dagger K)_{ij} = conj(K_{ki}) K_{kj}
+    sum[0] += std::conj(m[0]) * m[0] + std::conj(m[2]) * m[2];
+    sum[1] += std::conj(m[0]) * m[1] + std::conj(m[2]) * m[3];
+    sum[2] += std::conj(m[1]) * m[0] + std::conj(m[3]) * m[2];
+    sum[3] += std::conj(m[1]) * m[1] + std::conj(m[3]) * m[3];
+  }
+  return std::abs(sum[0] - 1.0) <= tol && std::abs(sum[1]) <= tol &&
+         std::abs(sum[2]) <= tol && std::abs(sum[3] - 1.0) <= tol;
+}
+
+namespace {
+void checkProbability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": parameter must be in [0, 1]");
+  }
+}
+}  // namespace
+
+NoiseChannel NoiseChannel::depolarizing(double p) {
+  checkProbability(p, "depolarizing");
+  const double s0 = std::sqrt(1.0 - p);
+  const double s1 = std::sqrt(p / 3.0);
+  return {"depolarizing(" + std::to_string(p) + ")",
+          {
+              GateMatrix{ComplexValue{s0, 0}, {0, 0}, {0, 0}, {s0, 0}},
+              GateMatrix{ComplexValue{0, 0}, {s1, 0}, {s1, 0}, {0, 0}},   // X
+              GateMatrix{ComplexValue{0, 0}, {0, -s1}, {0, s1}, {0, 0}},  // Y
+              GateMatrix{ComplexValue{s1, 0}, {0, 0}, {0, 0}, {-s1, 0}},  // Z
+          }};
+}
+
+NoiseChannel NoiseChannel::bitFlip(double p) {
+  checkProbability(p, "bitFlip");
+  const double s0 = std::sqrt(1.0 - p);
+  const double s1 = std::sqrt(p);
+  return {"bitflip(" + std::to_string(p) + ")",
+          {
+              GateMatrix{ComplexValue{s0, 0}, {0, 0}, {0, 0}, {s0, 0}},
+              GateMatrix{ComplexValue{0, 0}, {s1, 0}, {s1, 0}, {0, 0}},
+          }};
+}
+
+NoiseChannel NoiseChannel::phaseFlip(double p) {
+  checkProbability(p, "phaseFlip");
+  const double s0 = std::sqrt(1.0 - p);
+  const double s1 = std::sqrt(p);
+  return {"phaseflip(" + std::to_string(p) + ")",
+          {
+              GateMatrix{ComplexValue{s0, 0}, {0, 0}, {0, 0}, {s0, 0}},
+              GateMatrix{ComplexValue{s1, 0}, {0, 0}, {0, 0}, {-s1, 0}},
+          }};
+}
+
+NoiseChannel NoiseChannel::amplitudeDamping(double gamma) {
+  checkProbability(gamma, "amplitudeDamping");
+  return {"ampdamp(" + std::to_string(gamma) + ")",
+          {
+              GateMatrix{ComplexValue{1, 0},
+                         {0, 0},
+                         {0, 0},
+                         {std::sqrt(1.0 - gamma), 0}},
+              GateMatrix{ComplexValue{0, 0}, {std::sqrt(gamma), 0}, {0, 0}, {0, 0}},
+          }};
+}
+
+NoiseChannel NoiseChannel::phaseDamping(double lambda) {
+  checkProbability(lambda, "phaseDamping");
+  return {"phasedamp(" + std::to_string(lambda) + ")",
+          {
+              GateMatrix{ComplexValue{1, 0},
+                         {0, 0},
+                         {0, 0},
+                         {std::sqrt(1.0 - lambda), 0}},
+              GateMatrix{ComplexValue{0, 0},
+                         {0, 0},
+                         {0, 0},
+                         {std::sqrt(lambda), 0}},
+          }};
+}
+
+}  // namespace ddsim::sim

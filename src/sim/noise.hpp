@@ -1,0 +1,53 @@
+/// \file noise.hpp
+/// \brief Single-qubit noise channels in Kraus form.
+///
+/// Used by the density-matrix simulator: a channel maps
+/// rho -> sum_k K_k rho K_k^dagger. All standard textbook channels are
+/// provided; custom channels can be built from raw Kraus matrices.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dd/package.hpp"
+
+namespace ddsim::sim {
+
+class NoiseChannel {
+ public:
+  NoiseChannel(std::string name, std::vector<dd::GateMatrix> krausOperators);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<dd::GateMatrix>& kraus() const noexcept {
+    return kraus_;
+  }
+
+  /// Completeness check: sum_k K_k^dagger K_k == I (within tolerance).
+  [[nodiscard]] bool isTracePreserving(double tol = 1e-9) const;
+
+  /// rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z)
+  static NoiseChannel depolarizing(double p);
+  /// rho -> (1-p) rho + p X rho X
+  static NoiseChannel bitFlip(double p);
+  /// rho -> (1-p) rho + p Z rho Z
+  static NoiseChannel phaseFlip(double p);
+  /// Amplitude damping with decay probability gamma (T1-style decay).
+  static NoiseChannel amplitudeDamping(double gamma);
+  /// Phase damping with parameter lambda (T2-style dephasing).
+  static NoiseChannel phaseDamping(double lambda);
+
+ private:
+  std::string name_;
+  std::vector<dd::GateMatrix> kraus_;
+};
+
+/// Which noise is applied where: after every gate, each qubit the gate
+/// touches (targets and controls) passes through all channels in order.
+struct NoiseModel {
+  std::vector<NoiseChannel> channels;
+
+  [[nodiscard]] bool empty() const noexcept { return channels.empty(); }
+};
+
+}  // namespace ddsim::sim

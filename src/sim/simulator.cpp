@@ -1,0 +1,306 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "dd/approximation.hpp"
+#include "sim/build_dd.hpp"
+
+namespace ddsim::sim {
+
+using dd::MEdge;
+using dd::VEdge;
+using ir::OpKind;
+
+CircuitSimulator::CircuitSimulator(const ir::Circuit& circuit,
+                                   StrategyConfig config, std::uint64_t seed)
+    : circuit_(circuit),
+      config_(config),
+      pkg_(std::make_unique<dd::Package>(circuit.numQubits())),
+      rng_(seed),
+      clbits_(std::max<std::size_t>(1, circuit.numClbits()), false) {
+  if (config_.schedule == Schedule::KOperations && config_.k == 0) {
+    throw std::invalid_argument("k-operations: k must be positive");
+  }
+  if (config_.schedule == Schedule::MaxSize && config_.maxSize == 0) {
+    throw std::invalid_argument("max-size: s_max must be positive");
+  }
+  if (config_.schedule == Schedule::Adaptive && config_.adaptiveRatio <= 0.0) {
+    throw std::invalid_argument("adaptive: ratio must be positive");
+  }
+  if (config_.approximateFidelity <= 0.0 || config_.approximateFidelity > 1.0) {
+    throw std::invalid_argument(
+        "approximation: per-step fidelity must be in (0, 1]");
+  }
+}
+
+SimulationResult CircuitSimulator::run() {
+  if (ran_) {
+    throw std::logic_error("CircuitSimulator::run may only be called once");
+  }
+  ran_ = true;
+
+  runTimer_ = Timer{};
+  const Timer& timer = runTimer_;
+  if (config_.timeLimitSeconds > 0.0) {
+    // Interrupts even a single runaway multiplication, not just the gaps
+    // between operations.
+    pkg_->setAbortCheck([this] {
+      return runTimer_.seconds() > config_.timeLimitSeconds;
+    });
+  }
+  state_ = pkg_->makeZeroState();
+  pkg_->incRef(state_);
+  lastStateSize_ = pkg_->size(state_);
+
+  try {
+    processOps(circuit_.ops());
+    flush();
+  } catch (const dd::ComputationAborted&) {
+    throw SimulationTimeout(config_.timeLimitSeconds);
+  }
+
+  stats_.wallSeconds = timer.seconds();
+  stats_.finalStateNodes = pkg_->size(state_);
+  stats_.dd = pkg_->stats();
+  return {state_, clbits_, stats_, trace_};
+}
+
+void CircuitSimulator::recordStep(StepKind kind, std::size_t matrixNodes,
+                                  double seconds) {
+  if (!config_.collectTrace) {
+    return;
+  }
+  trace_.steps.push_back(
+      {trace_.steps.size(), kind, lastStateSize_, matrixNodes, seconds});
+}
+
+void CircuitSimulator::processOps(
+    const std::vector<std::unique_ptr<ir::Operation>>& ops) {
+  for (const auto& op : ops) {
+    switch (op->kind()) {
+      case OpKind::Standard:
+      case OpKind::Oracle:
+        handleUnitary(*op);
+        break;
+      case OpKind::ClassicControlled: {
+        const auto& c = static_cast<const ir::ClassicControlledOperation&>(*op);
+        // Any measurement defining this bit flushed the pipeline, so the
+        // classical value is final by the time we get here.
+        if (clbits_[c.clbit()] == c.expectedValue()) {
+          handleUnitary(c.op());
+        }
+        break;
+      }
+      case OpKind::Measure: {
+        flush();
+        const auto& m = static_cast<const ir::MeasureOperation&>(*op);
+        const Timer t;
+        clbits_[m.clbit()] =
+            pkg_->measureOneCollapsing(state_, m.qubit(), rng_) != 0;
+        lastStateSize_ = pkg_->size(state_);
+        recordStep(StepKind::Measure, 0, t.seconds());
+        afterStep();
+        break;
+      }
+      case OpKind::Reset: {
+        flush();
+        const auto& r = static_cast<const ir::ResetOperation&>(*op);
+        if (pkg_->measureOneCollapsing(state_, r.qubit(), rng_) != 0) {
+          applyToState(pkg_->makeGateDD(ir::gateMatrix(ir::GateType::X), r.qubit()));
+        }
+        afterStep();
+        break;
+      }
+      case OpKind::Barrier:
+        flush();
+        break;
+      case OpKind::Compound:
+        handleCompound(static_cast<const ir::CompoundOperation&>(*op));
+        break;
+    }
+  }
+}
+
+void CircuitSimulator::handleUnitary(const ir::Operation& op) {
+  enqueue(buildOpDD(op), op.flatGateCount());
+}
+
+void CircuitSimulator::handleCompound(const ir::CompoundOperation& comp) {
+  if (!config_.reuseRepeatedBlocks) {
+    // Inline the block: its gates stream through the normal combining logic
+    // (a k-operations window may even span iteration boundaries).
+    for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+      processOps(comp.body());
+    }
+    return;
+  }
+  // DD-repeating: combine the whole block into one matrix DD, then apply it
+  // once per repetition. After the one-time construction no further
+  // matrix-matrix multiplication is needed (paper Section IV-B).
+  flush();
+  MEdge block = buildBlockDD(comp.body());
+  pkg_->incRef(block);
+  stats_.peakMatrixNodes = std::max(stats_.peakMatrixNodes, pkg_->size(block));
+  for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+    applyToState(block);
+    stats_.appliedGates += comp.flatGateCount() / comp.repetitions();
+    afterStep();
+  }
+  pkg_->decRef(block);
+}
+
+MEdge CircuitSimulator::buildBlockDD(
+    const std::vector<std::unique_ptr<ir::Operation>>& body) {
+  MEdge block = pkg_->makeIdent();
+  pkg_->incRef(block);
+  for (const auto& op : body) {
+    MEdge g{};
+    switch (op->kind()) {
+      case OpKind::Standard:
+      case OpKind::Oracle:
+        g = buildOpDD(*op);
+        break;
+      case OpKind::Compound: {
+        const auto& inner = static_cast<const ir::CompoundOperation&>(*op);
+        MEdge innerBlock = buildBlockDD(inner.body());
+        pkg_->incRef(innerBlock);
+        g = pkg_->makeIdent();
+        for (std::size_t rep = 0; rep < inner.repetitions(); ++rep) {
+          g = pkg_->multiply(innerBlock, g);
+          ++stats_.mxmCount;
+        }
+        pkg_->decRef(innerBlock);
+        break;
+      }
+      default:
+        throw std::invalid_argument(
+            "DD-repeating requires purely unitary blocks, found: " +
+            op->toString());
+    }
+    MEdge combined = pkg_->multiply(g, block);
+    ++stats_.mxmCount;
+    pkg_->incRef(combined);
+    pkg_->decRef(block);
+    block = combined;
+    pkg_->maybeGarbageCollect();
+  }
+  pkg_->decRef(block);  // caller re-roots
+  return block;
+}
+
+MEdge CircuitSimulator::buildOpDD(const ir::Operation& op) {
+  return buildOperationDD(*pkg_, op);
+}
+
+void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
+  stats_.appliedGates += gateCount;
+  if (config_.schedule == Schedule::Sequential) {
+    applyToState(gateDD);
+    afterStep();
+    return;
+  }
+
+  const Timer t;
+  if (!accPending_) {
+    acc_ = gateDD;
+    pkg_->incRef(acc_);
+    accPending_ = true;
+    accCount_ = 1;
+  } else {
+    // state' = g * (acc * v) = (g * acc) * v: new factors multiply from the
+    // left.
+    MEdge combined = pkg_->multiply(gateDD, acc_);
+    ++stats_.mxmCount;
+    pkg_->incRef(combined);
+    pkg_->decRef(acc_);
+    acc_ = combined;
+    ++accCount_;
+  }
+
+  const std::size_t accSize = pkg_->size(acc_);
+  stats_.peakMatrixNodes = std::max(stats_.peakMatrixNodes, accSize);
+  recordStep(StepKind::CombineMatrix, accSize, t.seconds());
+
+  bool full = false;
+  switch (config_.schedule) {
+    case Schedule::KOperations:
+      full = accCount_ >= config_.k;
+      break;
+    case Schedule::MaxSize:
+      full = accSize > config_.maxSize;
+      break;
+    case Schedule::Adaptive:
+      // Combine while the product stays small relative to the state: once
+      // the matrix DD rivals the state DD, applying it costs as much as the
+      // MxV we are trying to avoid.
+      full = static_cast<double>(accSize) >
+             config_.adaptiveRatio * static_cast<double>(lastStateSize_);
+      break;
+    case Schedule::Sequential:
+      break;  // unreachable (handled above)
+  }
+  if (full) {
+    flush();
+  } else {
+    afterStep();
+  }
+}
+
+void CircuitSimulator::applyToState(const MEdge& m) {
+  const Timer t;
+  VEdge next = pkg_->multiply(m, state_);
+  ++stats_.mxvCount;
+  pkg_->incRef(next);
+  pkg_->decRef(state_);
+  state_ = next;
+  lastStateSize_ = pkg_->size(state_);
+
+  // Approximate-while-simulating: trade bounded fidelity for a smaller
+  // state DD (the size of which is exactly what every further step pays
+  // for, per Section III of the paper).
+  if (config_.approximateFidelity < 1.0 &&
+      lastStateSize_ > config_.approximateThreshold) {
+    const auto approx =
+        dd::approximate(*pkg_, state_, config_.approximateFidelity);
+    if (approx.removedEdges > 0) {
+      pkg_->incRef(approx.state);
+      pkg_->decRef(state_);
+      state_ = approx.state;
+      stats_.approxFidelity *= approx.fidelity;
+      ++stats_.approxRounds;
+      lastStateSize_ = approx.nodesAfter;
+    }
+  }
+
+  stats_.peakStateNodes = std::max(stats_.peakStateNodes, lastStateSize_);
+  recordStep(StepKind::ApplyToState, pkg_->size(m), t.seconds());
+}
+
+void CircuitSimulator::flush() {
+  if (!accPending_) {
+    return;
+  }
+  applyToState(acc_);
+  pkg_->decRef(acc_);
+  accPending_ = false;
+  accCount_ = 0;
+  afterStep();
+}
+
+void CircuitSimulator::afterStep() {
+  pkg_->maybeGarbageCollect();
+  if (config_.timeLimitSeconds > 0.0 &&
+      runTimer_.seconds() > config_.timeLimitSeconds) {
+    throw SimulationTimeout(config_.timeLimitSeconds);
+  }
+}
+
+DetachedResult simulate(const ir::Circuit& circuit, StrategyConfig config,
+                        std::uint64_t seed) {
+  CircuitSimulator sim(circuit, config, seed);
+  SimulationResult result = sim.run();
+  return {std::move(result.classicalBits), result.stats};
+}
+
+}  // namespace ddsim::sim

@@ -1,0 +1,55 @@
+#include "sim/stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ddsim::sim {
+
+std::string scheduleName(Schedule s) {
+  switch (s) {
+    case Schedule::Sequential: return "sequential";
+    case Schedule::KOperations: return "k-operations";
+    case Schedule::MaxSize: return "max-size";
+    case Schedule::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::string StrategyConfig::toString() const {
+  std::ostringstream ss;
+  ss << scheduleName(schedule);
+  if (schedule == Schedule::KOperations) {
+    ss << "(k=" << k << ")";
+  } else if (schedule == Schedule::MaxSize) {
+    ss << "(s_max=" << maxSize << ")";
+  } else if (schedule == Schedule::Adaptive) {
+    ss << "(ratio=" << adaptiveRatio << ")";
+  }
+  if (reuseRepeatedBlocks) {
+    ss << "+DD-repeating";
+  }
+  return ss.str();
+}
+
+void SimulationTrace::writeCsv(std::ostream& os) const {
+  os << "index,kind,state_nodes,matrix_nodes,seconds\n";
+  for (const auto& step : steps) {
+    const char* kind = step.kind == StepKind::ApplyToState ? "apply"
+                       : step.kind == StepKind::CombineMatrix ? "combine"
+                                                              : "measure";
+    os << step.index << ',' << kind << ',' << step.stateNodes << ','
+       << step.matrixNodes << ',' << step.seconds << '\n';
+  }
+}
+
+std::string SimulationStats::toString() const {
+  std::ostringstream ss;
+  ss << "time=" << wallSeconds << "s gates=" << appliedGates
+     << " MxV=" << mxvCount << " MxM=" << mxmCount
+     << " peakStateNodes=" << peakStateNodes
+     << " peakMatrixNodes=" << peakMatrixNodes
+     << " finalStateNodes=" << finalStateNodes;
+  return ss.str();
+}
+
+}  // namespace ddsim::sim

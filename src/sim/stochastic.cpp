@@ -1,0 +1,192 @@
+#include "sim/stochastic.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "dd/package.hpp"
+#include "sim/build_dd.hpp"
+
+namespace ddsim::sim {
+
+namespace {
+
+using dd::MEdge;
+using dd::VEdge;
+
+class TrajectoryRunner {
+ public:
+  /// The package is shared across trajectories (construction of the
+  /// compute tables is far more expensive than a single trajectory).
+  TrajectoryRunner(const ir::Circuit& circuit, const NoiseModel& noise,
+                   dd::Package& pkg, std::mt19937_64& rng)
+      : circuit_(circuit), noise_(noise), rng_(rng), pkg_(&pkg),
+        clbits_(std::max<std::size_t>(1, circuit.numClbits()), false) {}
+
+  /// Returns the rooted final state; the caller must decRef it.
+  VEdge run() {
+    std::fill(clbits_.begin(), clbits_.end(), false);
+    state_ = pkg_->makeZeroState();
+    pkg_->incRef(state_);
+    processOps(circuit_.ops());
+    return state_;
+  }
+
+ private:
+  void processOps(const std::vector<std::unique_ptr<ir::Operation>>& ops) {
+    using ir::OpKind;
+    for (const auto& op : ops) {
+      switch (op->kind()) {
+        case OpKind::Standard:
+        case OpKind::Oracle:
+          applyUnitary(*op);
+          break;
+        case OpKind::ClassicControlled: {
+          const auto& c =
+              static_cast<const ir::ClassicControlledOperation&>(*op);
+          if (clbits_[c.clbit()] == c.expectedValue()) {
+            applyUnitary(c.op());
+          }
+          break;
+        }
+        case OpKind::Measure: {
+          const auto& m = static_cast<const ir::MeasureOperation&>(*op);
+          clbits_[m.clbit()] =
+              pkg_->measureOneCollapsing(state_, m.qubit(), rng_) != 0;
+          break;
+        }
+        case OpKind::Reset: {
+          const auto& r = static_cast<const ir::ResetOperation&>(*op);
+          if (pkg_->measureOneCollapsing(state_, r.qubit(), rng_) != 0) {
+            replace(pkg_->multiply(
+                pkg_->makeGateDD(ir::gateMatrix(ir::GateType::X), r.qubit()),
+                state_));
+          }
+          break;
+        }
+        case OpKind::Barrier:
+          break;
+        case OpKind::Compound: {
+          const auto& comp = static_cast<const ir::CompoundOperation&>(*op);
+          for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+            processOps(comp.body());
+          }
+          break;
+        }
+      }
+      pkg_->maybeGarbageCollect();
+    }
+  }
+
+  void applyUnitary(const ir::Operation& op) {
+    replace(pkg_->multiply(buildOperationDD(*pkg_, op), state_));
+    if (noise_.empty()) {
+      return;
+    }
+    for (const auto& channel : noise_.channels) {
+      for (const dd::Qubit q : touchedQubits(op)) {
+        applyChannel(channel, q);
+      }
+    }
+  }
+
+  static std::vector<dd::Qubit> touchedQubits(const ir::Operation& op) {
+    std::vector<dd::Qubit> touched;
+    if (op.kind() == ir::OpKind::Oracle) {
+      const auto& o = static_cast<const ir::OracleOperation&>(op);
+      for (std::size_t q = 0; q < o.numTargets(); ++q) {
+        touched.push_back(static_cast<dd::Qubit>(q));
+      }
+      for (const auto& c : o.controls()) {
+        touched.push_back(c.qubit);
+      }
+    } else {
+      const auto& s = static_cast<const ir::StandardOperation&>(op);
+      touched = s.targets();
+      for (const auto& c : s.controls()) {
+        touched.push_back(c.qubit);
+      }
+    }
+    return touched;
+  }
+
+  /// Monte-Carlo Kraus selection: operator K_k is chosen with probability
+  /// ||K_k |psi>||^2 (they sum to 1 for a trace-preserving channel), then
+  /// the state is renormalized.
+  void applyChannel(const NoiseChannel& channel, dd::Qubit q) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    const double u = dist(rng_);
+    double cumulative = 0.0;
+    for (std::size_t k = 0; k < channel.kraus().size(); ++k) {
+      const MEdge kdd = pkg_->makeGateDD(channel.kraus()[k], q);
+      VEdge candidate = pkg_->multiply(kdd, state_);
+      const double prob = pkg_->norm2(candidate);
+      cumulative += prob;
+      // The last operator absorbs residual rounding mass.
+      if (u < cumulative || k + 1 == channel.kraus().size()) {
+        if (prob <= 0.0) {
+          continue;  // zero-probability branch: keep looking
+        }
+        candidate.w = pkg_->clookup(*candidate.w * (1.0 / std::sqrt(prob)));
+        replace(candidate);
+        return;
+      }
+    }
+  }
+
+  void replace(const VEdge& next) {
+    pkg_->incRef(next);
+    pkg_->decRef(state_);
+    state_ = next;
+  }
+
+  const ir::Circuit& circuit_;
+  const NoiseModel& noise_;
+  std::mt19937_64& rng_;
+  dd::Package* pkg_;
+  VEdge state_{};
+  std::vector<bool> clbits_;
+};
+
+}  // namespace
+
+StochasticResult simulateStochastic(const ir::Circuit& circuit,
+                                    const NoiseModel& noise,
+                                    std::size_t trajectories,
+                                    std::uint64_t seed) {
+  if (trajectories == 0) {
+    throw std::invalid_argument("simulateStochastic: need at least one trajectory");
+  }
+  for (const auto& channel : noise.channels) {
+    if (!channel.isTracePreserving()) {
+      throw std::invalid_argument("noise channel '" + channel.name() +
+                                  "' is not trace preserving");
+    }
+  }
+
+  const Timer timer;
+  StochasticResult result;
+  result.trajectories = trajectories;
+  result.meanProbabilityOfOne.assign(circuit.numQubits(), 0.0);
+
+  std::mt19937_64 rng(seed);
+  dd::Package pkg(circuit.numQubits());
+  TrajectoryRunner runner(circuit, noise, pkg, rng);
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    VEdge state = runner.run();
+    for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+      result.meanProbabilityOfOne[q] +=
+          pkg.probabilityOfOne(state, static_cast<dd::Qubit>(q));
+    }
+    ++result.counts[pkg.measureAll(state, rng, /*collapse=*/false)];
+    pkg.decRef(state);
+    pkg.maybeGarbageCollect();
+  }
+  for (auto& p : result.meanProbabilityOfOne) {
+    p /= static_cast<double>(trajectories);
+  }
+  result.wallSeconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ddsim::sim

@@ -1,0 +1,42 @@
+/// \file stochastic.hpp
+/// \brief Stochastic (quantum-trajectory) noise simulation on vector DDs.
+///
+/// The Monte-Carlo alternative to the density-matrix engine: each
+/// trajectory keeps a pure state; after every gate, for every touched
+/// qubit and channel one Kraus operator is sampled with probability
+/// ||K|psi>||^2 and applied (renormalized). Averaging trajectories
+/// converges to the density-matrix result, at vector-DD cost per run —
+/// the classic memory/samples trade-off.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "sim/noise.hpp"
+#include "sim/stats.hpp"
+
+namespace ddsim::sim {
+
+struct StochasticResult {
+  /// Histogram over full measurements of the final state, one entry per
+  /// trajectory (bit i of the key = qubit i).
+  std::map<std::uint64_t, std::size_t> counts;
+  /// Mean probability of reading |1>, per qubit, across trajectories.
+  std::vector<double> meanProbabilityOfOne;
+  std::size_t trajectories = 0;
+  double wallSeconds = 0.0;
+};
+
+/// Run \p trajectories independent noisy trajectories of \p circuit.
+/// Classical bits and mid-circuit measurements are re-sampled per
+/// trajectory. Channels are applied after every gate to each touched qubit
+/// (same convention as DensityMatrixSimulator).
+StochasticResult simulateStochastic(const ir::Circuit& circuit,
+                                    const NoiseModel& noise,
+                                    std::size_t trajectories,
+                                    std::uint64_t seed = 0);
+
+}  // namespace ddsim::sim

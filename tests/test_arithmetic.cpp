@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "algo/arithmetic.hpp"
+#include "algo/numbertheory.hpp"
+#include "algo/qft.hpp"
+#include "baseline/statevector.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim::algo {
+namespace {
+
+using ir::Circuit;
+using ir::Control;
+using ir::Qubit;
+
+std::vector<Qubit> range(Qubit first, std::size_t count) {
+  std::vector<Qubit> qs;
+  for (std::size_t i = 0; i < count; ++i) {
+    qs.push_back(static_cast<Qubit>(first + static_cast<Qubit>(i)));
+  }
+  return qs;
+}
+
+/// Run a unitary circuit from basis state |init> and return the basis state
+/// it maps to (requires the result to be a computational basis state).
+std::uint64_t mapBasisState(const Circuit& circuit, std::uint64_t init) {
+  Circuit full(circuit.numQubits(), circuit.numClbits());
+  for (std::size_t q = 0; q < circuit.numQubits(); ++q) {
+    if (((init >> q) & 1U) != 0) {
+      full.x(static_cast<Qubit>(q));
+    }
+  }
+  full.appendCircuit(circuit);
+  sim::CircuitSimulator simulator(full);
+  const auto result = simulator.run();
+  auto& pkg = simulator.package();
+  std::mt19937_64 rng(1);
+  dd::VEdge state = result.finalState;
+  const std::uint64_t outcome = pkg.measureAll(state, rng, false);
+  // Verify it really is a basis state.
+  EXPECT_NEAR(pkg.getAmplitude(state, outcome).mag2(), 1.0, 1e-7)
+      << "result is not a basis state";
+  return outcome;
+}
+
+class AdderTest : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(AdderTest, AddsModuloPowerOfTwo) {
+  const auto [n, a] = GetParam();
+  const Circuit adder = makeAdderCircuit(n, a);
+  const std::uint64_t mask = (1ULL << n) - 1;
+  for (std::uint64_t x : {0ULL, 1ULL, 3ULL, (1ULL << n) - 1, (1ULL << n) / 2}) {
+    x &= mask;
+    EXPECT_EQ(mapBasisState(adder, x), (x + a) & mask)
+        << "n=" << n << " a=" << a << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdderTest,
+                         ::testing::Combine(::testing::Values(2U, 3U, 5U),
+                                            ::testing::Values(0U, 1U, 5U, 11U)));
+
+TEST(PhiAdd, ControlledAdderRespectsControl) {
+  // 4 value qubits + 1 control on top.
+  const std::size_t n = 4;
+  Circuit circuit(n + 1);
+  const auto reg = range(0, n);
+  appendQFT(circuit, reg, false);
+  appendPhiAdd(circuit, reg, 5, false, {Control{static_cast<Qubit>(n)}});
+  appendInverseQFT(circuit, reg, false);
+
+  EXPECT_EQ(mapBasisState(circuit, 3), 3U);            // control 0: no-op
+  EXPECT_EQ(mapBasisState(circuit, 3 | (1U << n)), (8U | (1U << n)));
+}
+
+TEST(PhiAdd, SubtractIsInverse) {
+  const std::size_t n = 4;
+  Circuit circuit(n);
+  const auto reg = range(0, n);
+  appendQFT(circuit, reg, false);
+  appendPhiAdd(circuit, reg, 7);
+  appendPhiAdd(circuit, reg, 7, /*subtract=*/true);
+  appendInverseQFT(circuit, reg, false);
+  for (std::uint64_t x = 0; x < (1U << n); x += 3) {
+    EXPECT_EQ(mapBasisState(circuit, x), x);
+  }
+}
+
+class PhiAddModTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(PhiAddModTest, ModularAdditionOnAllResidues) {
+  const auto [N, a] = GetParam();
+  const std::size_t n = bitLength(N);
+  // Layout: b = 0..n, ancilla = n+1, two controls n+2, n+3.
+  const std::size_t width = n + 4;
+  const auto b = range(0, n + 1);
+  const Qubit anc = static_cast<Qubit>(n + 1);
+  const Qubit c1 = static_cast<Qubit>(n + 2);
+  const Qubit c2 = static_cast<Qubit>(n + 3);
+
+  Circuit circuit(width);
+  appendQFT(circuit, b, false);
+  appendCCPhiAddMod(circuit, b, anc, a, N, {Control{c1}, Control{c2}});
+  appendInverseQFT(circuit, b, false);
+
+  const std::uint64_t ctrlMask = (1ULL << c1) | (1ULL << c2);
+  for (std::uint64_t x = 0; x < N; ++x) {
+    // Both controls set: modular addition.
+    EXPECT_EQ(mapBasisState(circuit, x | ctrlMask), ((x + a) % N) | ctrlMask)
+        << "N=" << N << " a=" << a << " x=" << x;
+  }
+  // One control set only: identity (and ancilla restored).
+  EXPECT_EQ(mapBasisState(circuit, 2 | (1ULL << c1)), 2 | (1ULL << c1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, PhiAddModTest,
+                         ::testing::Values(std::make_tuple(5U, 3U),
+                                           std::make_tuple(7U, 1U),
+                                           std::make_tuple(7U, 6U),
+                                           std::make_tuple(15U, 8U),
+                                           std::make_tuple(13U, 12U)));
+
+TEST(CMultMod, MultiplyAccumulate) {
+  const std::uint64_t N = 7;
+  const std::uint64_t a = 3;
+  const std::size_t n = bitLength(N);
+  // Layout: b = 0..n, x = n+1..2n, ancilla = 2n+1, control = 2n+2.
+  const std::size_t width = 2 * n + 3;
+  const auto b = range(0, n + 1);
+  const auto x = range(static_cast<Qubit>(n + 1), n);
+  const Qubit anc = static_cast<Qubit>(2 * n + 1);
+  const Qubit ctrl = static_cast<Qubit>(2 * n + 2);
+
+  Circuit circuit(width);
+  appendCMultMod(circuit, x, b, anc, a, N, ctrl);
+
+  for (std::uint64_t xv = 0; xv < N; ++xv) {
+    const std::uint64_t init = (xv << (n + 1)) | (1ULL << ctrl);
+    const std::uint64_t expectB = a * xv % N;
+    EXPECT_EQ(mapBasisState(circuit, init),
+              (expectB | init))
+        << "x=" << xv;
+    // Control off: identity.
+    EXPECT_EQ(mapBasisState(circuit, xv << (n + 1)), xv << (n + 1));
+  }
+}
+
+class CUaTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(CUaTest, ModularMultiplicationInPlace) {
+  const auto [N, a] = GetParam();
+  ASSERT_EQ(gcd(a, N), 1U);
+  const std::size_t n = bitLength(N);
+  const std::size_t width = 2 * n + 3;
+  const auto b = range(0, n + 1);
+  const auto x = range(static_cast<Qubit>(n + 1), n);
+  const Qubit anc = static_cast<Qubit>(2 * n + 1);
+  const Qubit ctrl = static_cast<Qubit>(2 * n + 2);
+
+  Circuit circuit(width);
+  appendCUa(circuit, x, b, anc, a, N, ctrl);
+
+  for (std::uint64_t xv = 1; xv < N; ++xv) {
+    const std::uint64_t init = (xv << (n + 1)) | (1ULL << ctrl);
+    const std::uint64_t expected =
+        ((a * xv % N) << (n + 1)) | (1ULL << ctrl);
+    EXPECT_EQ(mapBasisState(circuit, init), expected)
+        << "N=" << N << " a=" << a << " x=" << xv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, CUaTest,
+                         ::testing::Values(std::make_tuple(5U, 2U),
+                                           std::make_tuple(7U, 3U),
+                                           std::make_tuple(9U, 4U),
+                                           std::make_tuple(15U, 7U)));
+
+TEST(CUa, RejectsNonCoprimeMultiplier) {
+  Circuit circuit(9);
+  EXPECT_THROW(
+      appendCUa(circuit, range(4, 3), range(0, 4), 7, 3, 9, 8),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddsim::algo

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "algo/benchmarks.hpp"
+#include "algo/numbertheory.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim::algo {
+namespace {
+
+TEST(Benchmarks, GroverNames) {
+  const auto circuit = makeBenchmark("grover_8");
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->numQubits(), 8U);
+
+  const auto withMarked = makeBenchmark("grover_6_11");
+  ASSERT_TRUE(withMarked.has_value());
+  EXPECT_EQ(withMarked->numQubits(), 6U);
+}
+
+TEST(Benchmarks, ShorNames) {
+  const auto gate = makeBenchmark("shor_15_7");
+  ASSERT_TRUE(gate.has_value());
+  EXPECT_EQ(gate->numQubits(), 11U);
+
+  const auto oracle = makeBenchmark("shordd_15_7");
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_EQ(oracle->numQubits(), 5U);
+}
+
+TEST(Benchmarks, SupremacyNames) {
+  const auto circuit = makeBenchmark("supremacy_3x4_10");
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->numQubits(), 12U);
+
+  const auto seeded = makeBenchmark("supremacy_3x4_10_7");
+  ASSERT_TRUE(seeded.has_value());
+  // Different seed produces a different circuit.
+  bool differs = seeded->numOps() != circuit->numOps();
+  for (std::size_t i = 0; !differs && i < circuit->numOps(); ++i) {
+    differs = circuit->ops()[i]->toString() != seeded->ops()[i]->toString();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Benchmarks, QftName) {
+  const auto circuit = makeBenchmark("qft_12");
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->numQubits(), 12U);
+}
+
+TEST(Benchmarks, TextbookNames) {
+  EXPECT_EQ(makeBenchmark("ghz_24")->numQubits(), 24U);
+  EXPECT_EQ(makeBenchmark("wstate_16")->numQubits(), 16U);
+  EXPECT_EQ(makeBenchmark("bv_24")->numQubits(), 25U);      // + ancilla
+  EXPECT_EQ(makeBenchmark("bv_8_129")->numQubits(), 9U);
+  EXPECT_EQ(makeBenchmark("qpe_10")->numQubits(), 11U);     // + eigenstate
+  EXPECT_EQ(makeBenchmark("qpe_8_3")->numClbits(), 8U);
+  EXPECT_FALSE(makeBenchmark("bv_8_256").has_value());      // hidden too wide
+}
+
+TEST(Benchmarks, QaoaNames) {
+  const auto circuit = makeBenchmark("qaoa_8_2");
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->numQubits(), 8U);
+  EXPECT_FALSE(makeBenchmark("qaoa_8_0").has_value());
+  // Different seeds give different graphs.
+  const auto a = makeBenchmark("qaoa_8_1_1");
+  const auto b = makeBenchmark("qaoa_8_1_2");
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->flatGateCount(), b->flatGateCount());
+}
+
+TEST(Benchmarks, UnknownNamesRejected) {
+  EXPECT_FALSE(makeBenchmark("").has_value());
+  EXPECT_FALSE(makeBenchmark("frobnicate_3").has_value());
+  EXPECT_FALSE(makeBenchmark("grover").has_value());
+  EXPECT_FALSE(makeBenchmark("grover_x").has_value());
+  EXPECT_FALSE(makeBenchmark("shor_15").has_value());
+  EXPECT_FALSE(makeBenchmark("supremacy_44_10").has_value());
+  // Well-formed but invalid instance (a not co-prime to N).
+  EXPECT_FALSE(makeBenchmark("shor_15_5").has_value());
+}
+
+TEST(Benchmarks, ExamplesAllParse) {
+  for (const auto& name : benchmarkExamples()) {
+    if (name == "shordd_2561_2409") {
+      continue;  // large instance: parseable but slow to *simulate*; still
+                 // must construct
+    }
+    EXPECT_TRUE(makeBenchmark(name).has_value()) << name;
+  }
+}
+
+TEST(Benchmarks, LargeOracleInstanceConstructs) {
+  // The paper's shor_2561_2409_27 instance (DD-construct variant): circuit
+  // construction must work; the oracle tables are only materialized at
+  // simulation time.
+  const auto circuit = makeBenchmark("shordd_2561_2409");
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->numQubits(), bitLength(2561) + 1);
+}
+
+TEST(Benchmarks, NamedGroverSimulates) {
+  const auto circuit = makeBenchmark("grover_6");
+  ASSERT_TRUE(circuit.has_value());
+  const auto result = sim::simulate(*circuit);
+  EXPECT_GT(result.stats.appliedGates, 0U);
+}
+
+}  // namespace
+}  // namespace ddsim::algo

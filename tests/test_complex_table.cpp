@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dd/complex_table.hpp"
+
+namespace ddsim::dd {
+namespace {
+
+TEST(ComplexValue, Arithmetic) {
+  const ComplexValue a{1.0, 2.0};
+  const ComplexValue b{-0.5, 1.0};
+  const ComplexValue sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.r, 0.5);
+  EXPECT_DOUBLE_EQ(sum.i, 3.0);
+  const ComplexValue prod = a * b;
+  EXPECT_DOUBLE_EQ(prod.r, 1.0 * -0.5 - 2.0 * 1.0);
+  EXPECT_DOUBLE_EQ(prod.i, 1.0 * 1.0 + 2.0 * -0.5);
+  const ComplexValue quot = prod / b;
+  EXPECT_NEAR(quot.r, a.r, 1e-12);
+  EXPECT_NEAR(quot.i, a.i, 1e-12);
+}
+
+TEST(ComplexValue, Predicates) {
+  EXPECT_TRUE((ComplexValue{0.0, 0.0}).exactlyZero());
+  EXPECT_TRUE((ComplexValue{1.0, 0.0}).exactlyOne());
+  EXPECT_TRUE((ComplexValue{1e-14, -1e-14}).approximatelyZero());
+  EXPECT_FALSE((ComplexValue{1e-6, 0.0}).approximatelyZero());
+  EXPECT_TRUE((ComplexValue{1.0 + 1e-14, 1e-14}).approximatelyOne());
+  EXPECT_TRUE(
+      (ComplexValue{0.5, 0.5}).approximatelyEquals(ComplexValue{0.5 + 1e-14, 0.5}));
+}
+
+TEST(ComplexValue, MagnitudeAndConj) {
+  const ComplexValue z{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(z.mag2(), 25.0);
+  EXPECT_DOUBLE_EQ(z.mag(), 5.0);
+  EXPECT_DOUBLE_EQ(z.conj().i, -4.0);
+}
+
+TEST(ComplexValue, ToString) {
+  EXPECT_EQ((ComplexValue{0.5, 0.0}).toString(), "0.5");
+  EXPECT_EQ((ComplexValue{0.0, -1.0}).toString(), "-1i");
+  EXPECT_EQ((ComplexValue{0.5, 0.5}).toString(), "0.5+0.5i");
+}
+
+TEST(ComplexTable, CanonicalZeroAndOne) {
+  ComplexTable tab;
+  EXPECT_EQ(tab.lookup(0.0, 0.0), tab.zero());
+  EXPECT_EQ(tab.lookup(1.0, 0.0), tab.one());
+  // within tolerance of the constants
+  EXPECT_EQ(tab.lookup(1e-14, -1e-14), tab.zero());
+  EXPECT_EQ(tab.lookup(1.0 + 1e-14, 1e-14), tab.one());
+  EXPECT_TRUE(tab.zero()->exactlyZero());
+  EXPECT_TRUE(tab.one()->exactlyOne());
+}
+
+TEST(ComplexTable, DeduplicatesWithinTolerance) {
+  ComplexTable tab;
+  const CWeight a = tab.lookup(0.25, -0.75);
+  const CWeight b = tab.lookup(0.25 + 1e-14, -0.75 - 1e-14);
+  EXPECT_EQ(a, b);
+  const CWeight c = tab.lookup(0.25 + 1e-3, -0.75);
+  EXPECT_NE(a, c);
+}
+
+TEST(ComplexTable, NearBucketBoundary) {
+  // Values straddling a grid-cell boundary must still canonicalize together;
+  // the 3x3 neighbourhood search handles this.
+  ComplexTable tab;
+  const double x = 3.0 * tab.tolerance();  // lands exactly on a cell edge
+  const CWeight a = tab.lookup(x - 1e-14, 0.0);
+  const CWeight b = tab.lookup(x + 1e-14, 0.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ComplexTable, SizeGrowsOnlyForDistinctValues) {
+  ComplexTable tab;
+  const std::size_t initial = tab.size();
+  for (int i = 0; i < 100; ++i) {
+    tab.lookup(0.123456, 0.654321);
+  }
+  EXPECT_EQ(tab.size(), initial + 1);
+  EXPECT_GE(tab.hits(), 99U);
+}
+
+TEST(ComplexTable, GarbageCollectRecyclesUnreferencedEntries) {
+  ComplexTable tab;
+  const CWeight keep = tab.lookup(0.111, 0.222);
+  const CWeight pin = tab.lookup(0.333, 0.444);
+  tab.incRef(pin);
+  for (int i = 0; i < 100; ++i) {
+    tab.lookup(0.5 + i * 1e-3, -0.25);
+  }
+  const std::size_t before = tab.size();
+  const std::size_t collected = tab.garbageCollect({keep});
+  EXPECT_EQ(collected, 100U);
+  EXPECT_EQ(tab.size(), before - 100);
+  // Survivors keep their identity.
+  EXPECT_EQ(tab.lookup(0.111, 0.222), keep);
+  EXPECT_EQ(tab.lookup(0.333, 0.444), pin);
+  // Constants are never collected.
+  tab.garbageCollect({});
+  EXPECT_TRUE(tab.zero()->exactlyZero());
+  EXPECT_TRUE(tab.one()->exactlyOne());
+}
+
+TEST(ComplexTable, RootRefCountingIsBalanced) {
+  ComplexTable tab;
+  const CWeight w = tab.lookup(0.9, -0.9);
+  tab.incRef(w);
+  tab.incRef(w);
+  tab.decRef(w);
+  // Still pinned by one reference.
+  EXPECT_EQ(tab.garbageCollect({}), 0U);
+  tab.decRef(w);
+  EXPECT_EQ(tab.garbageCollect({}), 1U);
+  // Constants tolerate arbitrary inc/dec.
+  tab.incRef(tab.zero());
+  tab.decRef(tab.zero());
+  tab.decRef(tab.one());
+}
+
+TEST(ComplexTable, FreedEntriesAreReused) {
+  ComplexTable tab;
+  const CWeight a = tab.lookup(0.123, 0.456);
+  tab.garbageCollect({});
+  const CWeight b = tab.lookup(0.789, -0.123);
+  EXPECT_EQ(a, b);  // the recycled slot is handed out again
+  EXPECT_NEAR(b->r, 0.789, 1e-12);
+}
+
+TEST(ComplexTable, ManyRandomLookupsAreStable) {
+  ComplexTable tab;
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = dist(rng);
+    const double im = dist(rng);
+    const CWeight first = tab.lookup(r, im);
+    const CWeight second = tab.lookup(r, im);
+    ASSERT_EQ(first, second);
+    ASSERT_TRUE(first->approximatelyEquals({r, im}, tab.tolerance()));
+  }
+}
+
+}  // namespace
+}  // namespace ddsim::dd

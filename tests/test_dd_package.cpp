@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "dd/package.hpp"
+#include "ir/gate.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::dd {
+namespace {
+
+TEST(Package, RejectsBadQubitCounts) {
+  EXPECT_THROW(Package(0), std::invalid_argument);
+  EXPECT_THROW(Package(63), std::invalid_argument);
+  EXPECT_NO_THROW(Package(1));
+}
+
+TEST(Package, ZeroStateStructure) {
+  Package p(3);
+  const VEdge zero = p.makeZeroState();
+  // |000>: one node per qubit plus the terminal.
+  EXPECT_EQ(p.size(zero), 4U);
+  EXPECT_TRUE(zero.w->exactlyOne());
+  auto vec = p.getVector(zero);
+  EXPECT_NEAR(vec[0].r, 1.0, 1e-12);
+  for (std::size_t i = 1; i < vec.size(); ++i) {
+    EXPECT_NEAR(vec[i].mag2(), 0.0, 1e-12);
+  }
+}
+
+TEST(Package, BasisStates) {
+  Package p(4);
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const VEdge v = p.makeBasisState(bits);
+    const auto amp = p.getAmplitude(v, bits);
+    EXPECT_NEAR(amp.r, 1.0, 1e-12);
+    EXPECT_NEAR(p.norm2(v), 1.0, 1e-12);
+    // All other amplitudes vanish.
+    for (std::uint64_t other = 0; other < 16; ++other) {
+      if (other != bits) {
+        EXPECT_NEAR(p.getAmplitude(v, other).mag2(), 0.0, 1e-12);
+      }
+    }
+  }
+  EXPECT_THROW(p.makeBasisState(16), std::invalid_argument);
+}
+
+TEST(Package, CanonicityIdenticalStatesShareNodes) {
+  Package p(5);
+  std::mt19937_64 rng(7);
+  const auto amps = test::randomAmplitudes(5, rng);
+  const VEdge a = p.makeStateFromVector(amps);
+  const VEdge b = p.makeStateFromVector(amps);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.w, b.w);
+}
+
+TEST(Package, StateFromVectorRoundTrip) {
+  Package p(6);
+  std::mt19937_64 rng(3);
+  const auto amps = test::randomAmplitudes(6, rng);
+  const VEdge v = p.makeStateFromVector(amps);
+  test::expectAmplitudesNear(p.getVector(v), amps);
+  EXPECT_NEAR(p.norm2(v), 1.0, 1e-9);
+}
+
+TEST(Package, RedundantStateCompresses) {
+  // Uniform superposition: every level has identical sub-vectors, so the DD
+  // collapses to one node per qubit (the compactness argument of Fig. 2).
+  Package p(8);
+  std::vector<ComplexValue> amps(1ULL << 8, ComplexValue{1.0 / 16.0, 0.0});
+  const VEdge v = p.makeStateFromVector(amps);
+  EXPECT_EQ(p.size(v), 9U);
+}
+
+TEST(Package, NormalizationMaxMagnitudeIsOne) {
+  Package p(4);
+  std::mt19937_64 rng(11);
+  const VEdge v = p.makeStateFromVector(test::randomAmplitudes(4, rng));
+  // Walk all reachable nodes and check the normalization invariant.
+  std::vector<const VNode*> stack{v.p};
+  while (!stack.empty()) {
+    const VNode* n = stack.back();
+    stack.pop_back();
+    if (n->isTerminal()) {
+      continue;
+    }
+    double maxMag = 0;
+    for (const auto& e : n->e) {
+      maxMag = std::max(maxMag, e.w->mag2());
+      stack.push_back(e.p);
+    }
+    EXPECT_NEAR(maxMag, 1.0, 1e-9);
+  }
+}
+
+TEST(Package, IdentityIsLinearSize) {
+  Package p(10);
+  const MEdge id = p.makeIdent();
+  EXPECT_EQ(p.size(id), 11U);  // one node per qubit + terminal
+  EXPECT_TRUE(id.w->exactlyOne());
+}
+
+TEST(Package, IdentityActsTrivially) {
+  Package p(5);
+  std::mt19937_64 rng(19);
+  const VEdge v = p.makeStateFromVector(test::randomAmplitudes(5, rng));
+  const VEdge w = p.multiply(p.makeIdent(), v);
+  EXPECT_EQ(w.p, v.p);
+  EXPECT_NEAR(p.fidelity(v, w), 1.0, 1e-10);
+}
+
+TEST(Package, GateDDIsLinearForSingleQubitGate) {
+  // The motivating observation of Section III: elementary-operation DDs are
+  // linear in the number of qubits.
+  Package p(16);
+  const GateMatrix h = ir::gateMatrix(ir::GateType::H);
+  const MEdge gate = p.makeGateDD(h, 7);
+  EXPECT_EQ(p.size(gate), 17U);
+}
+
+TEST(Package, GateDDControlValidation) {
+  Package p(3);
+  const GateMatrix x = ir::gateMatrix(ir::GateType::X);
+  EXPECT_THROW(p.makeGateDD(x, 1, {Control{1}}), std::invalid_argument);
+  EXPECT_THROW(p.makeGateDD(x, 1, {Control{5}}), std::invalid_argument);
+}
+
+TEST(Package, RefCountingKeepsRootsAliveThroughGC) {
+  Package p(4);
+  std::mt19937_64 rng(23);
+  const auto amps = test::randomAmplitudes(4, rng);
+  VEdge v = p.makeStateFromVector(amps);
+  p.incRef(v);
+
+  // Generate garbage.
+  for (int i = 0; i < 50; ++i) {
+    p.makeStateFromVector(test::randomAmplitudes(4, rng));
+  }
+  const std::size_t before = p.vNodeCount();
+  const std::size_t collected = p.garbageCollect();
+  EXPECT_GT(collected, 0U);
+  EXPECT_LT(p.vNodeCount(), before);
+
+  // The rooted state is intact.
+  test::expectAmplitudesNear(p.getVector(v), amps);
+  p.decRef(v);
+}
+
+TEST(Package, GarbageCollectReclaimsUnreferencedNodes) {
+  Package p(6);
+  std::mt19937_64 rng(29);
+  for (int i = 0; i < 10; ++i) {
+    p.makeStateFromVector(test::randomAmplitudes(6, rng));
+  }
+  EXPECT_GT(p.vNodeCount(), 0U);
+  p.garbageCollect();
+  EXPECT_EQ(p.vNodeCount(), 0U);
+  // Identity DDs are pinned and survive.
+  const MEdge id = p.makeIdent();
+  p.garbageCollect();
+  EXPECT_EQ(p.size(id), 7U);
+}
+
+TEST(Package, GarbageCollectSweepsComplexTable) {
+  Package p(6);
+  std::mt19937_64 rng(41);
+  const auto amps = test::randomAmplitudes(6, rng);
+  VEdge keep = p.makeStateFromVector(amps);
+  p.incRef(keep);
+  for (int i = 0; i < 20; ++i) {
+    p.makeStateFromVector(test::randomAmplitudes(6, rng));
+  }
+  const std::size_t before = p.complexTable().size();
+  p.garbageCollect();
+  EXPECT_LT(p.complexTable().size(), before);
+  // The rooted state (including its canonical weights) is intact.
+  test::expectAmplitudesNear(p.getVector(keep), amps);
+  EXPECT_NEAR(p.norm2(keep), 1.0, 1e-9);
+  p.decRef(keep);
+}
+
+TEST(Package, ComplexTableStaysBoundedOverManyGenerations) {
+  Package p(5);
+  std::mt19937_64 rng(43);
+  std::size_t peak = 0;
+  for (int gen = 0; gen < 30; ++gen) {
+    p.makeStateFromVector(test::randomAmplitudes(5, rng));
+    p.garbageCollect();
+    peak = std::max(peak, p.complexTable().size());
+  }
+  // Without weight GC this would be ~30 generations x 32 fresh weights; with
+  // it, at most one generation's weights are alive after each sweep.
+  EXPECT_LT(peak, 200U);
+}
+
+TEST(Package, SizeCountsSharedNodesOnce) {
+  Package p(2);
+  // |00> + |11> (Bell pair, unnormalized weights handled by the package).
+  std::vector<ComplexValue> amps = {
+      {std::numbers::sqrt2 / 2, 0}, {0, 0}, {0, 0}, {std::numbers::sqrt2 / 2, 0}};
+  const VEdge bell = p.makeStateFromVector(amps);
+  // Root, two distinct level-0 nodes, terminal.
+  EXPECT_EQ(p.size(bell), 4U);
+  EXPECT_NEAR(p.norm2(bell), 1.0, 1e-12);
+}
+
+TEST(Package, CacheStatsReflectMemoization) {
+  Package p(6);
+  std::mt19937_64 rng(47);
+  const VEdge v = p.makeStateFromVector(test::randomAmplitudes(6, rng));
+  const MEdge h = p.makeGateDD(ir::gateMatrix(ir::GateType::H), 2);
+  // First application populates the caches, second hits them.
+  (void)p.multiply(h, v);
+  const CacheStats before = p.cacheStats();
+  (void)p.multiply(h, v);
+  const CacheStats after = p.cacheStats();
+  EXPECT_GT(after.mulMVHits, before.mulMVHits);
+  EXPECT_EQ(after.mulMVMisses, before.mulMVMisses);
+  // Constructing the same state twice is pure unique-table hits.
+  EXPECT_GT(after.uniqueTableHits + after.uniqueTableMisses, 0U);
+  EXPECT_GT(after.complexTableHits, 0U);
+  EXPECT_GT(CacheStats::rate(after.mulMVHits, after.mulMVMisses), 0.0);
+  EXPECT_EQ(CacheStats::rate(0, 0), 0.0);
+}
+
+TEST(Package, StatsTrackPeakNodes) {
+  Package p(6);
+  std::mt19937_64 rng(31);
+  p.makeStateFromVector(test::randomAmplitudes(6, rng));
+  EXPECT_GT(p.stats().peakLiveNodes, 0U);
+}
+
+TEST(Package, MakeMatrixFromDenseRoundTrip) {
+  Package p(3);
+  std::mt19937_64 rng(37);
+  std::normal_distribution<double> dist;
+  std::vector<ComplexValue> m(64);
+  for (auto& e : m) {
+    e = {dist(rng), dist(rng)};
+  }
+  const MEdge dd = p.makeMatrixFromDense(m);
+  const auto back = p.getMatrix(dd);
+  test::expectAmplitudesNear(back, m);
+}
+
+TEST(Package, PermutationDDMatchesTable) {
+  Package p(3);
+  const std::vector<std::uint64_t> perm = {3, 1, 0, 2, 7, 6, 5, 4};
+  const MEdge dd = p.makePermutationDD(perm);
+  const auto mat = p.getMatrix(dd);
+  const std::size_t dim = 8;
+  for (std::size_t col = 0; col < dim; ++col) {
+    for (std::size_t row = 0; row < dim; ++row) {
+      const double expected = perm[col] == row ? 1.0 : 0.0;
+      EXPECT_NEAR(mat[row * dim + col].r, expected, 1e-12)
+          << "row " << row << " col " << col;
+      EXPECT_NEAR(mat[row * dim + col].i, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Package, PermutationDDIdentityIsCompact) {
+  Package p(8);
+  std::vector<std::uint64_t> identity(256);
+  for (std::uint64_t i = 0; i < identity.size(); ++i) {
+    identity[i] = i;
+  }
+  const MEdge dd = p.makePermutationDD(identity);
+  EXPECT_EQ(p.size(dd), 9U);
+  EXPECT_EQ(dd.p, p.makeIdent().p);
+}
+
+TEST(Package, PermutationDDRejectsNonBijections) {
+  Package p(2);
+  EXPECT_THROW(p.makePermutationDD({0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Package, ControlledPermutationDD) {
+  Package p(3);
+  // X on the low 2 qubits' value (x -> x ^ 3), controlled on qubit 2.
+  const std::vector<std::uint64_t> perm = {3, 2, 1, 0};
+  const MEdge dd = p.makePermutationDD(perm, {Control{2}});
+  const auto mat = p.getMatrix(dd);
+  const std::size_t dim = 8;
+  for (std::size_t col = 0; col < dim; ++col) {
+    const std::size_t expectRow =
+        (col & 4U) != 0 ? (4U | perm[col & 3U]) : col;
+    for (std::size_t row = 0; row < dim; ++row) {
+      EXPECT_NEAR(mat[row * dim + col].r, row == expectRow ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddsim::dd

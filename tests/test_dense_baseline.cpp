@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "baseline/dense_matrix.hpp"
+#include "baseline/statevector.hpp"
+#include "ir/gate.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::baseline {
+namespace {
+
+TEST(DenseMatrix, IdentityAndMultiply) {
+  const DenseMatrix id = DenseMatrix::identity(4);
+  DenseMatrix m(4);
+  m.at(0, 1) = {1.0, 2.0};
+  m.at(3, 2) = {-1.0, 0.5};
+  EXPECT_TRUE((id * m).approxEquals(m));
+  EXPECT_TRUE((m * id).approxEquals(m));
+}
+
+TEST(DenseMatrix, KroneckerDimensions) {
+  const DenseMatrix a = DenseMatrix::identity(2);
+  const DenseMatrix b = DenseMatrix::identity(4);
+  EXPECT_EQ(a.kron(b).dim(), 8U);
+  EXPECT_TRUE(a.kron(b).approxEquals(DenseMatrix::identity(8)));
+}
+
+TEST(DenseMatrix, DaggerInvolution) {
+  DenseMatrix m(2);
+  m.at(0, 0) = {1.0, 1.0};
+  m.at(0, 1) = {0.0, -2.0};
+  m.at(1, 0) = {3.0, 0.0};
+  m.at(1, 1) = {0.5, 0.25};
+  EXPECT_TRUE(m.dagger().dagger().approxEquals(m));
+  EXPECT_EQ(m.dagger().at(1, 0), std::conj(m.at(0, 1)));
+}
+
+TEST(DenseMatrix, GateUnitarity) {
+  EXPECT_TRUE(DenseMatrix::fromGate(ir::gateMatrix(ir::GateType::H)).isUnitary());
+  DenseMatrix notUnitary(2);
+  notUnitary.at(0, 0) = 2.0;
+  EXPECT_FALSE(notUnitary.isUnitary());
+}
+
+TEST(ExpandGate, CXTruthTable) {
+  // CX with control 0, target 1 permutes |01> <-> |11>.
+  const DenseMatrix cx =
+      expandGate(ir::gateMatrix(ir::GateType::X), 2, 1, {dd::Control{0}});
+  EXPECT_NEAR(cx.at(0, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(cx.at(3, 1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(cx.at(1, 3).real(), 1.0, 1e-12);
+  EXPECT_NEAR(cx.at(2, 2).real(), 1.0, 1e-12);
+  EXPECT_TRUE(cx.isUnitary());
+}
+
+TEST(ExpandGate, NegativeControl) {
+  const DenseMatrix m = expandGate(ir::gateMatrix(ir::GateType::X), 2, 1,
+                                   {dd::Control{0, false}});
+  // applies X on target when control reads |0>: |00> <-> |10>.
+  EXPECT_NEAR(m.at(2, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(0, 2).real(), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(1, 1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(3, 3).real(), 1.0, 1e-12);
+}
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-12);
+}
+
+TEST(StateVector, HadamardSuperposition) {
+  StateVector sv(1);
+  sv.applyGate(ir::gateMatrix(ir::GateType::H), 0);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), std::numbers::sqrt2 / 2, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), std::numbers::sqrt2 / 2, 1e-12);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  sv.applyGate(ir::gateMatrix(ir::GateType::H), 0);
+  sv.applyGate(ir::gateMatrix(ir::GateType::X), 1, {dd::Control{0}});
+  EXPECT_NEAR(std::norm(sv.amplitude(0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(3)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(2)), 0.0, 1e-12);
+}
+
+TEST(StateVector, GateApplicationMatchesDenseOperator) {
+  std::mt19937_64 rng(77);
+  StateVector sv(4);
+  // Drive into a generic state first.
+  sv.applyGate(ir::gateMatrix(ir::GateType::H), 0);
+  sv.applyGate(ir::gateMatrix(ir::GateType::T), 0);
+  sv.applyGate(ir::gateMatrix(ir::GateType::H), 2);
+  sv.applyGate(ir::gateMatrix(ir::GateType::X), 3, {dd::Control{2}});
+
+  const double theta = 0.77;
+  const auto g = ir::gateMatrix(ir::GateType::RY, &theta);
+  const dd::Controls controls{dd::Control{0}, dd::Control{3, false}};
+  const DenseMatrix op = expandGate(g, 4, 1, controls);
+  const auto expected = op * sv.amplitudes();
+  sv.applyGate(g, 1, controls);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitudes()[i] - expected[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(StateVector, SwapExchangesQubits) {
+  StateVector sv(2);
+  sv.applyGate(ir::gateMatrix(ir::GateType::X), 0);  // |01>
+  sv.applySwap(0, 1);                                // -> |10>
+  EXPECT_NEAR(std::norm(sv.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(StateVector, ControlledSwapRespectsControl) {
+  StateVector sv(3);
+  sv.applyGate(ir::gateMatrix(ir::GateType::X), 0);
+  sv.applySwap(0, 1, {dd::Control{2}});  // control |0>: no-op
+  EXPECT_NEAR(std::norm(sv.amplitude(1)), 1.0, 1e-12);
+  sv.applyGate(ir::gateMatrix(ir::GateType::X), 2);
+  sv.applySwap(0, 1, {dd::Control{2}});  // control |1>: swap
+  EXPECT_NEAR(std::norm(sv.amplitude(0b110)), 1.0, 1e-12);
+}
+
+TEST(StateVector, OracleAppliesPermutation) {
+  StateVector sv(3);
+  sv.setBasisState(0b011);
+  const ir::OracleOperation oracle(
+      "inc", 3, [](std::uint64_t x) { return (x + 1) % 8; });
+  sv.applyOracle(oracle);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b100)), 1.0, 1e-12);
+}
+
+TEST(StateVector, ControlledOracle) {
+  StateVector sv(3);
+  sv.setBasisState(0b001);  // control (qubit 2) is 0
+  const ir::OracleOperation oracle(
+      "inc", 2, [](std::uint64_t x) { return (x + 1) % 4; },
+      {dd::Control{2}});
+  sv.applyOracle(oracle);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b001)), 1.0, 1e-12);  // unchanged
+  sv.setBasisState(0b101);  // control is 1
+  sv.applyOracle(oracle);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b110)), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasurementCollapses) {
+  StateVector sv(2);
+  sv.applyGate(ir::gateMatrix(ir::GateType::H), 0);
+  sv.applyGate(ir::gateMatrix(ir::GateType::X), 1, {dd::Control{0}});
+  std::mt19937_64 rng(5);
+  const int m0 = sv.measureCollapsing(0, rng);
+  // Entangled pair: the second qubit must agree.
+  EXPECT_NEAR(sv.probabilityOfOne(1), m0 == 1 ? 1.0 : 0.0, 1e-12);
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-12);
+}
+
+TEST(StateVector, RunCircuitHandlesAllOpKinds) {
+  // Bell pair, then a conditional X undoes the correlation: qubit 1 always
+  // ends in |0> regardless of the measurement outcome on qubit 0.
+  ir::Circuit circuit(2, 2);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  circuit.barrier();
+  circuit.measure(0, 0);
+  circuit.classicControlled(ir::GateType::X, 1, {}, {}, 0);
+  circuit.measure(1, 1);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto result = runOnStateVector(circuit, seed);
+    EXPECT_FALSE(result.classicalBits[1]) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ddsim::baseline

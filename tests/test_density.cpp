@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numbers>
+
+#include "baseline/statevector.hpp"
+#include "dd/pauli.hpp"
+#include "sim/density.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::sim {
+namespace {
+
+TEST(NoiseChannels, AllBuiltinsAreTracePreserving) {
+  for (const double p : {0.0, 0.01, 0.3, 1.0}) {
+    EXPECT_TRUE(NoiseChannel::depolarizing(p).isTracePreserving()) << p;
+    EXPECT_TRUE(NoiseChannel::bitFlip(p).isTracePreserving()) << p;
+    EXPECT_TRUE(NoiseChannel::phaseFlip(p).isTracePreserving()) << p;
+    EXPECT_TRUE(NoiseChannel::amplitudeDamping(p).isTracePreserving()) << p;
+    EXPECT_TRUE(NoiseChannel::phaseDamping(p).isTracePreserving()) << p;
+  }
+}
+
+TEST(NoiseChannels, RejectsBadParameters) {
+  EXPECT_THROW(NoiseChannel::depolarizing(-0.1), std::invalid_argument);
+  EXPECT_THROW(NoiseChannel::amplitudeDamping(1.5), std::invalid_argument);
+  EXPECT_THROW(NoiseChannel("empty", {}), std::invalid_argument);
+}
+
+TEST(NoiseChannels, NonTracePreservingDetected) {
+  const NoiseChannel broken(
+      "broken", {dd::GateMatrix{dd::ComplexValue{0.5, 0}, {0, 0}, {0, 0}, {0.5, 0}}});
+  EXPECT_FALSE(broken.isTracePreserving());
+  ir::Circuit circuit(1);
+  circuit.h(0);
+  EXPECT_THROW(DensityMatrixSimulator(circuit, NoiseModel{{broken}}),
+               std::invalid_argument);
+}
+
+TEST(Density, NoiselessMatchesVectorSimulation) {
+  const auto circuit = test::randomCircuit(4, 30, 55);
+  DensityMatrixSimulator dsim(circuit);
+  const auto dres = dsim.run();
+
+  CircuitSimulator vsim(circuit);
+  const auto vres = vsim.run();
+  const auto amps = vsim.package().getVector(vres.finalState);
+
+  // rho = |psi><psi|: check diagonal and trace/purity.
+  EXPECT_NEAR(dsim.trace(dres.rho), 1.0, 1e-9);
+  EXPECT_NEAR(dsim.purity(dres.rho), 1.0, 1e-9);
+  for (std::uint64_t i = 0; i < amps.size(); ++i) {
+    EXPECT_NEAR(dsim.basisProbability(dres.rho, i), amps[i].mag2(), 1e-9);
+  }
+}
+
+TEST(Density, FullDensityMatrixMatchesOuterProduct) {
+  const auto circuit = test::randomCircuit(3, 20, 56);
+  DensityMatrixSimulator dsim(circuit);
+  const auto dres = dsim.run();
+  const auto rho = dsim.package().getMatrix(dres.rho);
+
+  CircuitSimulator vsim(circuit);
+  const auto amps = vsim.package().getVector(vsim.run().finalState);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const auto expected = amps[r].toStd() * std::conj(amps[c].toStd());
+      EXPECT_NEAR(rho[r * 8 + c].r, expected.real(), 1e-9);
+      EXPECT_NEAR(rho[r * 8 + c].i, expected.imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Density, DepolarizingReducesPurity) {
+  ir::Circuit circuit(2);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  NoiseModel noise{{NoiseChannel::depolarizing(0.05)}};
+  DensityMatrixSimulator dsim(circuit, noise);
+  const auto result = dsim.run();
+  EXPECT_NEAR(dsim.trace(result.rho), 1.0, 1e-9);
+  EXPECT_LT(dsim.purity(result.rho), 0.999);
+  EXPECT_GT(dsim.purity(result.rho), 0.5);
+}
+
+TEST(Density, FullDepolarizationIsMaximallyMixed) {
+  ir::Circuit circuit(1);
+  circuit.h(0);
+  NoiseModel noise{{NoiseChannel::depolarizing(1.0)}};
+  // depolarizing(p=1) maps to I/2 plus residual coherence weight 1/3 each on
+  // X rho X etc.; applying it repeatedly converges to the maximally mixed
+  // state. Use three gates to apply it thrice.
+  circuit.h(0);
+  circuit.h(0);
+  DensityMatrixSimulator dsim(circuit, noise);
+  const auto result = dsim.run();
+  EXPECT_NEAR(dsim.probabilityOfOne(result.rho, 0), 0.5, 0.15);
+  EXPECT_LT(dsim.purity(result.rho), 0.7);
+}
+
+TEST(Density, AmplitudeDampingDecaysExcitedState) {
+  // |1> through n identity-ish gates with damping converges towards |0>.
+  ir::Circuit circuit(1);
+  circuit.x(0);
+  for (int i = 0; i < 10; ++i) {
+    circuit.i(0);
+  }
+  NoiseModel noise{{NoiseChannel::amplitudeDamping(0.2)}};
+  DensityMatrixSimulator dsim(circuit, noise);
+  const auto result = dsim.run();
+  // 11 applications of gamma=0.2: P(1) = 0.8^11 ~ 0.086.
+  EXPECT_NEAR(dsim.probabilityOfOne(result.rho, 0), std::pow(0.8, 11), 1e-9);
+  EXPECT_NEAR(dsim.trace(result.rho), 1.0, 1e-9);
+}
+
+TEST(Density, PhaseFlipKillsCoherencesNotPopulations) {
+  ir::Circuit circuit(1);
+  circuit.h(0);
+  NoiseModel noise{{NoiseChannel::phaseFlip(0.5)}};  // complete dephasing
+  DensityMatrixSimulator dsim(circuit, noise);
+  const auto result = dsim.run();
+  const auto rho = dsim.package().getMatrix(result.rho);
+  EXPECT_NEAR(rho[0].r, 0.5, 1e-9);   // populations intact
+  EXPECT_NEAR(rho[3].r, 0.5, 1e-9);
+  EXPECT_NEAR(rho[1].mag2(), 0.0, 1e-12);  // off-diagonals gone
+  EXPECT_NEAR(rho[2].mag2(), 0.0, 1e-12);
+}
+
+TEST(Density, MeasurementCollapsesAndRecords) {
+  ir::Circuit circuit(2, 2);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  circuit.measure(0, 0);
+  circuit.measure(1, 1);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DensityMatrixSimulator dsim(circuit, {}, seed);
+    const auto result = dsim.run();
+    EXPECT_EQ(result.classicalBits[0], result.classicalBits[1]);
+    EXPECT_NEAR(dsim.trace(result.rho), 1.0, 1e-9);
+    EXPECT_NEAR(dsim.purity(result.rho), 1.0, 1e-9);
+  }
+}
+
+TEST(Density, ClassicControlledAndReset) {
+  ir::Circuit circuit(2, 1);
+  circuit.h(0);
+  circuit.measure(0, 0);
+  circuit.classicControlled(ir::GateType::X, 1, {}, {}, 0);
+  circuit.reset(0);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    DensityMatrixSimulator dsim(circuit, {}, seed);
+    const auto result = dsim.run();
+    EXPECT_NEAR(dsim.probabilityOfOne(result.rho, 0), 0.0, 1e-9);
+    EXPECT_NEAR(dsim.probabilityOfOne(result.rho, 1),
+                result.classicalBits[0] ? 1.0 : 0.0, 1e-9);
+  }
+}
+
+TEST(Density, ExpectationViaPauliString) {
+  ir::Circuit circuit(2);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  DensityMatrixSimulator dsim(circuit);
+  const auto result = dsim.run();
+  const dd::MEdge zz = dd::makePauliStringDD(dsim.package(), "ZZ");
+  EXPECT_NEAR(dsim.expectation(result.rho, zz).r, 1.0, 1e-9);
+  // Dephasing noise degrades <XX> but not <ZZ>.
+  NoiseModel noise{{NoiseChannel::phaseFlip(0.2)}};
+  ir::Circuit circuit2(2);
+  circuit2.h(0);
+  circuit2.cx(0, 1);
+  DensityMatrixSimulator noisy(circuit2, noise);
+  const auto nres = noisy.run();
+  const dd::MEdge zz2 = dd::makePauliStringDD(noisy.package(), "ZZ");
+  const dd::MEdge xx2 = dd::makePauliStringDD(noisy.package(), "XX");
+  EXPECT_NEAR(noisy.expectation(nres.rho, zz2).r, 1.0, 1e-9);
+  EXPECT_LT(noisy.expectation(nres.rho, xx2).r, 0.9);
+}
+
+TEST(Density, GhzDensityDDStaysCompact) {
+  ir::Circuit circuit(10);
+  circuit.h(0);
+  for (ir::Qubit q = 1; q < 10; ++q) {
+    circuit.cx(q - 1, q);
+  }
+  DensityMatrixSimulator dsim(circuit);
+  const auto result = dsim.run();
+  // |GHZ><GHZ| has 4 path families; the DD stays linear in qubit count.
+  EXPECT_LE(result.finalNodes, 4U * 10U + 2U);
+}
+
+TEST(Density, OracleOperationsSupported) {
+  ir::Circuit circuit(3);
+  circuit.h(0);
+  circuit.oracle("inc", 3, [](std::uint64_t x) { return (x + 1) % 8; });
+  DensityMatrixSimulator dsim(circuit);
+  const auto result = dsim.run();
+  // (|000>+|001>)/sqrt2 -> (|001>+|010>)/sqrt2
+  EXPECT_NEAR(dsim.basisProbability(result.rho, 1), 0.5, 1e-9);
+  EXPECT_NEAR(dsim.basisProbability(result.rho, 2), 0.5, 1e-9);
+}
+
+TEST(Density, RunTwiceThrows) {
+  ir::Circuit circuit(1);
+  circuit.h(0);
+  DensityMatrixSimulator dsim(circuit);
+  dsim.run();
+  EXPECT_THROW(dsim.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ddsim::sim

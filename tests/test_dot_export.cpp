@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "dd/dot_export.hpp"
+#include "dd/package.hpp"
+#include "ir/gate.hpp"
+
+namespace ddsim::dd {
+namespace {
+
+TEST(DotExport, VectorDDContainsAllLevels) {
+  Package p(3);
+  const VEdge v = p.makeBasisState(0b101);
+  const std::string dot = toDot(v);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q0"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+  EXPECT_NE(dot.find("q2"), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, ZeroEdgesBecomeStubs) {
+  Package p(2);
+  const VEdge v = p.makeBasisState(0);
+  const std::string dot = toDot(v);
+  // Basis state has one zero stub per level.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, SharedNodesAppearOnce) {
+  Package p(4);
+  // Uniform superposition: one node per level.
+  std::vector<ComplexValue> amps(16, ComplexValue{0.25, 0.0});
+  const VEdge v = p.makeStateFromVector(amps);
+  const std::string dot = toDot(v);
+  // Node ids n0..n4 (4 levels + terminal): n5 must not exist.
+  EXPECT_NE(dot.find("n4"), std::string::npos);
+  EXPECT_EQ(dot.find("n5"), std::string::npos);
+}
+
+TEST(DotExport, MatrixDDExports) {
+  Package p(2);
+  const MEdge cx = p.makeGateDD(ir::gateMatrix(ir::GateType::X), 1, {Control{0}});
+  const std::string dot = toDot(cx);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+}
+
+TEST(DotExport, ZeroVectorExportsZeroBox) {
+  Package p(2);
+  const std::string dot = toDot(p.vZero());
+  EXPECT_NE(dot.find("zero"), std::string::npos);
+}
+
+TEST(DotExport, EdgeWeightsAreLabelled) {
+  Package p(1);
+  const std::vector<ComplexValue> amps = {{0.6, 0.0}, {0.0, 0.8}};
+  const VEdge v = p.makeStateFromVector(amps);
+  const std::string dot = toDot(v);
+  EXPECT_NE(dot.find("label="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddsim::dd

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "algo/grover.hpp"
+#include "baseline/statevector.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim::algo {
+namespace {
+
+TEST(Grover, IterationCounts) {
+  EXPECT_EQ(groverIterations(2), 1U);
+  EXPECT_EQ(groverIterations(4), 3U);
+  EXPECT_EQ(groverIterations(8), 12U);
+  EXPECT_EQ(groverIterations(10), 25U);
+}
+
+TEST(Grover, RejectsBadArguments) {
+  EXPECT_THROW(makeGroverCircuit(1, 0), std::invalid_argument);
+  EXPECT_THROW(makeGroverCircuit(3, 8), std::invalid_argument);
+}
+
+TEST(Grover, CircuitShape) {
+  const auto circuit = makeGroverCircuit(5, 17);
+  EXPECT_EQ(circuit.numQubits(), 5U);
+  // H layer + one compound op.
+  EXPECT_EQ(circuit.numOps(), 6U);
+  EXPECT_EQ(circuit.ops()[5]->kind(), ir::OpKind::Compound);
+  const auto& comp = static_cast<const ir::CompoundOperation&>(*circuit.ops()[5]);
+  EXPECT_EQ(comp.repetitions(), groverIterations(5));
+}
+
+class GroverMarkedTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(GroverMarkedTest, AmplifiesMarkedElement) {
+  const auto [n, markedSeed] = GetParam();
+  const std::uint64_t marked = markedSeed % (1ULL << n);
+  const auto circuit = makeGroverCircuit(n, marked);
+  sim::CircuitSimulator simulator(circuit);
+  const auto result = simulator.run();
+  const double p =
+      simulator.package().getAmplitude(result.finalState, marked).mag2();
+  // The optimal iteration count pushes success probability close to 1.
+  EXPECT_GT(p, 0.8) << "n=" << n << " marked=" << marked;
+  // And it dominates every other basis state.
+  auto& pkg = simulator.package();
+  for (std::uint64_t i = 0; i < (1ULL << n); ++i) {
+    if (i != marked) {
+      EXPECT_LT(pkg.getAmplitude(result.finalState, i).mag2(), p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, GroverMarkedTest,
+    ::testing::Combine(::testing::Values(2U, 3U, 4U, 6U, 8U),
+                       ::testing::Values(0ULL, 1ULL, 6ULL, 123456789ULL)));
+
+TEST(Grover, MatchesDenseSimulation) {
+  const auto circuit = makeGroverCircuit(6, 45);
+  sim::CircuitSimulator simulator(circuit);
+  const auto result = simulator.run();
+  const auto dense = baseline::runOnStateVector(circuit);
+  const auto got = simulator.package().getVector(result.finalState);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].r, dense.state.amplitudes()[i].real(), 1e-7);
+    EXPECT_NEAR(got[i].i, dense.state.amplitudes()[i].imag(), 1e-7);
+  }
+}
+
+TEST(Grover, DDRepeatingProducesSameState) {
+  const auto circuit = makeGroverCircuit(7, 100);
+
+  sim::CircuitSimulator plain(circuit, sim::StrategyConfig::sequential());
+  const auto a = plain.run();
+
+  sim::StrategyConfig repeating = sim::StrategyConfig::sequential();
+  repeating.reuseRepeatedBlocks = true;
+  sim::CircuitSimulator reusing(circuit, repeating);
+  const auto b = reusing.run();
+
+  const auto va = plain.package().getVector(a.finalState);
+  const auto vb = reusing.package().getVector(b.finalState);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_NEAR(va[i].r, vb[i].r, 1e-7);
+    EXPECT_NEAR(va[i].i, vb[i].i, 1e-7);
+  }
+}
+
+TEST(Grover, DDRepeatingDoesFarFewerMultiplications) {
+  const auto circuit = makeGroverCircuit(9, 333);
+  const auto seq =
+      sim::simulate(circuit, sim::StrategyConfig::sequential());
+
+  sim::StrategyConfig repeating = sim::StrategyConfig::sequential();
+  repeating.reuseRepeatedBlocks = true;
+  const auto reused = sim::simulate(circuit, repeating);
+
+  // Once the block matrix exists, each iteration is a single MxV.
+  EXPECT_LT(reused.stats.mxvCount, seq.stats.mxvCount / 4);
+  EXPECT_GT(reused.stats.mxmCount, 0U);
+}
+
+TEST(Grover, DeepRunsKeepCompactDDs) {
+  // Regression: with a loose canonicalization tolerance (1e-10), snapping
+  // error re-injected on every operation de-synchronized shared subtrees
+  // for particular marked elements and the 2-valued Grover state DD blew up
+  // from ~40 nodes to hundreds of thousands within a few iterations.
+  const std::size_t n = 19;
+  const std::uint64_t marked = 900847ULL % (1ULL << n);
+  const auto circuit = makeGroverCircuit(n, marked);
+  sim::CircuitSimulator simulator(circuit);
+  const auto result = simulator.run();
+  EXPECT_LT(result.stats.peakStateNodes, 200U);
+  EXPECT_LT(result.stats.finalStateNodes, 50U);
+  const double p =
+      simulator.package().getAmplitude(result.finalState, marked).mag2();
+  EXPECT_GT(p, 0.99);
+}
+
+TEST(Grover, MeasurementFindsMarkedElement) {
+  GroverOptions options;
+  options.measure = true;
+  const auto circuit = makeGroverCircuit(5, 19, options);
+  int hits = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto result = sim::simulate(circuit, {}, seed);
+    std::uint64_t outcome = 0;
+    for (std::size_t q = 0; q < 5; ++q) {
+      outcome |= static_cast<std::uint64_t>(result.classicalBits[q]) << q;
+    }
+    hits += outcome == 19 ? 1 : 0;
+  }
+  EXPECT_GE(hits, 15);  // ~96% per-shot success probability
+}
+
+TEST(Grover, ExplicitIterationOverride) {
+  GroverOptions options;
+  options.iterations = 2;
+  const auto circuit = makeGroverCircuit(4, 7, options);
+  const auto& comp = static_cast<const ir::CompoundOperation&>(
+      *circuit.ops()[circuit.numOps() - 1]);
+  EXPECT_EQ(comp.repetitions(), 2U);
+}
+
+}  // namespace
+}  // namespace ddsim::algo

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "dd/memory_manager.hpp"
+#include "dd/node.hpp"
+#include "dd/unique_table.hpp"
+
+namespace ddsim::dd {
+namespace {
+
+TEST(MemoryManager, HandsOutDistinctNodes) {
+  MemoryManager<VNode> mm;
+  std::unordered_set<VNode*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    VNode* n = mm.get();
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(seen.insert(n).second) << "duplicate node handed out";
+  }
+  EXPECT_EQ(mm.allocated(), 1000U);
+  EXPECT_EQ(mm.inUse(), 1000U);
+  EXPECT_EQ(mm.freeListSize(), 0U);
+}
+
+TEST(MemoryManager, RecyclesFreedNodes) {
+  MemoryManager<VNode> mm;
+  VNode* a = mm.get();
+  a->v = 7;
+  a->ref = 3;
+  mm.free(a);
+  EXPECT_EQ(mm.freeListSize(), 1U);
+  VNode* b = mm.get();
+  EXPECT_EQ(a, b);  // LIFO reuse
+  // Recycled nodes come back default-initialized.
+  EXPECT_EQ(b->v, kTerminalVar);
+  EXPECT_EQ(b->ref, 0U);
+  EXPECT_EQ(mm.freeListSize(), 0U);
+}
+
+TEST(MemoryManager, SurvivesChunkBoundaries) {
+  // Chunk size 4: force many chunk allocations and interleaved frees.
+  MemoryManager<MNode> mm(4);
+  std::vector<MNode*> nodes;
+  for (int i = 0; i < 64; ++i) {
+    nodes.push_back(mm.get());
+  }
+  // Free every other node, then reallocate.
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < nodes.size(); i += 2) {
+    mm.free(nodes[i]);
+    ++freed;
+  }
+  EXPECT_EQ(mm.freeListSize(), freed);
+  for (std::size_t i = 0; i < freed; ++i) {
+    ASSERT_NE(mm.get(), nullptr);
+  }
+  EXPECT_EQ(mm.freeListSize(), 0U);
+  // Reused allocations must not have bumped the total.
+  EXPECT_EQ(mm.allocated(), 64U);
+}
+
+TEST(MemoryManager, InUseAccounting) {
+  MemoryManager<VNode> mm;
+  VNode* a = mm.get();
+  VNode* b = mm.get();
+  EXPECT_EQ(mm.inUse(), 2U);
+  mm.free(a);
+  EXPECT_EQ(mm.inUse(), 1U);
+  mm.free(b);
+  EXPECT_EQ(mm.inUse(), 0U);
+}
+
+TEST(UniqueTableDirect, DeduplicatesStructurallyEqualNodes) {
+  MemoryManager<VNode> mm;
+  UniqueTable<VNode> table(mm);
+  table.resize(2);
+
+  // Two structurally identical candidates must resolve to one node.
+  const ComplexValue half{0.5, 0.0};
+  VNode terminal;
+  terminal.v = kTerminalVar;
+
+  VNode* c1 = mm.get();
+  c1->v = 0;
+  c1->e = {VEdge{&terminal, &half}, VEdge{&terminal, &half}};
+  VNode* r1 = table.lookup(c1);
+
+  VNode* c2 = mm.get();
+  c2->v = 0;
+  c2->e = {VEdge{&terminal, &half}, VEdge{&terminal, &half}};
+  VNode* r2 = table.lookup(c2);
+
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(table.liveCount(), 1U);
+  EXPECT_EQ(table.hits(), 1U);
+  EXPECT_EQ(table.misses(), 1U);
+  // The duplicate candidate was recycled.
+  EXPECT_EQ(mm.freeListSize(), 1U);
+}
+
+TEST(UniqueTableDirect, DistinguishesDifferentWeightPointers) {
+  MemoryManager<VNode> mm;
+  UniqueTable<VNode> table(mm);
+  table.resize(1);
+
+  const ComplexValue w1{0.5, 0.0};
+  const ComplexValue w2{0.25, 0.0};
+  VNode terminal;
+  terminal.v = kTerminalVar;
+
+  VNode* c1 = mm.get();
+  c1->v = 0;
+  c1->e = {VEdge{&terminal, &w1}, VEdge{&terminal, &w2}};
+  VNode* r1 = table.lookup(c1);
+
+  VNode* c2 = mm.get();
+  c2->v = 0;
+  c2->e = {VEdge{&terminal, &w2}, VEdge{&terminal, &w1}};
+  VNode* r2 = table.lookup(c2);
+
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(table.liveCount(), 2U);
+}
+
+TEST(UniqueTableDirect, GarbageCollectRemovesUnreferenced) {
+  MemoryManager<VNode> mm;
+  UniqueTable<VNode> table(mm);
+  table.resize(1);
+  const ComplexValue w{0.5, 0.0};
+  VNode terminal;
+  terminal.v = kTerminalVar;
+
+  std::vector<VNode*> nodes;
+  for (int i = 0; i < 10; ++i) {
+    VNode* c = mm.get();
+    c->v = 0;
+    // Distinct weights pointers (stack array) make distinct nodes.
+    c->e = {VEdge{&terminal, &w}, VEdge{&terminal, nullptr}};
+    c->e[1].w = reinterpret_cast<const ComplexValue*>(
+        reinterpret_cast<const char*>(&w) + i);  // synthetic distinct keys
+    nodes.push_back(table.lookup(c));
+  }
+  nodes[0]->ref = 1;
+  nodes[5]->ref = 2;
+  const std::size_t collected = table.garbageCollect();
+  EXPECT_EQ(collected, 8U);
+  EXPECT_EQ(table.liveCount(), 2U);
+  // Referenced nodes still found via forEach.
+  std::size_t count = 0;
+  table.forEach([&count](const VNode*) { ++count; });
+  EXPECT_EQ(count, 2U);
+}
+
+}  // namespace
+}  // namespace ddsim::dd

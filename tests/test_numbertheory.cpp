@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "algo/numbertheory.hpp"
+
+namespace ddsim::algo {
+namespace {
+
+TEST(NumberTheory, Gcd) {
+  EXPECT_EQ(gcd(12, 18), 6U);
+  EXPECT_EQ(gcd(17, 5), 1U);
+  EXPECT_EQ(gcd(0, 7), 7U);
+  EXPECT_EQ(gcd(7, 0), 7U);
+  EXPECT_EQ(gcd(0, 0), 0U);
+}
+
+TEST(NumberTheory, MulModHandlesLargeOperands) {
+  const std::uint64_t big = 0x7fffffffffffffffULL;
+  EXPECT_EQ(mulMod(big - 1, big - 1, big), 1U);
+  EXPECT_EQ(mulMod(123456789ULL, 987654321ULL, 1000000007ULL),
+            123456789ULL * 987654321ULL % 1000000007ULL);
+}
+
+TEST(NumberTheory, PowMod) {
+  EXPECT_EQ(powMod(2, 10, 1000), 24U);
+  EXPECT_EQ(powMod(7, 0, 13), 1U);
+  EXPECT_EQ(powMod(7, 4, 15), 1U);  // order of 7 mod 15 is 4
+  EXPECT_EQ(powMod(5, 1ULL << 40, 3), powMod(5, (1ULL << 40) % 2, 3));
+}
+
+TEST(NumberTheory, InvMod) {
+  const auto inv = invMod(7, 15);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(mulMod(7, *inv, 15), 1U);
+  EXPECT_FALSE(invMod(6, 15).has_value());
+  for (std::uint64_t a = 1; a < 21; ++a) {
+    if (gcd(a, 21) == 1) {
+      EXPECT_EQ(mulMod(a, invMod(a, 21).value(), 21), 1U) << a;
+    }
+  }
+}
+
+TEST(NumberTheory, MultiplicativeOrder) {
+  EXPECT_EQ(multiplicativeOrder(7, 15).value(), 4U);
+  EXPECT_EQ(multiplicativeOrder(2, 15).value(), 4U);
+  EXPECT_EQ(multiplicativeOrder(14, 15).value(), 2U);
+  EXPECT_EQ(multiplicativeOrder(2, 21).value(), 6U);
+  EXPECT_FALSE(multiplicativeOrder(6, 15).has_value());
+}
+
+TEST(NumberTheory, BitLength) {
+  EXPECT_EQ(bitLength(0), 0U);
+  EXPECT_EQ(bitLength(1), 1U);
+  EXPECT_EQ(bitLength(15), 4U);
+  EXPECT_EQ(bitLength(16), 5U);
+  EXPECT_EQ(bitLength(1ULL << 40), 41U);
+}
+
+TEST(NumberTheory, IsPrime) {
+  EXPECT_FALSE(isPrime(0));
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(97));
+  EXPECT_FALSE(isPrime(91));  // 7*13
+}
+
+TEST(NumberTheory, ConvergentsOfKnownFraction) {
+  // 205/256 = 0.1100 1101 b; its convergents include 4/5 (towards 0.8).
+  const auto cs = convergents(205, 8, 64);
+  ASSERT_FALSE(cs.empty());
+  bool found = false;
+  for (const auto& c : cs) {
+    if (c.num == 4 && c.den == 5) {
+      found = true;
+    }
+    EXPECT_LE(c.den, 64U);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NumberTheory, OrderFromExactPhase) {
+  // N=15, a=7, r=4. Phase s/r with s=1 over 8 bits: 64/256.
+  EXPECT_EQ(orderFromPhase(64, 8, 7, 15).value(), 4U);
+  // s=2 gives denominator 2 but a^2 != 1, so the multiple search finds 4.
+  EXPECT_EQ(orderFromPhase(128, 8, 7, 15).value(), 4U);
+  // s=3: 192/256 = 3/4.
+  EXPECT_EQ(orderFromPhase(192, 8, 7, 15).value(), 4U);
+  // s=0 carries no information.
+  EXPECT_FALSE(orderFromPhase(0, 8, 7, 15).has_value());
+}
+
+TEST(NumberTheory, OrderFromNoisyPhase) {
+  // Rounded phase measurements still land on the right convergent:
+  // r=6 (a=2, N=21), s=1 -> phase 1/6; over 10 bits: round(1024/6)=171.
+  EXPECT_EQ(orderFromPhase(171, 10, 2, 21).value(), 6U);
+}
+
+}  // namespace
+}  // namespace ddsim::algo

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "baseline/dense_matrix.hpp"
+#include "ir/optimize.hpp"
+#include "sim/equivalence.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::ir {
+namespace {
+
+TEST(DecomposeU3, RoundTripsRandomUnitaries) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> angle(-3.1, 3.1);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random unitary as a product of rotations and a phase.
+    const double a1 = angle(rng);
+    const double a2 = angle(rng);
+    const double a3 = angle(rng);
+    const double a4 = angle(rng);
+    auto m = baseline::DenseMatrix::fromGate(gateMatrix(GateType::RZ, &a1)) *
+             baseline::DenseMatrix::fromGate(gateMatrix(GateType::RY, &a2)) *
+             baseline::DenseMatrix::fromGate(gateMatrix(GateType::RZ, &a3)) *
+             baseline::DenseMatrix::fromGate(gateMatrix(GateType::Phase, &a4));
+    const dd::GateMatrix gm = {dd::ComplexValue::fromStd(m.at(0, 0)),
+                               dd::ComplexValue::fromStd(m.at(0, 1)),
+                               dd::ComplexValue::fromStd(m.at(1, 0)),
+                               dd::ComplexValue::fromStd(m.at(1, 1))};
+    const U3Decomposition d = decomposeU3(gm);
+    const double params[3] = {d.theta, d.phi, d.lambda};
+    const auto rebuilt = gateMatrix(GateType::U, params);
+    const std::complex<double> phase{std::cos(d.alpha), std::sin(d.alpha)};
+    for (int e = 0; e < 4; ++e) {
+      const auto expected = gm[static_cast<std::size_t>(e)].toStd();
+      const auto got = phase * rebuilt[static_cast<std::size_t>(e)].toStd();
+      EXPECT_NEAR(std::abs(expected - got), 0.0, 1e-9) << "entry " << e;
+    }
+  }
+}
+
+TEST(DecomposeU3, HandlesDiagonalAndAntiDiagonal) {
+  // S gate: diagonal.
+  const auto s = decomposeU3(gateMatrix(GateType::S));
+  EXPECT_NEAR(s.theta, 0.0, 1e-12);
+  // X gate: anti-diagonal.
+  const auto x = decomposeU3(gateMatrix(GateType::X));
+  EXPECT_NEAR(x.theta, std::numbers::pi, 1e-12);
+}
+
+TEST(Optimize, RemovesIdentities) {
+  Circuit c(2);
+  c.i(0);
+  c.h(0);
+  c.rz(0.0, 1);
+  c.phase(0.0, 0);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, {}, &stats);
+  EXPECT_EQ(out.numOps(), 1U);
+  EXPECT_EQ(stats.removedIdentities, 3U);
+}
+
+TEST(Optimize, CancelsAdjacentInversePairs) {
+  Circuit c(2);
+  c.h(0);
+  c.h(0);
+  c.s(1);
+  c.sdg(1);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, {}, &stats);
+  EXPECT_EQ(out.numOps(), 0U);
+  EXPECT_EQ(stats.cancelledPairs, 3U);
+}
+
+TEST(Optimize, CancelsAcrossDisjointOperations) {
+  Circuit c(3);
+  c.t(0);
+  c.h(1);       // disjoint: does not block
+  c.cx(1, 2);   // disjoint from qubit 0
+  c.tdg(0);
+  OptimizeStats stats;
+  OptimizeOptions opts;
+  opts.fuseSingleQubitGates = false;
+  const Circuit out = optimize(c, opts, &stats);
+  EXPECT_EQ(stats.cancelledPairs, 1U);
+  EXPECT_EQ(out.numOps(), 2U);
+}
+
+TEST(Optimize, DoesNotCancelAcrossOverlap) {
+  Circuit c(2);
+  c.t(0);
+  c.cx(0, 1);  // touches qubit 0: blocks
+  c.tdg(0);
+  OptimizeOptions opts;
+  opts.fuseSingleQubitGates = false;
+  OptimizeStats stats;
+  const Circuit out = optimize(c, opts, &stats);
+  EXPECT_EQ(stats.cancelledPairs, 0U);
+  EXPECT_EQ(out.numOps(), 3U);
+}
+
+TEST(Optimize, SwapPairsCancel) {
+  Circuit c(2);
+  c.swap(0, 1);
+  c.swap(0, 1);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.numOps(), 0U);
+}
+
+TEST(Optimize, FusesSingleQubitRuns) {
+  Circuit c(1);
+  c.h(0);
+  c.t(0);
+  c.sx(0);
+  c.rz(0.7, 0);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, {}, &stats);
+  // One U gate (plus possibly one global phase gate).
+  ASSERT_GE(out.numOps(), 1U);
+  ASSERT_LE(out.numOps(), 2U);
+  EXPECT_GT(stats.fusedGates, 0U);
+  EXPECT_EQ(sim::checkEquivalence(c, out), sim::Equivalence::Equivalent);
+}
+
+TEST(Optimize, FusionIsExactIncludingGlobalPhase) {
+  Circuit c(1);
+  c.z(0);
+  c.x(0);  // ZX = iY: fused form needs the explicit global phase
+  const Circuit out = optimize(c);
+  EXPECT_EQ(sim::checkEquivalence(c, out), sim::Equivalence::Equivalent);
+}
+
+TEST(Optimize, MeasurementsFenceAllPasses) {
+  Circuit c(1, 1);
+  c.h(0);
+  c.measure(0, 0);
+  c.h(0);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.numOps(), 3U);  // nothing cancels across the measurement
+}
+
+TEST(Optimize, CompoundBodiesAreOptimized) {
+  Circuit c(2);
+  Circuit block(2);
+  block.h(0);
+  block.h(0);
+  block.t(1);
+  c.appendRepeated(std::move(block), 3, "loop");
+  const Circuit out = optimize(c);
+  ASSERT_EQ(out.numOps(), 1U);
+  const auto& comp = static_cast<const CompoundOperation&>(*out.ops()[0]);
+  EXPECT_EQ(comp.repetitions(), 3U);
+  EXPECT_EQ(comp.body().size(), 1U);
+}
+
+class OptimizeEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeEquivalenceSweep, PreservesUnitaryExactly) {
+  const auto circuit = test::randomCircuit(4, 40, GetParam());
+  OptimizeStats stats;
+  const Circuit out = optimize(circuit, {}, &stats);
+  EXPECT_LE(out.flatGateCount(), circuit.flatGateCount());
+  EXPECT_EQ(sim::checkEquivalence(circuit, out), sim::Equivalence::Equivalent)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptimizeEquivalenceSweep,
+                         ::testing::Range<std::uint64_t>(700, 712));
+
+TEST(Optimize, ReducesRealisticCircuits) {
+  // H-T-Tdg-H on every qubit collapses entirely.
+  Circuit c(4);
+  for (Qubit q = 0; q < 4; ++q) {
+    c.h(q);
+    c.t(q);
+    c.tdg(q);
+    c.h(q);
+  }
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.numOps(), 0U);
+}
+
+}  // namespace
+}  // namespace ddsim::ir

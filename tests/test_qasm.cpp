@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <numbers>
+
+#include "baseline/statevector.hpp"
+#include "ir/qasm.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::ir {
+namespace {
+
+TEST(Qasm, ParsesMinimalProgram) {
+  const auto circuit = parseQasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+)");
+  EXPECT_EQ(circuit.numQubits(), 2U);
+  EXPECT_EQ(circuit.numClbits(), 2U);
+  EXPECT_EQ(circuit.numOps(), 4U);
+  EXPECT_EQ(circuit.ops()[0]->kind(), OpKind::Standard);
+  EXPECT_EQ(circuit.ops()[2]->kind(), OpKind::Measure);
+}
+
+TEST(Qasm, ParsesParameterExpressions) {
+  const auto circuit = parseQasm(R"(
+qreg q[1];
+rz(pi/2) q[0];
+p(-pi/4) q[0];
+rx(2*pi/8 + 0.5) q[0];
+u3(0.1, -0.2, 3e-1) q[0];
+)");
+  ASSERT_EQ(circuit.numOps(), 4U);
+  const auto& rz = static_cast<const StandardOperation&>(*circuit.ops()[0]);
+  EXPECT_DOUBLE_EQ(rz.params()[0], std::numbers::pi / 2);
+  const auto& p = static_cast<const StandardOperation&>(*circuit.ops()[1]);
+  EXPECT_DOUBLE_EQ(p.params()[0], -std::numbers::pi / 4);
+  const auto& rx = static_cast<const StandardOperation&>(*circuit.ops()[2]);
+  EXPECT_DOUBLE_EQ(rx.params()[0], std::numbers::pi / 4 + 0.5);
+  const auto& u = static_cast<const StandardOperation&>(*circuit.ops()[3]);
+  EXPECT_EQ(u.type(), GateType::U);
+  EXPECT_DOUBLE_EQ(u.params()[2], 0.3);
+}
+
+TEST(Qasm, ParsesControlledForms) {
+  const auto circuit = parseQasm(R"(
+qreg q[4];
+cx q[0], q[1];
+ccx q[0], q[1], q[2];
+cz q[2], q[3];
+cp(pi/8) q[1], q[3];
+cswap q[0], q[1], q[2];
+mcx q[0], q[1], q[2], q[3];
+mcp(0.5) q[0], q[1], q[2];
+)");
+  ASSERT_EQ(circuit.numOps(), 7U);
+  const auto& ccx = static_cast<const StandardOperation&>(*circuit.ops()[1]);
+  EXPECT_EQ(ccx.controls().size(), 2U);
+  EXPECT_EQ(ccx.type(), GateType::X);
+  const auto& cswap = static_cast<const StandardOperation&>(*circuit.ops()[4]);
+  EXPECT_EQ(cswap.type(), GateType::Swap);
+  EXPECT_EQ(cswap.controls().size(), 1U);
+  const auto& mcx = static_cast<const StandardOperation&>(*circuit.ops()[5]);
+  EXPECT_EQ(mcx.controls().size(), 3U);
+  const auto& mcp = static_cast<const StandardOperation&>(*circuit.ops()[6]);
+  EXPECT_EQ(mcp.controls().size(), 2U);
+  EXPECT_DOUBLE_EQ(mcp.params()[0], 0.5);
+}
+
+TEST(Qasm, MultipleRegistersAreFlattened) {
+  const auto circuit = parseQasm(R"(
+qreg a[2];
+qreg b[3];
+creg m[1];
+x a[1];
+x b[0];
+measure b[2] -> m[0];
+)");
+  EXPECT_EQ(circuit.numQubits(), 5U);
+  const auto& x1 = static_cast<const StandardOperation&>(*circuit.ops()[0]);
+  EXPECT_EQ(x1.targets()[0], 1);
+  const auto& x2 = static_cast<const StandardOperation&>(*circuit.ops()[1]);
+  EXPECT_EQ(x2.targets()[0], 2);
+  const auto& m = static_cast<const MeasureOperation&>(*circuit.ops()[2]);
+  EXPECT_EQ(m.qubit(), 4);
+}
+
+TEST(Qasm, CommentsAndResetAndBarrier) {
+  const auto circuit = parseQasm(R"(
+// leading comment
+qreg q[1];
+x q[0]; // trailing comment
+barrier;
+reset q[0];
+)");
+  EXPECT_EQ(circuit.numOps(), 3U);
+  EXPECT_EQ(circuit.ops()[1]->kind(), OpKind::Barrier);
+  EXPECT_EQ(circuit.ops()[2]->kind(), OpKind::Reset);
+}
+
+TEST(Qasm, Errors) {
+  EXPECT_THROW(parseQasm("x q[0];"), QasmError);                     // no qreg
+  EXPECT_THROW(parseQasm("qreg q[2]; frobnicate q[0];"), QasmError); // gate
+  EXPECT_THROW(parseQasm("qreg q[2]; x q[5];"), QasmError);          // range
+  EXPECT_THROW(parseQasm("qreg q[2]; x q[0]"), QasmError);           // ';'
+  EXPECT_THROW(parseQasm("qreg q[2]; rx(foo) q[0];"), QasmError);    // expr
+  EXPECT_THROW(parseQasm("qreg q[2]; qreg q[3];"), QasmError);       // dup
+  EXPECT_THROW(parseQasm("qreg q[1]; creg c[1]; measure q[0] -> c[3];"),
+               QasmError);
+}
+
+TEST(Qasm, WriteParseRoundTrip) {
+  Circuit circuit(3, 3);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  circuit.mcphase(0.75, {Control{0}, Control{1}}, 2);
+  circuit.swap(0, 2);
+  circuit.rz(-0.5, 1);
+  circuit.measure(2, 2);
+
+  const std::string text = toQasm(circuit);
+  const Circuit reparsed = parseQasm(text);
+  ASSERT_EQ(reparsed.numOps(), circuit.numOps());
+  ASSERT_EQ(reparsed.numQubits(), circuit.numQubits());
+
+  // Behavioural equivalence on the dense simulator.
+  const auto a = baseline::runOnStateVector(circuit, 7);
+  const auto b = baseline::runOnStateVector(reparsed, 7);
+  for (std::size_t i = 0; i < a.state.amplitudes().size(); ++i) {
+    EXPECT_NEAR(std::abs(a.state.amplitudes()[i] - b.state.amplitudes()[i]),
+                0.0, 1e-10);
+  }
+}
+
+TEST(Qasm, NegativeControlSerializationUsesXConjugation) {
+  Circuit circuit(2);
+  circuit.gate(GateType::Z, 1, {Control{0, false}});
+  const std::string text = toQasm(circuit);
+  const Circuit reparsed = parseQasm(text);
+  // X cz X pattern: 3 operations.
+  EXPECT_EQ(reparsed.numOps(), 3U);
+  const auto a = baseline::runOnStateVector(circuit);
+  const auto b = baseline::runOnStateVector(reparsed);
+  for (std::size_t i = 0; i < a.state.amplitudes().size(); ++i) {
+    EXPECT_NEAR(std::abs(a.state.amplitudes()[i] - b.state.amplitudes()[i]),
+                0.0, 1e-10);
+  }
+}
+
+TEST(Qasm, WriterRejectsOracles) {
+  Circuit circuit(2);
+  circuit.oracle("f", 2, [](std::uint64_t x) { return x; });
+  EXPECT_THROW(toQasm(circuit), std::invalid_argument);
+}
+
+class QasmRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QasmRoundTripSweep, RandomCircuitsSurviveSerialization) {
+  const auto circuit = ddsim::test::randomCircuit(5, 40, GetParam());
+  const Circuit reparsed = parseQasm(toQasm(circuit));
+  EXPECT_EQ(reparsed.numQubits(), circuit.numQubits());
+  const auto a = baseline::runOnStateVector(circuit);
+  const auto b = baseline::runOnStateVector(reparsed);
+  for (std::size_t i = 0; i < a.state.amplitudes().size(); ++i) {
+    ASSERT_NEAR(std::abs(a.state.amplitudes()[i] - b.state.amplitudes()[i]),
+                0.0, 1e-9)
+        << "seed " << GetParam() << " amplitude " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QasmRoundTripSweep,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+TEST(Qasm, FileRoundTrip) {
+  Circuit circuit(2, 2);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  circuit.measureAll();
+  const std::string path = ::testing::TempDir() + "/ddsim_roundtrip.qasm";
+  {
+    std::ofstream out(path);
+    writeQasm(circuit, out);
+  }
+  const Circuit loaded = parseQasmFile(path);
+  EXPECT_EQ(loaded.numOps(), circuit.numOps());
+  EXPECT_THROW(parseQasmFile("/nonexistent/file.qasm"), std::runtime_error);
+}
+
+TEST(Qasm, CompoundBlocksAreFlattenedOnWrite) {
+  Circuit circuit(1);
+  Circuit block(1);
+  block.x(0);
+  circuit.appendRepeated(std::move(block), 3);
+  const Circuit reparsed = parseQasm(toQasm(circuit));
+  EXPECT_EQ(reparsed.numOps(), 3U);
+}
+
+}  // namespace
+}  // namespace ddsim::ir

@@ -1,0 +1,97 @@
+/// \file test_qasm_files.cpp
+/// \brief End-to-end tests over the sample circuits in benchmarks/ — the
+///        parser, the simulators and the transforms working off real files.
+
+#include <gtest/gtest.h>
+
+#include "algo/qft.hpp"
+#include "ir/qasm.hpp"
+#include "ir/transforms.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim {
+namespace {
+
+std::string samplePath(const std::string& name) {
+  return std::string(DDSIM_SOURCE_DIR) + "/benchmarks/" + name;
+}
+
+TEST(QasmFiles, BellPairCorrelates) {
+  const auto circuit = ir::parseQasmFile(samplePath("bell.qasm"));
+  EXPECT_EQ(circuit.numQubits(), 2U);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto result = sim::simulate(circuit, {}, seed);
+    EXPECT_EQ(result.classicalBits[0], result.classicalBits[1]);
+  }
+}
+
+TEST(QasmFiles, GhzHasTwoOutcomes) {
+  const auto circuit = ir::parseQasmFile(samplePath("ghz_8.qasm"));
+  sim::CircuitSimulator simulator(circuit);
+  const auto result = simulator.run();
+  auto& pkg = simulator.package();
+  EXPECT_NEAR(pkg.getAmplitude(result.finalState, 0).mag2(), 0.5, 1e-10);
+  EXPECT_NEAR(pkg.getAmplitude(result.finalState, 255).mag2(), 0.5, 1e-10);
+  EXPECT_LE(pkg.size(result.finalState), 18U);
+}
+
+TEST(QasmFiles, QftFileMatchesGenerator) {
+  const auto fromFile = ir::parseQasmFile(samplePath("qft_4.qasm"));
+  const auto generated = algo::makeQFTCircuit(4);
+  EXPECT_TRUE(sim::areEquivalent(fromFile, generated));
+}
+
+TEST(QasmFiles, AdderAddsFiveModEight) {
+  const auto adder = ir::parseQasmFile(samplePath("adder_3_plus_5.qasm"));
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    ir::Circuit full(3, 3);
+    for (std::size_t q = 0; q < 3; ++q) {
+      if (((x >> q) & 1U) != 0) {
+        full.x(static_cast<ir::Qubit>(q));
+      }
+    }
+    full.appendCircuit(adder);
+    sim::CircuitSimulator simulator(full);
+    const auto result = simulator.run();
+    EXPECT_NEAR(
+        simulator.package().getAmplitude(result.finalState, (x + 5) % 8).mag2(),
+        1.0, 1e-8)
+        << "x=" << x;
+  }
+}
+
+TEST(QasmFiles, GroverFileAmplifiesMarkedElement) {
+  const auto circuit = ir::parseQasmFile(samplePath("grover_5.qasm"));
+  EXPECT_EQ(circuit.numQubits(), 5U);
+  int hits = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto result = sim::simulate(circuit, {}, seed);
+    std::uint64_t outcome = 0;
+    for (std::size_t q = 0; q < 5; ++q) {
+      outcome |= static_cast<std::uint64_t>(result.classicalBits[q]) << q;
+    }
+    hits += outcome == 22 ? 1 : 0;
+  }
+  EXPECT_GE(hits, 10);  // 4 iterations on 5 qubits: ~99.9% per shot
+}
+
+TEST(QasmFiles, RepetitionDetectionFindsGroverIterations) {
+  const auto circuit = ir::parseQasmFile(samplePath("grover_5.qasm"));
+  const auto folded = ir::detectRepetitions(circuit);
+  // The four hand-unrolled iterations fold back into one compound op.
+  bool hasCompound = false;
+  std::size_t reps = 0;
+  for (const auto& op : folded.ops()) {
+    if (op->kind() == ir::OpKind::Compound) {
+      hasCompound = true;
+      reps = static_cast<const ir::CompoundOperation&>(*op).repetitions();
+    }
+  }
+  EXPECT_TRUE(hasCompound);
+  EXPECT_EQ(reps, 4U);
+  EXPECT_LT(folded.numOps(), circuit.numOps() / 2);
+}
+
+}  // namespace
+}  // namespace ddsim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numbers>
+
+#include "algo/qft.hpp"
+#include "baseline/statevector.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::algo {
+namespace {
+
+using Cx = std::complex<double>;
+
+std::vector<Cx> dftOfBasisState(std::size_t n, std::uint64_t x) {
+  const std::size_t dim = 1ULL << n;
+  std::vector<Cx> out(dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (std::uint64_t y = 0; y < dim; ++y) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(x) *
+                         static_cast<double>(y) / static_cast<double>(dim);
+    out[y] = scale * Cx{std::cos(angle), std::sin(angle)};
+  }
+  return out;
+}
+
+class QFTBasisTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(QFTBasisTest, MatchesDiscreteFourierTransform) {
+  const auto [n, x] = GetParam();
+  if (x >= (1ULL << n)) {
+    GTEST_SKIP();
+  }
+  ir::Circuit circuit(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    if (((x >> q) & 1U) != 0) {
+      circuit.x(static_cast<ir::Qubit>(q));
+    }
+  }
+  appendQFT(circuit, [&] {
+    std::vector<ir::Qubit> qs;
+    for (std::size_t q = 0; q < n; ++q) {
+      qs.push_back(static_cast<ir::Qubit>(q));
+    }
+    return qs;
+  }());
+
+  sim::CircuitSimulator simulator(circuit);
+  const auto result = simulator.run();
+  const auto got = simulator.package().getVector(result.finalState);
+  const auto expected = dftOfBasisState(n, x);
+  test::expectAmplitudesNear(got, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, QFTBasisTest,
+                         ::testing::Combine(::testing::Values(1U, 2U, 3U, 4U, 5U),
+                                            ::testing::Values(0U, 1U, 5U, 13U,
+                                                              30U)));
+
+TEST(QFT, InverseUndoesQFT) {
+  const std::size_t n = 5;
+  const auto base = test::randomCircuit(n, 25, 321);
+  ir::Circuit circuit(n);
+  circuit.appendCircuit(base);
+  std::vector<ir::Qubit> qs;
+  for (std::size_t q = 0; q < n; ++q) {
+    qs.push_back(static_cast<ir::Qubit>(q));
+  }
+  appendQFT(circuit, qs);
+  appendInverseQFT(circuit, qs);
+
+  sim::CircuitSimulator withQft(circuit);
+  sim::CircuitSimulator without(base);
+  const auto a = withQft.run();
+  const auto b = without.run();
+  const auto va = withQft.package().getVector(a.finalState);
+  const auto vb = without.package().getVector(b.finalState);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_NEAR(va[i].r, vb[i].r, 1e-8);
+    EXPECT_NEAR(va[i].i, vb[i].i, 1e-8);
+  }
+}
+
+TEST(QFT, SwaplessVariantIsBitReversed) {
+  const std::size_t n = 3;
+  const std::uint64_t x = 5;
+  ir::Circuit plain(n);
+  plain.x(0);
+  plain.x(2);
+  std::vector<ir::Qubit> qs{0, 1, 2};
+  appendQFT(plain, qs, /*withSwaps=*/false);
+  sim::CircuitSimulator simulator(plain);
+  const auto result = simulator.run();
+  const auto got = simulator.package().getVector(result.finalState);
+  const auto expected = dftOfBasisState(n, x);
+  // Amplitude of |y> in the swapless result equals amplitude of bit-reversed
+  // y in the true QFT.
+  const auto reverse = [n](std::uint64_t y) {
+    std::uint64_t r = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      r |= ((y >> b) & 1U) << (n - 1 - b);
+    }
+    return r;
+  };
+  for (std::uint64_t y = 0; y < (1ULL << n); ++y) {
+    EXPECT_NEAR(got[y].r, expected[reverse(y)].real(), 1e-9);
+    EXPECT_NEAR(got[y].i, expected[reverse(y)].imag(), 1e-9);
+  }
+}
+
+TEST(QFT, UniformSuperpositionOfZero) {
+  // QFT|0> = uniform superposition.
+  const auto circuit = makeQFTCircuit(6);
+  sim::CircuitSimulator simulator(circuit);
+  const auto result = simulator.run();
+  const auto got = simulator.package().getVector(result.finalState);
+  const double expected = 1.0 / 8.0;
+  for (const auto& a : got) {
+    EXPECT_NEAR(a.r, expected, 1e-10);
+    EXPECT_NEAR(a.i, 0.0, 1e-10);
+  }
+  // Uniform superposition is maximally redundant: linear-size DD.
+  EXPECT_EQ(simulator.package().size(result.finalState), 7U);
+}
+
+TEST(QFT, GateCountIsQuadratic) {
+  const auto circuit = makeQFTCircuit(10);
+  // n H gates + n(n-1)/2 controlled phases + n/2 swaps.
+  EXPECT_EQ(circuit.flatGateCount(), 10U + 45U + 5U);
+}
+
+}  // namespace
+}  // namespace ddsim::algo

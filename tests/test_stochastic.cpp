@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/density.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stochastic.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::sim {
+namespace {
+
+TEST(Stochastic, Validation) {
+  ir::Circuit circuit(1);
+  circuit.h(0);
+  EXPECT_THROW(simulateStochastic(circuit, {}, 0), std::invalid_argument);
+  const NoiseChannel broken(
+      "broken",
+      {dd::GateMatrix{dd::ComplexValue{0.5, 0}, {0, 0}, {0, 0}, {0.5, 0}}});
+  EXPECT_THROW(simulateStochastic(circuit, NoiseModel{{broken}}, 2),
+               std::invalid_argument);
+}
+
+TEST(Stochastic, NoiselessTrajectoriesAreDeterministic) {
+  // Without noise every trajectory is the exact pure state: the per-qubit
+  // probabilities match the vector simulator exactly.
+  const auto circuit = test::randomCircuit(4, 25, 91);
+  const auto stoch = simulateStochastic(circuit, {}, 5, 3);
+
+  CircuitSimulator vsim(circuit);
+  const auto vres = vsim.run();
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_NEAR(stoch.meanProbabilityOfOne[q],
+                vsim.package().probabilityOfOne(vres.finalState,
+                                                static_cast<dd::Qubit>(q)),
+                1e-9);
+  }
+  std::size_t total = 0;
+  for (const auto& [outcome, count] : stoch.counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, 5U);
+}
+
+TEST(Stochastic, ConvergesToDensityMatrixResult) {
+  // Bell pair under bit-flip noise: trajectory average vs. exact density
+  // simulation, within Monte-Carlo tolerance.
+  ir::Circuit circuit(2);
+  circuit.h(0);
+  circuit.cx(0, 1);
+  const NoiseModel noise{{NoiseChannel::bitFlip(0.1)}};
+
+  DensityMatrixSimulator dsim(circuit, noise);
+  const auto dres = dsim.run();
+
+  const auto stoch = simulateStochastic(circuit, noise, 800, 17);
+  for (std::size_t q = 0; q < 2; ++q) {
+    EXPECT_NEAR(stoch.meanProbabilityOfOne[q],
+                dsim.probabilityOfOne(dres.rho, static_cast<dd::Qubit>(q)),
+                0.05)
+        << "qubit " << q;
+  }
+}
+
+TEST(Stochastic, AmplitudeDampingDecaysTowardsGround) {
+  ir::Circuit circuit(1);
+  circuit.x(0);
+  for (int i = 0; i < 5; ++i) {
+    circuit.i(0);
+  }
+  const NoiseModel noise{{NoiseChannel::amplitudeDamping(0.3)}};
+  const auto stoch = simulateStochastic(circuit, noise, 600, 23);
+  // 6 applications: P(1) = 0.7^6 ~ 0.118.
+  EXPECT_NEAR(stoch.meanProbabilityOfOne[0], std::pow(0.7, 6), 0.06);
+}
+
+TEST(Stochastic, MidCircuitMeasurementPerTrajectory) {
+  ir::Circuit circuit(2, 1);
+  circuit.h(0);
+  circuit.measure(0, 0);
+  circuit.classicControlled(ir::GateType::X, 1, {}, {}, 0);
+  const auto stoch = simulateStochastic(circuit, {}, 400, 29);
+  // Qubit 1 copies the measured bit: mean P(1) ~ 0.5 over trajectories, and
+  // both qubits always agree in the sampled outcomes.
+  EXPECT_NEAR(stoch.meanProbabilityOfOne[1], 0.5, 0.08);
+  for (const auto& [outcome, count] : stoch.counts) {
+    EXPECT_EQ((outcome & 1U) != 0, (outcome & 2U) != 0) << outcome;
+    (void)count;
+  }
+}
+
+TEST(Stochastic, DepolarizingSpreadsOutcomes) {
+  ir::Circuit circuit(3);
+  circuit.x(0);  // deterministic |001> without noise
+  circuit.i(1);
+  circuit.i(2);
+  const auto clean = simulateStochastic(circuit, {}, 50, 31);
+  EXPECT_EQ(clean.counts.size(), 1U);
+  EXPECT_EQ(clean.counts.begin()->first, 1U);
+
+  const NoiseModel noise{{NoiseChannel::depolarizing(0.5)}};
+  const auto noisy = simulateStochastic(circuit, noise, 300, 31);
+  EXPECT_GT(noisy.counts.size(), 2U);  // mass spread over many outcomes
+}
+
+}  // namespace
+}  // namespace ddsim::sim
