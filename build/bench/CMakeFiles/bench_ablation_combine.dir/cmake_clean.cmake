@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combine.dir/bench_ablation_combine.cpp.o"
+  "CMakeFiles/bench_ablation_combine.dir/bench_ablation_combine.cpp.o.d"
+  "bench_ablation_combine"
+  "bench_ablation_combine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

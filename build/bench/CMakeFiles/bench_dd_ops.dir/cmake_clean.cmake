@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dd_ops.dir/bench_dd_ops.cpp.o"
+  "CMakeFiles/bench_dd_ops.dir/bench_dd_ops.cpp.o.d"
+  "bench_dd_ops"
+  "bench_dd_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

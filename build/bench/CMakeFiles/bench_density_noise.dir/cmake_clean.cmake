@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_density_noise.dir/bench_density_noise.cpp.o"
+  "CMakeFiles/bench_density_noise.dir/bench_density_noise.cpp.o.d"
+  "bench_density_noise"
+  "bench_density_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_density_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_koperations.dir/bench_fig8_koperations.cpp.o"
+  "CMakeFiles/bench_fig8_koperations.dir/bench_fig8_koperations.cpp.o.d"
+  "bench_fig8_koperations"
+  "bench_fig8_koperations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_koperations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

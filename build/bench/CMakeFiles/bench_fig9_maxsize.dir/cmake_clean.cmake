@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_maxsize.dir/bench_fig9_maxsize.cpp.o"
+  "CMakeFiles/bench_fig9_maxsize.dir/bench_fig9_maxsize.cpp.o.d"
+  "bench_fig9_maxsize"
+  "bench_fig9_maxsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_maxsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_grover.dir/bench_table1_grover.cpp.o"
+  "CMakeFiles/bench_table1_grover.dir/bench_table1_grover.cpp.o.d"
+  "bench_table1_grover"
+  "bench_table1_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

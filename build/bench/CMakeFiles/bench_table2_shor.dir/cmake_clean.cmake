@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_shor.dir/bench_table2_shor.cpp.o"
+  "CMakeFiles/bench_table2_shor.dir/bench_table2_shor.cpp.o.d"
+  "bench_table2_shor"
+  "bench_table2_shor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_shor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_check.dir/equivalence_check.cpp.o"
+  "CMakeFiles/equivalence_check.dir/equivalence_check.cpp.o.d"
+  "equivalence_check"
+  "equivalence_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_simulation.dir/noisy_simulation.cpp.o"
+  "CMakeFiles/noisy_simulation.dir/noisy_simulation.cpp.o.d"
+  "noisy_simulation"
+  "noisy_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

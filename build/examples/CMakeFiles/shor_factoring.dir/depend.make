@@ -1,0 +1,2 @@
+# Empty dependencies file for shor_factoring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremacy_sampling.dir/supremacy_sampling.cpp.o"
+  "CMakeFiles/supremacy_sampling.dir/supremacy_sampling.cpp.o.d"
+  "supremacy_sampling"
+  "supremacy_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremacy_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

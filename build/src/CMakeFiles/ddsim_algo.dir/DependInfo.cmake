@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/arithmetic.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/arithmetic.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/arithmetic.cpp.o.d"
+  "/root/repo/src/algo/benchmarks.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/benchmarks.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/benchmarks.cpp.o.d"
+  "/root/repo/src/algo/grover.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/grover.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/grover.cpp.o.d"
+  "/root/repo/src/algo/numbertheory.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/numbertheory.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/numbertheory.cpp.o.d"
+  "/root/repo/src/algo/qaoa.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/qaoa.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/qaoa.cpp.o.d"
+  "/root/repo/src/algo/qft.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/qft.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/qft.cpp.o.d"
+  "/root/repo/src/algo/shor.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/shor.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/shor.cpp.o.d"
+  "/root/repo/src/algo/supremacy.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/supremacy.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/supremacy.cpp.o.d"
+  "/root/repo/src/algo/textbook.cpp" "src/CMakeFiles/ddsim_algo.dir/algo/textbook.cpp.o" "gcc" "src/CMakeFiles/ddsim_algo.dir/algo/textbook.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddsim_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddsim_algo.dir/algo/arithmetic.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/arithmetic.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/benchmarks.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/benchmarks.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/grover.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/grover.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/numbertheory.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/numbertheory.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/qaoa.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/qaoa.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/qft.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/qft.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/shor.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/shor.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/supremacy.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/supremacy.cpp.o.d"
+  "CMakeFiles/ddsim_algo.dir/algo/textbook.cpp.o"
+  "CMakeFiles/ddsim_algo.dir/algo/textbook.cpp.o.d"
+  "libddsim_algo.a"
+  "libddsim_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dense_matrix.cpp" "src/CMakeFiles/ddsim_baseline.dir/baseline/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/ddsim_baseline.dir/baseline/dense_matrix.cpp.o.d"
+  "/root/repo/src/baseline/statevector.cpp" "src/CMakeFiles/ddsim_baseline.dir/baseline/statevector.cpp.o" "gcc" "src/CMakeFiles/ddsim_baseline.dir/baseline/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddsim_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddsim_baseline.dir/baseline/dense_matrix.cpp.o"
+  "CMakeFiles/ddsim_baseline.dir/baseline/dense_matrix.cpp.o.d"
+  "CMakeFiles/ddsim_baseline.dir/baseline/statevector.cpp.o"
+  "CMakeFiles/ddsim_baseline.dir/baseline/statevector.cpp.o.d"
+  "libddsim_baseline.a"
+  "libddsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddsim_baseline.a"
+)

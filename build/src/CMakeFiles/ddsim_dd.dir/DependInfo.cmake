@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/approximation.cpp" "src/CMakeFiles/ddsim_dd.dir/dd/approximation.cpp.o" "gcc" "src/CMakeFiles/ddsim_dd.dir/dd/approximation.cpp.o.d"
+  "/root/repo/src/dd/complex_table.cpp" "src/CMakeFiles/ddsim_dd.dir/dd/complex_table.cpp.o" "gcc" "src/CMakeFiles/ddsim_dd.dir/dd/complex_table.cpp.o.d"
+  "/root/repo/src/dd/complex_value.cpp" "src/CMakeFiles/ddsim_dd.dir/dd/complex_value.cpp.o" "gcc" "src/CMakeFiles/ddsim_dd.dir/dd/complex_value.cpp.o.d"
+  "/root/repo/src/dd/dot_export.cpp" "src/CMakeFiles/ddsim_dd.dir/dd/dot_export.cpp.o" "gcc" "src/CMakeFiles/ddsim_dd.dir/dd/dot_export.cpp.o.d"
+  "/root/repo/src/dd/package.cpp" "src/CMakeFiles/ddsim_dd.dir/dd/package.cpp.o" "gcc" "src/CMakeFiles/ddsim_dd.dir/dd/package.cpp.o.d"
+  "/root/repo/src/dd/pauli.cpp" "src/CMakeFiles/ddsim_dd.dir/dd/pauli.cpp.o" "gcc" "src/CMakeFiles/ddsim_dd.dir/dd/pauli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddsim_dd.dir/dd/approximation.cpp.o"
+  "CMakeFiles/ddsim_dd.dir/dd/approximation.cpp.o.d"
+  "CMakeFiles/ddsim_dd.dir/dd/complex_table.cpp.o"
+  "CMakeFiles/ddsim_dd.dir/dd/complex_table.cpp.o.d"
+  "CMakeFiles/ddsim_dd.dir/dd/complex_value.cpp.o"
+  "CMakeFiles/ddsim_dd.dir/dd/complex_value.cpp.o.d"
+  "CMakeFiles/ddsim_dd.dir/dd/dot_export.cpp.o"
+  "CMakeFiles/ddsim_dd.dir/dd/dot_export.cpp.o.d"
+  "CMakeFiles/ddsim_dd.dir/dd/package.cpp.o"
+  "CMakeFiles/ddsim_dd.dir/dd/package.cpp.o.d"
+  "CMakeFiles/ddsim_dd.dir/dd/pauli.cpp.o"
+  "CMakeFiles/ddsim_dd.dir/dd/pauli.cpp.o.d"
+  "libddsim_dd.a"
+  "libddsim_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/circuit.cpp" "src/CMakeFiles/ddsim_ir.dir/ir/circuit.cpp.o" "gcc" "src/CMakeFiles/ddsim_ir.dir/ir/circuit.cpp.o.d"
+  "/root/repo/src/ir/gate.cpp" "src/CMakeFiles/ddsim_ir.dir/ir/gate.cpp.o" "gcc" "src/CMakeFiles/ddsim_ir.dir/ir/gate.cpp.o.d"
+  "/root/repo/src/ir/operation.cpp" "src/CMakeFiles/ddsim_ir.dir/ir/operation.cpp.o" "gcc" "src/CMakeFiles/ddsim_ir.dir/ir/operation.cpp.o.d"
+  "/root/repo/src/ir/optimize.cpp" "src/CMakeFiles/ddsim_ir.dir/ir/optimize.cpp.o" "gcc" "src/CMakeFiles/ddsim_ir.dir/ir/optimize.cpp.o.d"
+  "/root/repo/src/ir/qasm.cpp" "src/CMakeFiles/ddsim_ir.dir/ir/qasm.cpp.o" "gcc" "src/CMakeFiles/ddsim_ir.dir/ir/qasm.cpp.o.d"
+  "/root/repo/src/ir/transforms.cpp" "src/CMakeFiles/ddsim_ir.dir/ir/transforms.cpp.o" "gcc" "src/CMakeFiles/ddsim_ir.dir/ir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddsim_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

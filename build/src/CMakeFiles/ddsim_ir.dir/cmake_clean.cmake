@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddsim_ir.dir/ir/circuit.cpp.o"
+  "CMakeFiles/ddsim_ir.dir/ir/circuit.cpp.o.d"
+  "CMakeFiles/ddsim_ir.dir/ir/gate.cpp.o"
+  "CMakeFiles/ddsim_ir.dir/ir/gate.cpp.o.d"
+  "CMakeFiles/ddsim_ir.dir/ir/operation.cpp.o"
+  "CMakeFiles/ddsim_ir.dir/ir/operation.cpp.o.d"
+  "CMakeFiles/ddsim_ir.dir/ir/optimize.cpp.o"
+  "CMakeFiles/ddsim_ir.dir/ir/optimize.cpp.o.d"
+  "CMakeFiles/ddsim_ir.dir/ir/qasm.cpp.o"
+  "CMakeFiles/ddsim_ir.dir/ir/qasm.cpp.o.d"
+  "CMakeFiles/ddsim_ir.dir/ir/transforms.cpp.o"
+  "CMakeFiles/ddsim_ir.dir/ir/transforms.cpp.o.d"
+  "libddsim_ir.a"
+  "libddsim_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

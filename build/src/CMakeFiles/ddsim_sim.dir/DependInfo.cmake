@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/build_dd.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/build_dd.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/build_dd.cpp.o.d"
+  "/root/repo/src/sim/density.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/density.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/density.cpp.o.d"
+  "/root/repo/src/sim/equivalence.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/equivalence.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/equivalence.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/stochastic.cpp" "src/CMakeFiles/ddsim_sim.dir/sim/stochastic.cpp.o" "gcc" "src/CMakeFiles/ddsim_sim.dir/sim/stochastic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ddsim_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ddsim_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddsim_sim.dir/sim/build_dd.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/build_dd.cpp.o.d"
+  "CMakeFiles/ddsim_sim.dir/sim/density.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/density.cpp.o.d"
+  "CMakeFiles/ddsim_sim.dir/sim/equivalence.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/equivalence.cpp.o.d"
+  "CMakeFiles/ddsim_sim.dir/sim/noise.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/noise.cpp.o.d"
+  "CMakeFiles/ddsim_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/ddsim_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/ddsim_sim.dir/sim/stochastic.cpp.o"
+  "CMakeFiles/ddsim_sim.dir/sim/stochastic.cpp.o.d"
+  "libddsim_sim.a"
+  "libddsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complex_table.dir/test_complex_table.cpp.o"
+  "CMakeFiles/test_complex_table.dir/test_complex_table.cpp.o.d"
+  "test_complex_table"
+  "test_complex_table.pdb"
+  "test_complex_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complex_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_ops.dir/test_dd_ops.cpp.o"
+  "CMakeFiles/test_dd_ops.dir/test_dd_ops.cpp.o.d"
+  "test_dd_ops"
+  "test_dd_ops.pdb"
+  "test_dd_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

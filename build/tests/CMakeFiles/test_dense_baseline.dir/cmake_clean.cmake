@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_baseline.dir/test_dense_baseline.cpp.o"
+  "CMakeFiles/test_dense_baseline.dir/test_dense_baseline.cpp.o.d"
+  "test_dense_baseline"
+  "test_dense_baseline.pdb"
+  "test_dense_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numbertheory.dir/test_numbertheory.cpp.o"
+  "CMakeFiles/test_numbertheory.dir/test_numbertheory.cpp.o.d"
+  "test_numbertheory"
+  "test_numbertheory.pdb"
+  "test_numbertheory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numbertheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

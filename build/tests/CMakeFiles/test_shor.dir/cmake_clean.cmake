@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shor.dir/test_shor.cpp.o"
+  "CMakeFiles/test_shor.dir/test_shor.cpp.o.d"
+  "test_shor"
+  "test_shor.pdb"
+  "test_shor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supremacy.dir/test_supremacy.cpp.o"
+  "CMakeFiles/test_supremacy.dir/test_supremacy.cpp.o.d"
+  "test_supremacy"
+  "test_supremacy.pdb"
+  "test_supremacy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supremacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textbook.dir/test_textbook.cpp.o"
+  "CMakeFiles/test_textbook.dir/test_textbook.cpp.o.d"
+  "test_textbook"
+  "test_textbook.pdb"
+  "test_textbook[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_complex_table[1]_include.cmake")
+include("/root/repo/build/tests/test_dd_package[1]_include.cmake")
+include("/root/repo/build/tests/test_dd_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_measure[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm_files[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_qft[1]_include.cmake")
+include("/root/repo/build/tests/test_arithmetic[1]_include.cmake")
+include("/root/repo/build/tests/test_grover[1]_include.cmake")
+include("/root/repo/build/tests/test_shor[1]_include.cmake")
+include("/root/repo/build/tests/test_supremacy[1]_include.cmake")
+include("/root/repo/build/tests/test_numbertheory[1]_include.cmake")
+include("/root/repo/build/tests/test_dot_export[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_textbook[1]_include.cmake")
+include("/root/repo/build/tests/test_approximation[1]_include.cmake")
+include("/root/repo/build/tests/test_density[1]_include.cmake")
+include("/root/repo/build/tests/test_stochastic[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_qaoa[1]_include.cmake")
