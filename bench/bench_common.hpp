@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <limits>
@@ -77,6 +78,68 @@ inline void printRule(int width = 78) {
     std::fputc('-', stdout);
   }
   std::fputc('\n', stdout);
+}
+
+// ----------------------------------------------------- machine-readable output
+
+/// One result row of a benchmark executable, serialized into BENCH_*.json so
+/// that CI and regression tooling can diff runs without scraping the tables.
+struct BenchRecord {
+  std::string name;  ///< instance / configuration label, e.g. "grover_16/k=4"
+  double wallMs = 0.0;
+  std::size_t peakNodes = 0;  ///< peak live DD nodes during the run
+  /// Memoization / structure-aware kernel rates (0 when unavailable).
+  double mulCacheHitRate = 0.0;
+  double identitySkipRate = 0.0;
+  double gcRetentionRate = 0.0;
+  std::uint64_t cacheRetained = 0;  ///< entries reused across a GC
+  bool timedOut = false;
+};
+
+/// Build a record from a timedRun() result. Handles the +infinity timeout
+/// convention: a timed-out run is flagged and reports 0 ms.
+inline BenchRecord makeRecord(std::string name, double seconds,
+                              const sim::SimulationStats& stats) {
+  BenchRecord r;
+  r.name = std::move(name);
+  r.timedOut = std::isinf(seconds);
+  r.wallMs = r.timedOut ? 0.0 : seconds * 1e3;
+  r.peakNodes = stats.peakStateNodes + stats.peakMatrixNodes;
+  r.mulCacheHitRate = stats.cache.mulHitRate();
+  r.identitySkipRate = stats.dd.identitySkipRate();
+  r.gcRetentionRate = stats.cache.gcRetentionRate();
+  r.cacheRetained = stats.cache.cacheRetained;
+  return r;
+}
+
+/// Write `BENCH_<benchName>.json` into the working directory. The format is
+/// a flat object with a `results` array — stable keys, one row per record.
+inline void writeBenchJson(const std::string& benchName,
+                           const std::vector<BenchRecord>& records) {
+  const std::string path = "BENCH_" + benchName + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+               benchName.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"peak_nodes\": %zu, \"mul_cache_hit_rate\": %.4f, "
+                 "\"identity_skip_rate\": %.4f, \"gc_retention_rate\": %.4f, "
+                 "\"cache_retained\": %llu, \"timed_out\": %s}%s\n",
+                 r.name.c_str(), r.wallMs, r.peakNodes, r.mulCacheHitRate,
+                 r.identitySkipRate, r.gcRetentionRate,
+                 static_cast<unsigned long long>(r.cacheRetained),
+                 r.timedOut ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace ddsim::bench

@@ -36,15 +36,22 @@ int main() {
   const double cap = 60.0;
 
   std::vector<double> sums(ks.size(), 0.0);
+  std::vector<bench::BenchRecord> records;
   for (const auto& inst : instances) {
     const ir::Circuit circuit = inst.make();
-    const double tSeq =
-        bench::timedRun(circuit, sim::StrategyConfig::sequential(), cap);
+    sim::SimulationStats seqStats;
+    const double tSeq = bench::timedRun(
+        circuit, sim::StrategyConfig::sequential(), cap, &seqStats);
+    records.push_back(
+        bench::makeRecord(inst.name + "/sequential", tSeq, seqStats));
     std::printf("%-18s %10s", inst.name.c_str(),
                 bench::formatSeconds(tSeq, cap).c_str());
     for (std::size_t i = 0; i < ks.size(); ++i) {
-      const double t =
-          bench::timedRun(circuit, sim::StrategyConfig::kOperations(ks[i]), cap);
+      sim::SimulationStats s;
+      const double t = bench::timedRun(
+          circuit, sim::StrategyConfig::kOperations(ks[i]), cap, &s);
+      records.push_back(bench::makeRecord(
+          inst.name + "/k=" + std::to_string(ks[i]), t, s));
       if (std::isinf(t)) {
         std::printf("  %7s", "t/o");
       } else {
@@ -56,6 +63,7 @@ int main() {
     std::printf("\n");
     std::fflush(stdout);
   }
+  bench::writeBenchJson("fig8_koperations", records);
 
   bench::printRule();
   std::printf("%-18s %10s", "average", "");

@@ -32,15 +32,22 @@ int main() {
   const double cap = 45.0;  // see bench_fig8_koperations
 
   std::vector<double> sums(sizes.size(), 0.0);
+  std::vector<bench::BenchRecord> records;
   for (const auto& inst : instances) {
     const ir::Circuit circuit = inst.make();
-    const double tSeq =
-        bench::timedRun(circuit, sim::StrategyConfig::sequential(), cap);
+    sim::SimulationStats seqStats;
+    const double tSeq = bench::timedRun(
+        circuit, sim::StrategyConfig::sequential(), cap, &seqStats);
+    records.push_back(
+        bench::makeRecord(inst.name + "/sequential", tSeq, seqStats));
     std::printf("%-18s %10s", inst.name.c_str(),
                 bench::formatSeconds(tSeq, cap).c_str());
     for (std::size_t i = 0; i < sizes.size(); ++i) {
+      sim::SimulationStats s;
       const double t = bench::timedRun(
-          circuit, sim::StrategyConfig::maxSizeStrategy(sizes[i]), cap);
+          circuit, sim::StrategyConfig::maxSizeStrategy(sizes[i]), cap, &s);
+      records.push_back(bench::makeRecord(
+          inst.name + "/s_max=" + std::to_string(sizes[i]), t, s));
       if (std::isinf(t)) {
         std::printf(" %7s", "t/o");
       } else {
@@ -52,6 +59,7 @@ int main() {
     std::printf("\n");
     std::fflush(stdout);
   }
+  bench::writeBenchJson("fig9_maxsize", records);
 
   bench::printRule(100);
   std::printf("%-18s %10s", "average", "");

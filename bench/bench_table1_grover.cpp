@@ -34,29 +34,46 @@ int main() {
   bench::printRule();
 
   const double cap = 45.0;
+  std::vector<bench::BenchRecord> records;
   for (const auto& row : rows) {
     const ir::Circuit circuit = algo::makeGroverCircuit(row.qubits, row.marked);
+    const std::string name = "Grover_" + std::to_string(row.qubits);
 
-    const double tSota =
-        bench::timedRun(circuit, sim::StrategyConfig::sequential(), cap);
+    sim::SimulationStats sotaStats;
+    const double tSota = bench::timedRun(
+        circuit, sim::StrategyConfig::sequential(), cap, &sotaStats);
+    records.push_back(bench::makeRecord(name + "/sequential", tSota, sotaStats));
 
     // t_general: the best k / s_max over a small sweep, as in the paper
     // ("results obtained by the best choice of k/s_max").
     double tGeneral = tSota;
+    sim::SimulationStats generalStats = sotaStats;
     for (const std::size_t k : {2U, 4U, 8U}) {
-      tGeneral = std::min(
-          tGeneral,
-          bench::timedRun(circuit, sim::StrategyConfig::kOperations(k), cap));
+      sim::SimulationStats s;
+      const double t =
+          bench::timedRun(circuit, sim::StrategyConfig::kOperations(k), cap, &s);
+      if (t < tGeneral) {
+        tGeneral = t;
+        generalStats = s;
+      }
     }
-    for (const std::size_t s : {64U, 256U}) {
-      tGeneral = std::min(
-          tGeneral,
-          bench::timedRun(circuit, sim::StrategyConfig::maxSizeStrategy(s), cap));
+    for (const std::size_t sMax : {64U, 256U}) {
+      sim::SimulationStats s;
+      const double t = bench::timedRun(
+          circuit, sim::StrategyConfig::maxSizeStrategy(sMax), cap, &s);
+      if (t < tGeneral) {
+        tGeneral = t;
+        generalStats = s;
+      }
     }
+    records.push_back(bench::makeRecord(name + "/general", tGeneral, generalStats));
 
     sim::StrategyConfig repeating = sim::StrategyConfig::sequential();
     repeating.reuseRepeatedBlocks = true;
-    const double tRepeating = bench::timedRun(circuit, repeating, cap);
+    sim::SimulationStats repStats;
+    const double tRepeating = bench::timedRun(circuit, repeating, cap, &repStats);
+    records.push_back(
+        bench::makeRecord(name + "/DD-repeating", tRepeating, repStats));
 
     std::printf("Grover_%-7zu %12s %12s %18s\n", row.qubits,
                 bench::formatSeconds(tSota, cap).c_str(),
@@ -64,5 +81,6 @@ int main() {
                 bench::formatSeconds(tRepeating, cap).c_str());
     std::fflush(stdout);
   }
+  bench::writeBenchJson("table1_grover", records);
   return 0;
 }

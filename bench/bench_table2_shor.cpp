@@ -42,35 +42,51 @@ int main() {
   bench::printRule(90);
 
   const double cap = 90.0;
+  std::vector<bench::BenchRecord> records;
   for (const auto& row : rows) {
     const ir::Circuit gateLevel = algo::makeShorBeauregardCircuit(row.N, row.a);
     const ir::Circuit oracleLevel = algo::makeShorOracleCircuit(row.N, row.a);
+    const std::string name = algo::shorBenchmarkName(row.N, row.a);
 
-    const double tSota =
-        bench::timedRun(gateLevel, sim::StrategyConfig::sequential(), cap);
+    sim::SimulationStats sotaStats;
+    const double tSota = bench::timedRun(
+        gateLevel, sim::StrategyConfig::sequential(), cap, &sotaStats);
+    records.push_back(bench::makeRecord(name + "/sequential", tSota, sotaStats));
 
     double tGeneral = tSota;
+    sim::SimulationStats generalStats = sotaStats;
     for (const std::size_t k : {8U, 32U}) {
-      tGeneral = std::min(
-          tGeneral,
-          bench::timedRun(gateLevel, sim::StrategyConfig::kOperations(k), cap));
+      sim::SimulationStats s;
+      const double t = bench::timedRun(
+          gateLevel, sim::StrategyConfig::kOperations(k), cap, &s);
+      if (t < tGeneral) {
+        tGeneral = t;
+        generalStats = s;
+      }
     }
-    for (const std::size_t s : {1024U, 4096U}) {
-      tGeneral = std::min(
-          tGeneral,
-          bench::timedRun(gateLevel, sim::StrategyConfig::maxSizeStrategy(s),
-                          cap));
+    for (const std::size_t sMax : {1024U, 4096U}) {
+      sim::SimulationStats s;
+      const double t = bench::timedRun(
+          gateLevel, sim::StrategyConfig::maxSizeStrategy(sMax), cap, &s);
+      if (t < tGeneral) {
+        tGeneral = t;
+        generalStats = s;
+      }
     }
+    records.push_back(bench::makeRecord(name + "/general", tGeneral, generalStats));
 
-    const double tConstruct =
-        bench::timedRun(oracleLevel, sim::StrategyConfig::sequential(), cap);
+    sim::SimulationStats constructStats;
+    const double tConstruct = bench::timedRun(
+        oracleLevel, sim::StrategyConfig::sequential(), cap, &constructStats);
+    records.push_back(
+        bench::makeRecord(name + "/DD-construct", tConstruct, constructStats));
 
-    std::printf("%-18s %12s %12s %18s\n",
-                algo::shorBenchmarkName(row.N, row.a).c_str(),
+    std::printf("%-18s %12s %12s %18s\n", name.c_str(),
                 bench::formatSeconds(tSota, cap).c_str(),
                 bench::formatSeconds(tGeneral, cap).c_str(),
                 bench::formatSeconds(tConstruct, cap).c_str());
     std::fflush(stdout);
   }
+  bench::writeBenchJson("table2_shor", records);
   return 0;
 }

@@ -41,17 +41,40 @@ CWeight ComplexTable::lookup(ComplexValue v) {
 
   const std::int64_t cr = cellOf(v.r);
   const std::int64_t ci = cellOf(v.i);
-  for (std::int64_t dr = -1; dr <= 1; ++dr) {
-    for (std::int64_t di = -1; di <= 1; ++di) {
-      const auto it = buckets_.find(cellKey(cr + dr, ci + di));
-      if (it == buckets_.end()) {
-        continue;
+  const auto probe = [&](std::int64_t pr, std::int64_t pi) -> CWeight {
+    const auto it = buckets_.find(cellKey(pr, pi));
+    if (it == buckets_.end()) {
+      return nullptr;
+    }
+    for (CWeight e : it->second) {
+      if (e->approximatelyEquals(v, tol_)) {
+        return e;
       }
-      for (CWeight e : it->second) {
-        if (e->approximatelyEquals(v, tol_)) {
-          ++hits_;
-          return e;
-        }
+    }
+    return nullptr;
+  };
+  // Home cell first: by construction almost every hit lands in the value's
+  // own cell, and hits dominate on the multiply/add hot path.
+  if (CWeight e = probe(cr, ci)) {
+    ++hits_;
+    return e;
+  }
+  // Any other candidate within tolerance lies in a cell intersecting
+  // [v ± tol]. With cell = 2*tol that interval spans at most one neighbor
+  // per axis, so this probes at most 3 further cells (usually none) instead
+  // of the full 3x3 neighborhood.
+  const std::int64_t crLo = cellOf(v.r - tol_);
+  const std::int64_t crHi = cellOf(v.r + tol_);
+  const std::int64_t ciLo = cellOf(v.i - tol_);
+  const std::int64_t ciHi = cellOf(v.i + tol_);
+  for (std::int64_t pr = crLo; pr <= crHi; ++pr) {
+    for (std::int64_t pi = ciLo; pi <= ciHi; ++pi) {
+      if (pr == cr && pi == ci) {
+        continue;  // already probed
+      }
+      if (CWeight e = probe(pr, pi)) {
+        ++hits_;
+        return e;
       }
     }
   }
@@ -102,7 +125,11 @@ std::size_t ComplexTable::garbageCollect(const std::unordered_set<CWeight>& live
           if (live.count(w) != 0 || asEntry(w)->rootRef > 0) {
             return false;
           }
-          freeList_.push_back(const_cast<Entry*>(asEntry(w)));
+          auto* entry = const_cast<Entry*>(asEntry(w));
+          // Bump the incarnation at free time so any compute-table entry
+          // still referencing this weight fails revalidation immediately.
+          ++entry->id;
+          freeList_.push_back(entry);
           return true;
         });
     collected += static_cast<std::size_t>(vec.end() - removeBegin);

@@ -63,6 +63,18 @@ class ComplexTable {
 
   [[nodiscard]] double tolerance() const noexcept { return tol_; }
 
+  /// Incarnation counter of the entry behind \p w: bumped every time the
+  /// entry is recycled by garbageCollect(). The shared 0/1 constants are
+  /// never recycled and report a fixed incarnation. Compute-table entries
+  /// that survive a GC use this to detect weight-pointer reuse (the same
+  /// mechanism as Node::id for node pointers).
+  [[nodiscard]] std::uint64_t incarnation(CWeight w) const noexcept {
+    if (w == &zero_ || w == &one_) {
+      return 0;
+    }
+    return asEntry(w)->id;
+  }
+
   /// Number of live canonical entries (the two constants included).
   [[nodiscard]] std::size_t size() const noexcept {
     return entries_.size() - freeList_.size() + 2;
@@ -76,6 +88,8 @@ class ComplexTable {
   struct Entry {
     ComplexValue v;
     std::uint32_t rootRef = 0;
+    /// Incarnation counter for this entry address (see incarnation()).
+    std::uint64_t id = 0;
   };
 
   static const Entry* asEntry(CWeight w) noexcept {

@@ -1,12 +1,33 @@
 /// \file compute_table.hpp
-/// \brief Fixed-size direct-mapped operation caches.
+/// \brief Set-associative operation caches with generation-tagged entries.
 ///
 /// Re-occurring sub-products/sub-sums only have to be computed once — this
 /// memoization is what makes the recursive DD operations of Figs. 3 and 4
 /// of the paper polynomial in the *DD size* rather than the vector size.
-/// A direct-mapped table (overwrite on collision) keeps lookup O(1) without
-/// any invalidation machinery; it is flushed on garbage collection because
-/// cached entries do not hold references.
+///
+/// Two properties matter for the constant factor:
+///
+///  * **Associativity.** A direct-mapped table drops a still-hot entry on
+///    every index collision. Each table here is 4-way set-associative with
+///    round-robin replacement, which keeps conflicting hot entries alive.
+///
+///  * **GC survival.** Garbage collection does not iterate the table;
+///    instead `newGeneration()` bumps a 64-bit generation counter in O(1),
+///    which logically invalidates every entry at once. A *stale* entry
+///    (older generation) whose key still matches is not discarded outright:
+///    the caller-supplied revalidator checks — via the incarnation counters
+///    on nodes (Node::id) and canonical weights (ComplexTable::incarnation)
+///    — whether all operands and the result survived the collection. If so,
+///    the entry is re-tagged with the current generation and the memoized
+///    result is reused ("GC retention"); otherwise the entry dies. This is
+///    sound even when the memory manager recycles a freed node into a new
+///    one at the same address, because recycling changes the incarnation.
+///
+/// Counter semantics (see also CacheStats): `hits()` counts lookups served
+/// from the table (including revalidated stale entries), `misses()` counts
+/// every unsuccessful lookup — including lookups that are never followed by
+/// an insert() because the surrounding operation aborted; an entry is not
+/// required to materialize for the miss to have happened.
 
 #pragma once
 
@@ -25,121 +46,234 @@ inline void hashMix(std::uint64_t& h, const void* p) noexcept {
 }
 }  // namespace detail
 
+/// Aggregate hit/miss/retention counters of one table, exposed to
+/// Package::cacheStats(). 64-bit so week-long runs cannot wrap them.
+struct ComputeTableCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Stale entries revalidated across a GC (subset of hits).
+  std::uint64_t retained = 0;
+  /// Stale entries whose operands/result died in a GC.
+  std::uint64_t staleDropped = 0;
+};
+
 /// Cache for binary DD operations. Keys are two edges (node and weight are
-/// canonical pointers, so equality is exact); the value is a result edge.
-template <typename LEdge, typename REdge, typename ResultEdge,
+/// canonical pointers, so equality is exact); the value is caller-defined —
+/// typically a node pointer plus the result's top weight *by value* (see
+/// Package::CachedVEdge), so that a retained entry does not depend on the
+/// liveness of a canonical weight pointer.
+template <typename LEdge, typename REdge, typename Result,
           std::size_t NumEntries = (1U << 17)>
 class ComputeTable {
   static_assert((NumEntries & (NumEntries - 1)) == 0,
                 "table size must be a power of two");
 
  public:
-  ComputeTable() : table_(NumEntries) {}
+  static constexpr std::size_t kWays = 4;
+  static constexpr std::size_t kNumSets = NumEntries / kWays;
 
-  void insert(const LEdge& a, const REdge& b, const ResultEdge& r) noexcept {
-    auto& entry = table_[slot(a, b)];
-    entry.a = a;
-    entry.b = b;
-    entry.result = r;
-    entry.valid = true;
-  }
-
-  /// Returns nullptr on miss; a pointer to the cached result on hit.
-  const ResultEdge* lookup(const LEdge& a, const REdge& b) noexcept {
-    auto& entry = table_[slot(a, b)];
-    if (entry.valid && entry.a == a && entry.b == b) {
-      ++hits_;
-      return &entry.result;
-    }
-    ++misses_;
-    return nullptr;
-  }
-
-  void clear() noexcept {
-    for (auto& entry : table_) {
-      entry.valid = false;
-    }
-  }
-
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
-
- private:
   struct Entry {
     LEdge a{};
     REdge b{};
-    ResultEdge result{};
-    bool valid = false;
+    Result result{};
+    /// Incarnation stamp over every pointer the entry references, computed
+    /// by the caller at insert time (Package::opStamp).
+    std::uint64_t stamp = 0;
+    /// Generation tag; 0 = empty. Valid iff equal to the table generation.
+    std::uint64_t gen = 0;
   };
 
-  static std::size_t slot(const LEdge& a, const REdge& b) noexcept {
+  ComputeTable() : table_(NumEntries) {}
+
+  void insert(const LEdge& a, const REdge& b, const Result& r,
+              std::uint64_t stamp) noexcept {
+    Entry* set = &table_[setIndex(a, b) * kWays];
+    Entry* victim = nullptr;
+    for (std::size_t w = 0; w < kWays; ++w) {
+      Entry& e = set[w];
+      if (e.gen != gen_) {
+        // Empty or stale way: preferred victim (stale entries that still
+        // mattered would have been revalidated by a lookup before the
+        // recomputation that leads to this insert).
+        if (victim == nullptr) {
+          victim = &e;
+        }
+        continue;
+      }
+      if (e.a == a && e.b == b) {
+        victim = &e;  // refresh an existing entry in place
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      victim = &set[roundRobin_++ & (kWays - 1)];
+    }
+    *victim = Entry{a, b, r, stamp, gen_};
+  }
+
+  /// Returns nullptr on miss; a pointer to the cached result on hit.
+  /// \p revalidate is only invoked for key-matching entries from an older
+  /// generation; it must return true iff the entry's stamp still matches
+  /// the current incarnations of everything it references.
+  template <typename Revalidate>
+  const Result* lookup(const LEdge& a, const REdge& b,
+                       Revalidate&& revalidate) noexcept {
+    Entry* set = &table_[setIndex(a, b) * kWays];
+    for (std::size_t w = 0; w < kWays; ++w) {
+      Entry& e = set[w];
+      if (e.a == a && e.b == b && e.gen != 0) [[likely]] {
+        if (e.gen == gen_) [[likely]] {
+          ++counters_.hits;
+          return &e.result;
+        }
+        if (revalidate(e)) {
+          e.gen = gen_;
+          ++counters_.retained;
+          ++counters_.hits;
+          return &e.result;
+        }
+        e.gen = 0;
+        ++counters_.staleDropped;
+        ++counters_.misses;
+        return nullptr;
+      }
+    }
+    ++counters_.misses;
+    return nullptr;
+  }
+
+  /// O(1) whole-table invalidation: entries become stale and individually
+  /// eligible for revalidation on their next lookup.
+  void newGeneration() noexcept { ++gen_; }
+
+  /// Hard reset (tests / explicit cache flush): discards every entry with
+  /// no chance of revalidation.
+  void clear() noexcept {
+    for (auto& entry : table_) {
+      entry.gen = 0;
+    }
+    gen_ = 1;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return counters_.hits; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return counters_.misses; }
+  [[nodiscard]] const ComputeTableCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  static std::size_t setIndex(const LEdge& a, const REdge& b) noexcept {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     detail::hashMix(h, a.p);
     detail::hashMix(h, a.w);
     detail::hashMix(h, b.p);
     detail::hashMix(h, b.w);
-    return static_cast<std::size_t>(h) & (NumEntries - 1);
+    return static_cast<std::size_t>(h) & (kNumSets - 1);
   }
 
   // Heap storage: a Package aggregates several of these tables, and stack
   // allocation of multi-megabyte members would overflow the stack.
   std::vector<Entry> table_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::uint64_t gen_ = 1;
+  std::uint32_t roundRobin_ = 0;
+  ComputeTableCounters counters_;
 };
 
-/// Cache for unary DD operations (conjugate-transpose, norm, ...).
-template <typename ArgEdge, typename ResultEdge, std::size_t NumEntries = (1U << 15)>
+/// Cache for unary DD operations (conjugate-transpose, norm, ...). Same
+/// associativity and generation-tag protocol as ComputeTable.
+template <typename ArgEdge, typename Result, std::size_t NumEntries = (1U << 15)>
 class UnaryComputeTable {
   static_assert((NumEntries & (NumEntries - 1)) == 0,
                 "table size must be a power of two");
 
  public:
+  static constexpr std::size_t kWays = 4;
+  static constexpr std::size_t kNumSets = NumEntries / kWays;
+
+  struct Entry {
+    ArgEdge a{};
+    Result result{};
+    std::uint64_t stamp = 0;
+    std::uint64_t gen = 0;
+  };
+
   UnaryComputeTable() : table_(NumEntries) {}
 
-  void insert(const ArgEdge& a, const ResultEdge& r) noexcept {
-    auto& entry = table_[slot(a)];
-    entry.a = a;
-    entry.result = r;
-    entry.valid = true;
+  void insert(const ArgEdge& a, const Result& r, std::uint64_t stamp) noexcept {
+    Entry* set = &table_[setIndex(a) * kWays];
+    Entry* victim = nullptr;
+    for (std::size_t w = 0; w < kWays; ++w) {
+      Entry& e = set[w];
+      if (e.gen != gen_) {
+        if (victim == nullptr) {
+          victim = &e;
+        }
+        continue;
+      }
+      if (e.a == a) {
+        victim = &e;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      victim = &set[roundRobin_++ & (kWays - 1)];
+    }
+    *victim = Entry{a, r, stamp, gen_};
   }
 
-  const ResultEdge* lookup(const ArgEdge& a) noexcept {
-    auto& entry = table_[slot(a)];
-    if (entry.valid && entry.a == a) {
-      ++hits_;
-      return &entry.result;
+  template <typename Revalidate>
+  const Result* lookup(const ArgEdge& a, Revalidate&& revalidate) noexcept {
+    Entry* set = &table_[setIndex(a) * kWays];
+    for (std::size_t w = 0; w < kWays; ++w) {
+      Entry& e = set[w];
+      if (e.a == a && e.gen != 0) [[likely]] {
+        if (e.gen == gen_) [[likely]] {
+          ++counters_.hits;
+          return &e.result;
+        }
+        if (revalidate(e)) {
+          e.gen = gen_;
+          ++counters_.retained;
+          ++counters_.hits;
+          return &e.result;
+        }
+        e.gen = 0;
+        ++counters_.staleDropped;
+        ++counters_.misses;
+        return nullptr;
+      }
     }
-    ++misses_;
+    ++counters_.misses;
     return nullptr;
   }
 
+  void newGeneration() noexcept { ++gen_; }
+
   void clear() noexcept {
     for (auto& entry : table_) {
-      entry.valid = false;
+      entry.gen = 0;
     }
+    gen_ = 1;
   }
 
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return counters_.hits; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return counters_.misses; }
+  [[nodiscard]] const ComputeTableCounters& counters() const noexcept {
+    return counters_;
+  }
 
  private:
-  struct Entry {
-    ArgEdge a{};
-    ResultEdge result{};
-    bool valid = false;
-  };
-
-  static std::size_t slot(const ArgEdge& a) noexcept {
+  static std::size_t setIndex(const ArgEdge& a) noexcept {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     detail::hashMix(h, a.p);
     detail::hashMix(h, a.w);
-    return static_cast<std::size_t>(h) & (NumEntries - 1);
+    return static_cast<std::size_t>(h) & (kNumSets - 1);
   }
 
   std::vector<Entry> table_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::uint64_t gen_ = 1;
+  std::uint32_t roundRobin_ = 0;
+  ComputeTableCounters counters_;
 };
 
 }  // namespace ddsim::dd

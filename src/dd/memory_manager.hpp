@@ -23,13 +23,18 @@ class MemoryManager {
   MemoryManager(const MemoryManager&) = delete;
   MemoryManager& operator=(const MemoryManager&) = delete;
 
-  /// Obtain a fresh (default-initialized) node.
+  /// Obtain a fresh (default-initialized) node. The incarnation counter
+  /// NodeT::id is preserved across recycling: together with the bump in
+  /// free() it counts how often this address has been reclaimed, which is
+  /// what lets stale compute-table entries detect pointer reuse.
   NodeT* get() {
     if (free_ != nullptr) {
       NodeT* n = free_;
       free_ = n->next;
       --freeCount_;
+      const auto incarnation = n->id;
       *n = NodeT{};
+      n->id = incarnation;
       return n;
     }
     if (used_ == chunkCapacity_) {
@@ -42,8 +47,11 @@ class MemoryManager {
   }
 
   /// Return a node to the free list. The caller must guarantee that no live
-  /// DD references it anymore.
+  /// DD references it anymore. Bumping the incarnation here (not on reuse)
+  /// immediately invalidates any cached reference to the old node, even
+  /// while the node still sits on the free list.
   void free(NodeT* n) noexcept {
+    ++n->id;
     n->next = free_;
     free_ = n;
     ++freeCount_;

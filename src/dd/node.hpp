@@ -48,14 +48,39 @@ struct Edge {
   }
 };
 
+/// Cached per-node structure flags (matrix nodes only; vector nodes leave
+/// them 0). Computed once in Package::makeMNode from the children's flags,
+/// so the classification is O(1) per node instead of O(subtree) per query.
+/// Semantics are *up to the edge weight*: a node flagged kNodeIsIdentity
+/// represents a scalar multiple of the identity; the scalar lives on the
+/// incoming edge.
+inline constexpr std::uint8_t kNodeIsDiagonal = 1U << 0;
+inline constexpr std::uint8_t kNodeIsIdentity = 1U << 1;
+
 template <std::size_t Arity>
 struct Node {
   std::array<Edge<Arity>, Arity> e{};
   Node* next = nullptr;   ///< unique-table chain / free-list link
+  /// Incarnation counter for this node *address*: bumped every time the node
+  /// is returned to the memory manager. Compute-table entries that outlive a
+  /// garbage collection use it to detect whether a pointer still refers to
+  /// the same node or to a recycled one (see ComputeTable).
+  std::uint64_t id = 0;
   std::uint32_t ref = 0;  ///< root reference count (saturating)
   Qubit v = kTerminalVar;
+  std::uint8_t flags = 0;  ///< kNodeIs* structure flags (matrix nodes)
+  /// Traversal mark for Package::size(): nodes stamped with the current
+  /// sweep number are "seen", so counting needs no per-call hash set. Lives
+  /// in what would otherwise be struct padding.
+  std::uint32_t visit = 0;
 
   [[nodiscard]] bool isTerminal() const noexcept { return v == kTerminalVar; }
+  [[nodiscard]] bool isIdentity() const noexcept {
+    return (flags & kNodeIsIdentity) != 0;
+  }
+  [[nodiscard]] bool isDiagonal() const noexcept {
+    return (flags & kNodeIsDiagonal) != 0;
+  }
 };
 
 using VNode = Node<2>;

@@ -40,6 +40,9 @@ Package::Package(std::size_t numQubits, double tolerance)
   vTerminal_.ref = kRefSaturated;
   mTerminal_.v = kTerminalVar;
   mTerminal_.ref = kRefSaturated;
+  // The 1x1 matrix terminal is the identity (and trivially diagonal); the
+  // structure flags of every matrix node derive from this base case.
+  mTerminal_.flags = kNodeIsDiagonal | kNodeIsIdentity;
   identities_.reserve(numQubits);
 }
 
@@ -55,6 +58,23 @@ CacheStats Package::cacheStats() const noexcept {
   cs.uniqueTableMisses = vUnique_.misses() + mUnique_.misses();
   cs.complexTableHits = ctab_.hits();
   cs.complexTableMisses = ctab_.misses();
+  cs.mulMVRetained = mulMVTable_.counters().retained;
+  cs.mulMMRetained = mulMMTable_.counters().retained;
+  cs.addRetained = addVTable_.counters().retained + addMTable_.counters().retained;
+  const auto accumulate = [&cs](const ComputeTableCounters& c) {
+    cs.cacheRetained += c.retained;
+    cs.cacheStaleDropped += c.staleDropped;
+  };
+  accumulate(addVTable_.counters());
+  accumulate(addMTable_.counters());
+  accumulate(mulMVTable_.counters());
+  accumulate(mulMMTable_.counters());
+  accumulate(kronMTable_.counters());
+  accumulate(kronVTable_.counters());
+  accumulate(transposeTable_.counters());
+  accumulate(innerTable_.counters());
+  accumulate(normTable_.counters());
+  accumulate(traceTable_.counters());
   return cs;
 }
 
@@ -110,16 +130,20 @@ std::size_t Package::garbageCollect() {
     }
   });
   ctab_.garbageCollect(liveWeights);
-  addVTable_.clear();
-  addMTable_.clear();
-  mulMVTable_.clear();
-  mulMMTable_.clear();
-  kronMTable_.clear();
-  kronVTable_.clear();
-  transposeTable_.clear();
-  innerTable_.clear();
-  normTable_.clear();
-  traceTable_.clear();
+  // O(1) logical invalidation of every compute table: entries become stale
+  // and are either revalidated (operands + result survived, checked via the
+  // incarnation stamps) or dropped on their next lookup, instead of being
+  // eagerly wiped here.
+  addVTable_.newGeneration();
+  addMTable_.newGeneration();
+  mulMVTable_.newGeneration();
+  mulMMTable_.newGeneration();
+  kronMTable_.newGeneration();
+  kronVTable_.newGeneration();
+  transposeTable_.newGeneration();
+  innerTable_.newGeneration();
+  normTable_.newGeneration();
+  traceTable_.newGeneration();
   ++stats_.garbageCollections;
   stats_.nodesCollected += collected;
   return collected;
@@ -219,6 +243,22 @@ MEdge Package::makeMNode(Qubit v, std::array<MEdge, 4> children) {
   MNode* candidate = mMem_.get();
   candidate->v = v;
   candidate->e = children;
+  // Structure classification, O(1) per node given the children's flags
+  // (children are canonical, so theirs are already computed). The flags are
+  // a pure function of the successor edges, so on a unique-table hit the
+  // existing node necessarily carries the same flags.
+  if (children[1].w->exactlyZero() && children[2].w->exactlyZero()) {
+    const auto diagonalQuadrant = [](const MEdge& c) {
+      return c.w->exactlyZero() || c.p->isDiagonal();
+    };
+    if (diagonalQuadrant(children[0]) && diagonalQuadrant(children[3])) {
+      candidate->flags |= kNodeIsDiagonal;
+      if (children[0].p == children[3].p && children[0].w == children[3].w &&
+          children[0].w == cone() && children[0].p->isIdentity()) {
+        candidate->flags |= kNodeIsIdentity;
+      }
+    }
+  }
   MNode* node = mUnique_.lookup(candidate);
   stats_.peakLiveNodes = std::max(
       stats_.peakLiveNodes, vUnique_.liveCount() + mUnique_.liveCount());
@@ -499,8 +539,8 @@ VEdge Package::addRec(const VEdge& a, const VEdge& b) {
                        ? a
                        : b;
   const VEdge& y = (&x == &a) ? b : a;
-  if (const VEdge* cached = addVTable_.lookup(x, y)) {
-    return *cached;
+  if (const CachedVEdge* cached = addVTable_.lookup(x, y, revalidator())) {
+    return rehydrate(*cached);
   }
 
   assert(!x.p->isTerminal() && x.p->v == y.p->v);
@@ -518,7 +558,8 @@ VEdge Package::addRec(const VEdge& a, const VEdge& b) {
     r[i] = addRec(xe, ye);
   }
   VEdge result = makeVNode(var, r);
-  addVTable_.insert(x, y, result);
+  const CachedVEdge cached{result.p, *result.w};
+  addVTable_.insert(x, y, cached, opStamp(x, y, cached));
   return result;
 }
 
@@ -541,8 +582,8 @@ MEdge Package::addRec(const MEdge& a, const MEdge& b) {
                        ? a
                        : b;
   const MEdge& y = (&x == &a) ? b : a;
-  if (const MEdge* cached = addMTable_.lookup(x, y)) {
-    return *cached;
+  if (const CachedMEdge* cached = addMTable_.lookup(x, y, revalidator())) {
+    return rehydrate(*cached);
   }
 
   assert(!x.p->isTerminal() && x.p->v == y.p->v);
@@ -560,7 +601,8 @@ MEdge Package::addRec(const MEdge& a, const MEdge& b) {
     r[i] = addRec(xe, ye);
   }
   MEdge result = makeMNode(var, r);
-  addMTable_.insert(x, y, result);
+  const CachedMEdge cached{result.p, *result.w};
+  addMTable_.insert(x, y, cached, opStamp(x, y, cached));
   return result;
 }
 
@@ -570,6 +612,13 @@ VEdge Package::multiply(const MEdge& m, const VEdge& v) {
   ++stats_.matrixVectorMultiplications;
   if (m.w->exactlyZero() || v.w->exactlyZero()) {
     return vZero();
+  }
+  // Structure-aware short circuit: a (scalar multiple of the) identity acts
+  // trivially, no recursion or cache traffic needed.
+  if (m.p->isIdentity() && !m.p->isTerminal() && m.p->v == v.p->v) {
+    ++stats_.identitySkipsMV;
+    const CWeight w = clookup(*m.w * *v.w);
+    return w->exactlyZero() ? vZero() : VEdge{v.p, w};
   }
   VEdge r = m.p->isTerminal() ? vOneTerminal() : mulNodesMV(m.p, v.p);
   if (r.w->exactlyZero()) {
@@ -586,13 +635,20 @@ VEdge Package::multiply(const MEdge& m, const VEdge& v) {
 VEdge Package::mulNodesMV(MNode* a, VNode* b) {
   ++stats_.recursiveMulVCalls;
   pollAbort();
+  assert(!a->isTerminal() && a->v == b->v);
+  // I·v = v: gate DDs pad every non-target level with explicit identity
+  // chains; the cached flag resolves the whole sub-multiplication in O(1)
+  // instead of descending the chain to the terminal.
+  if (a->isIdentity()) {
+    ++stats_.identitySkipsMV;
+    return {b, cone()};
+  }
   const MEdge ka{a, cone()};
   const VEdge kb{b, cone()};
-  if (const VEdge* cached = mulMVTable_.lookup(ka, kb)) {
-    return *cached;
+  if (const CachedVEdge* cached = mulMVTable_.lookup(ka, kb, revalidator())) {
+    return rehydrate(*cached);
   }
 
-  assert(!a->isTerminal() && a->v == b->v);
   const Qubit var = a->v;
   std::array<VEdge, 2> r;
   for (std::size_t i = 0; i < 2; ++i) {
@@ -607,6 +663,9 @@ VEdge Package::mulNodesMV(MNode* a, VNode* b) {
       if (me.p->isTerminal()) {
         assert(ve.p->isTerminal());
         prod = {&vTerminal_, clookup(*me.w * *ve.w)};
+      } else if (me.p->isIdentity()) {
+        ++stats_.identitySkipsMV;
+        prod = {ve.p, clookup(*me.w * *ve.w)};
       } else {
         const VEdge sub = mulNodesMV(me.p, ve.p);
         prod = sub.w->exactlyZero()
@@ -618,7 +677,8 @@ VEdge Package::mulNodesMV(MNode* a, VNode* b) {
     r[i] = sum;
   }
   VEdge result = makeVNode(var, r);
-  mulMVTable_.insert(ka, kb, result);
+  const CachedVEdge cached{result.p, *result.w};
+  mulMVTable_.insert(ka, kb, cached, opStamp(ka, kb, cached));
   return result;
 }
 
@@ -626,6 +686,17 @@ MEdge Package::multiply(const MEdge& a, const MEdge& b) {
   ++stats_.matrixMatrixMultiplications;
   if (a.w->exactlyZero() || b.w->exactlyZero()) {
     return mZero();
+  }
+  // Structure-aware short circuits: I·M = M and M·I = M up to a scalar.
+  if (a.p->isIdentity() && !a.p->isTerminal() && a.p->v == b.p->v) {
+    ++stats_.identitySkipsMM;
+    const CWeight w = clookup(*a.w * *b.w);
+    return w->exactlyZero() ? mZero() : MEdge{b.p, w};
+  }
+  if (b.p->isIdentity() && !b.p->isTerminal() && a.p->v == b.p->v) {
+    ++stats_.identitySkipsMM;
+    const CWeight w = clookup(*a.w * *b.w);
+    return w->exactlyZero() ? mZero() : MEdge{a.p, w};
   }
   MEdge r = a.p->isTerminal() ? mOneTerminal() : mulNodesMM(a.p, b.p);
   if (r.w->exactlyZero()) {
@@ -638,41 +709,73 @@ MEdge Package::multiply(const MEdge& a, const MEdge& b) {
 MEdge Package::mulNodesMM(MNode* a, MNode* b) {
   ++stats_.recursiveMulMCalls;
   pollAbort();
+  assert(!a->isTerminal() && a->v == b->v);
+  // I·M = M / M·I = M without touching the cache or descending the chain.
+  if (a->isIdentity()) {
+    ++stats_.identitySkipsMM;
+    return {b, cone()};
+  }
+  if (b->isIdentity()) {
+    ++stats_.identitySkipsMM;
+    return {a, cone()};
+  }
   const MEdge ka{a, cone()};
   const MEdge kb{b, cone()};
-  if (const MEdge* cached = mulMMTable_.lookup(ka, kb)) {
-    return *cached;
+  if (const CachedMEdge* cached = mulMMTable_.lookup(ka, kb, revalidator())) {
+    return rehydrate(*cached);
   }
 
-  assert(!a->isTerminal() && a->v == b->v);
   const Qubit var = a->v;
+  // Product of one quadrant pair (operand weights folded into the result).
+  const auto mulEdges = [this](const MEdge& ae, const MEdge& be) -> MEdge {
+    if (ae.w->exactlyZero() || be.w->exactlyZero()) {
+      return mZero();
+    }
+    if (ae.p->isTerminal()) {
+      assert(be.p->isTerminal());
+      return {&mTerminal_, clookup(*ae.w * *be.w)};
+    }
+    if (ae.p->isIdentity()) {
+      ++stats_.identitySkipsMM;
+      return {be.p, clookup(*ae.w * *be.w)};
+    }
+    if (be.p->isIdentity()) {
+      ++stats_.identitySkipsMM;
+      return {ae.p, clookup(*ae.w * *be.w)};
+    }
+    const MEdge sub = mulNodesMM(ae.p, be.p);
+    return sub.w->exactlyZero()
+               ? mZero()
+               : MEdge{sub.p, clookup(*ae.w * *be.w * *sub.w)};
+  };
+
   std::array<MEdge, 4> r;
-  for (std::size_t i = 0; i < 2; ++i) {
-    for (std::size_t j = 0; j < 2; ++j) {
-      MEdge sum = mZero();
-      for (std::size_t k = 0; k < 2; ++k) {
-        const MEdge& ae = a->e[2 * i + k];
-        const MEdge& be = b->e[2 * k + j];
-        if (ae.w->exactlyZero() || be.w->exactlyZero()) {
-          continue;
+  if (a->isDiagonal() && b->isDiagonal()) {
+    // diag·diag stays diagonal: both off-diagonal quadrants (and every
+    // cross term of the diagonal ones) vanish structurally.
+    ++stats_.diagonalFastPathsMM;
+    r[0] = mulEdges(a->e[0], b->e[0]);
+    r[1] = mZero();
+    r[2] = mZero();
+    r[3] = mulEdges(a->e[3], b->e[3]);
+  } else {
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        MEdge sum = mZero();
+        for (std::size_t k = 0; k < 2; ++k) {
+          const MEdge prod = mulEdges(a->e[2 * i + k], b->e[2 * k + j]);
+          if (prod.w->exactlyZero()) {
+            continue;
+          }
+          sum = sum.w->exactlyZero() ? prod : addRec(sum, prod);
         }
-        MEdge prod;
-        if (ae.p->isTerminal()) {
-          assert(be.p->isTerminal());
-          prod = {&mTerminal_, clookup(*ae.w * *be.w)};
-        } else {
-          const MEdge sub = mulNodesMM(ae.p, be.p);
-          prod = sub.w->exactlyZero()
-                     ? mZero()
-                     : MEdge{sub.p, clookup(*ae.w * *be.w * *sub.w)};
-        }
-        sum = sum.w->exactlyZero() ? prod : addRec(sum, prod);
+        r[2 * i + j] = sum;
       }
-      r[2 * i + j] = sum;
     }
   }
   MEdge result = makeMNode(var, r);
-  mulMMTable_.insert(ka, kb, result);
+  const CachedMEdge cached{result.p, *result.w};
+  mulMMTable_.insert(ka, kb, cached, opStamp(ka, kb, cached));
   return result;
 }
 
@@ -693,8 +796,8 @@ MEdge Package::kronRec(const MEdge& a, const MEdge& b) {
   if (a.p->isTerminal()) {
     return {b.p, clookup(*a.w * *b.w)};
   }
-  if (const MEdge* cached = kronMTable_.lookup(a, b)) {
-    return *cached;
+  if (const CachedMEdge* cached = kronMTable_.lookup(a, b, revalidator())) {
+    return rehydrate(*cached);
   }
   const Qubit shift = b.p->isTerminal() ? 0 : b.p->v + 1;
   // kronRec consumes full edges, so the children's weights are folded in by
@@ -705,7 +808,8 @@ MEdge Package::kronRec(const MEdge& a, const MEdge& b) {
   }
   MEdge result = makeMNode(a.p->v + shift, children);
   result = {result.p, clookup(*result.w * *a.w)};
-  kronMTable_.insert(a, b, result);
+  const CachedMEdge cached{result.p, *result.w};
+  kronMTable_.insert(a, b, cached, opStamp(a, b, cached));
   return result;
 }
 
@@ -716,8 +820,8 @@ VEdge Package::kronRec(const VEdge& a, const VEdge& b) {
   if (a.p->isTerminal()) {
     return {b.p, clookup(*a.w * *b.w)};
   }
-  if (const VEdge* cached = kronVTable_.lookup(a, b)) {
-    return *cached;
+  if (const CachedVEdge* cached = kronVTable_.lookup(a, b, revalidator())) {
+    return rehydrate(*cached);
   }
   const Qubit shift = b.p->isTerminal() ? 0 : b.p->v + 1;
   std::array<VEdge, 2> children;
@@ -726,7 +830,8 @@ VEdge Package::kronRec(const VEdge& a, const VEdge& b) {
   }
   VEdge result = makeVNode(a.p->v + shift, children);
   result = {result.p, clookup(*result.w * *a.w)};
-  kronVTable_.insert(a, b, result);
+  const CachedVEdge cached{result.p, *result.w};
+  kronVTable_.insert(a, b, cached, opStamp(a, b, cached));
   return result;
 }
 
@@ -742,8 +847,13 @@ MEdge Package::transposeRec(const MEdge& m) {
   if (m.p->isTerminal()) {
     return {m.p, m.w};
   }
-  if (const MEdge* cached = transposeTable_.lookup(m)) {
-    return *cached;
+  // Identity chains are real and symmetric: their conjugate transpose is
+  // the chain itself (transposeRec is always entered with weight one).
+  if (m.p->isIdentity()) {
+    return m;
+  }
+  if (const CachedMEdge* cached = transposeTable_.lookup(m, unaryRevalidator())) {
+    return rehydrate(*cached);
   }
   std::array<MEdge, 4> children;
   for (std::size_t i = 0; i < 2; ++i) {
@@ -758,7 +868,8 @@ MEdge Package::transposeRec(const MEdge& m) {
     }
   }
   MEdge result = makeMNode(m.p->v, children);
-  transposeTable_.insert(m, result);
+  const CachedMEdge cached{result.p, *result.w};
+  transposeTable_.insert(m, cached, opStamp(m, cached));
   return result;
 }
 
@@ -778,7 +889,7 @@ ComplexValue Package::innerProductRec(VNode* a, VNode* b) {
   }
   const VEdge ka{a, cone()};
   const VEdge kb{b, cone()};
-  if (const CVal* cached = innerTable_.lookup(ka, kb)) {
+  if (const CVal* cached = innerTable_.lookup(ka, kb, revalidator())) {
     return cached->v;
   }
   ComplexValue sum{0.0, 0.0};
@@ -790,7 +901,8 @@ ComplexValue Package::innerProductRec(VNode* a, VNode* b) {
     }
     sum += ea.w->conj() * *eb.w * innerProductRec(ea.p, eb.p);
   }
-  innerTable_.insert(ka, kb, {sum});
+  const CVal cached{sum};
+  innerTable_.insert(ka, kb, cached, opStamp(ka, kb, cached));
   return sum;
 }
 
@@ -813,8 +925,12 @@ ComplexValue Package::traceNode(MNode* p) {
   if (p->isTerminal()) {
     return {1.0, 0.0};
   }
+  // Tr(I_{2^k}) = 2^k for an identity chain topped at level p->v.
+  if (p->isIdentity()) {
+    return {std::ldexp(1.0, p->v + 1), 0.0};
+  }
   const MEdge key{p, cone()};
-  if (const CVal* cached = traceTable_.lookup(key)) {
+  if (const CVal* cached = traceTable_.lookup(key, unaryRevalidator())) {
     return cached->v;
   }
   ComplexValue sum{0.0, 0.0};
@@ -824,7 +940,8 @@ ComplexValue Package::traceNode(MNode* p) {
       sum += *e.w * traceNode(e.p);
     }
   }
-  traceTable_.insert(key, {sum});
+  const CVal cached{sum};
+  traceTable_.insert(key, cached, opStamp(key, cached));
   return sum;
 }
 
@@ -840,7 +957,7 @@ double Package::normNode(VNode* p) {
     return 1.0;
   }
   const VEdge key{p, cone()};
-  if (const DVal* cached = normTable_.lookup(key)) {
+  if (const DVal* cached = normTable_.lookup(key, unaryRevalidator())) {
     return cached->d;
   }
   double sum = 0.0;
@@ -849,7 +966,8 @@ double Package::normNode(VNode* p) {
       sum += e.w->mag2() * normNode(e.p);
     }
   }
-  normTable_.insert(key, {sum});
+  const DVal cached{sum};
+  normTable_.insert(key, cached, opStamp(key, cached));
   return sum;
 }
 
@@ -919,29 +1037,31 @@ std::vector<ComplexValue> Package::getMatrix(const MEdge& m) {
 
 namespace {
 template <std::size_t Arity>
-void countNodes(const Node<Arity>* p, std::unordered_set<const void*>& seen) {
-  if (!seen.insert(p).second) {
-    return;
+std::size_t countNodes(Node<Arity>* p, std::uint32_t mark) {
+  if (p->visit == mark) {
+    return 0;
   }
+  p->visit = mark;
   if (p->isTerminal()) {
-    return;
+    return 1;
   }
+  std::size_t n = 1;
   for (const auto& e : p->e) {
-    countNodes(e.p, seen);
+    n += countNodes(e.p, mark);
   }
+  return n;
 }
 }  // namespace
 
 std::size_t Package::size(const VEdge& v) const {
-  std::unordered_set<const void*> seen;
-  countNodes(v.p, seen);
-  return seen.size();
+  // Allocation-free DFS: stamp visited nodes with a fresh sweep number
+  // instead of building a hash set. size() runs after every simulation
+  // step, so this is on the per-gate hot path.
+  return countNodes(v.p, nextVisitMark());
 }
 
 std::size_t Package::size(const MEdge& m) const {
-  std::unordered_set<const void*> seen;
-  countNodes(m.p, seen);
-  return seen.size();
+  return countNodes(m.p, nextVisitMark());
 }
 
 // --------------------------------------------------------------- measurement

@@ -68,9 +68,26 @@ struct PackageStats {
   std::uint64_t recursiveMulVCalls = 0;
   std::uint64_t recursiveMulMCalls = 0;
   std::uint64_t recursiveAddCalls = 0;
+  /// Structure-aware fast paths: recursions short-circuited because an
+  /// operand (sub)matrix is a scalar multiple of the identity (I·v = v,
+  /// I·M = M, M·I = M), without descending the explicit identity chain.
+  std::uint64_t identitySkipsMV = 0;
+  std::uint64_t identitySkipsMM = 0;
+  /// Diagonal·diagonal products where the off-diagonal quadrant recursions
+  /// were pruned wholesale.
+  std::uint64_t diagonalFastPathsMM = 0;
   std::uint64_t garbageCollections = 0;
   std::uint64_t nodesCollected = 0;
   std::size_t peakLiveNodes = 0;
+
+  /// Fraction of recursive multiply calls resolved by the identity fast
+  /// path (0 when no multiplies ran).
+  [[nodiscard]] double identitySkipRate() const noexcept {
+    const std::uint64_t calls = recursiveMulVCalls + recursiveMulMCalls;
+    return calls == 0 ? 0.0
+                      : static_cast<double>(identitySkipsMV + identitySkipsMM) /
+                            static_cast<double>(calls);
+  }
 };
 
 /// Hit/miss counters of the memoization layers. The compute-table hit rate
@@ -88,10 +105,29 @@ struct CacheStats {
   std::uint64_t uniqueTableMisses = 0;
   std::uint64_t complexTableHits = 0;
   std::uint64_t complexTableMisses = 0;
+  /// GC-survival counters of the generation-tagged compute tables: a
+  /// *retained* entry is a stale (pre-GC) entry whose operands and result
+  /// all survived the collection and was revalidated on lookup; a *dropped*
+  /// entry is a stale key match whose pointers died or were recycled.
+  std::uint64_t mulMVRetained = 0;
+  std::uint64_t mulMMRetained = 0;
+  std::uint64_t addRetained = 0;
+  std::uint64_t cacheRetained = 0;      ///< total across all op caches
+  std::uint64_t cacheStaleDropped = 0;  ///< total across all op caches
 
   [[nodiscard]] static double rate(std::uint64_t hits, std::uint64_t misses) noexcept {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  /// Combined multiply-cache hit rate (MxV and MxM).
+  [[nodiscard]] double mulHitRate() const noexcept {
+    return rate(mulMVHits + mulMMHits, mulMVMisses + mulMMMisses);
+  }
+  /// Fraction of stale (pre-GC) cache entries that were successfully
+  /// revalidated instead of recomputed (0 when no entry aged across a GC).
+  [[nodiscard]] double gcRetentionRate() const noexcept {
+    return rate(cacheRetained, cacheStaleDropped);
   }
 };
 
@@ -293,22 +329,82 @@ class Package {
   VNode vTerminal_;
   MNode mTerminal_;
 
-  // Operation caches. Result types mirror the operand kinds; the inner
-  // product and norm caches store plain values.
-  ComputeTable<VEdge, VEdge, VEdge> addVTable_;
-  ComputeTable<MEdge, MEdge, MEdge> addMTable_;
-  ComputeTable<MEdge, VEdge, VEdge> mulMVTable_;
-  ComputeTable<MEdge, MEdge, MEdge> mulMMTable_;
-  ComputeTable<MEdge, MEdge, MEdge> kronMTable_;
-  ComputeTable<VEdge, VEdge, VEdge> kronVTable_;
-  UnaryComputeTable<MEdge, MEdge> transposeTable_;
+  // Cached operation results. The result's top weight is stored *by value*
+  // (not as a canonical pointer): a retained entry therefore survives the
+  // complex table's GC even when no live node happens to reference the
+  // weight anymore — rehydration re-canonicalizes it in O(1).
+  struct CachedVEdge {
+    VNode* p = nullptr;
+    ComplexValue w{};
+  };
+  struct CachedMEdge {
+    MNode* p = nullptr;
+    ComplexValue w{};
+  };
+  VEdge rehydrate(const CachedVEdge& c) { return {c.p, clookup(c.w)}; }
+  MEdge rehydrate(const CachedMEdge& c) { return {c.p, clookup(c.w)}; }
+
+  // ------------------------------------------ incarnation stamps (GC survival)
+  // An entry's stamp mixes the incarnation counters of every pointer it
+  // references. After a GC, a stale entry is reusable iff its recorded
+  // stamp still matches the recomputed one: any operand or result that was
+  // collected (and possibly recycled at the same address) changes its
+  // incarnation and therefore the stamp.
+  static std::uint64_t mixStamp(std::uint64_t h, std::uint64_t x) noexcept {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+  template <std::size_t Arity>
+  [[nodiscard]] std::uint64_t stampOf(const Edge<Arity>& e) const noexcept {
+    return mixStamp(e.p->id, ctab_.incarnation(e.w));
+  }
+  [[nodiscard]] static std::uint64_t stampOf(const CachedVEdge& r) noexcept {
+    return r.p->id;
+  }
+  [[nodiscard]] static std::uint64_t stampOf(const CachedMEdge& r) noexcept {
+    return r.p->id;
+  }
   struct CVal {
     ComplexValue v;
   };
-  ComputeTable<VEdge, VEdge, CVal> innerTable_;
   struct DVal {
     double d;
   };
+  [[nodiscard]] static std::uint64_t stampOf(const CVal&) noexcept { return 0; }
+  [[nodiscard]] static std::uint64_t stampOf(const DVal&) noexcept { return 0; }
+
+  template <typename A, typename B, typename R>
+  [[nodiscard]] std::uint64_t opStamp(const A& a, const B& b,
+                                      const R& r) const noexcept {
+    return mixStamp(mixStamp(stampOf(a), stampOf(b)), stampOf(r));
+  }
+  template <typename A, typename R>
+  [[nodiscard]] std::uint64_t opStamp(const A& a, const R& r) const noexcept {
+    return mixStamp(stampOf(a), stampOf(r));
+  }
+  /// Revalidator passed to ComputeTable::lookup for stale entries.
+  [[nodiscard]] auto revalidator() const noexcept {
+    return [this](const auto& entry) noexcept {
+      return entry.stamp == opStamp(entry.a, entry.b, entry.result);
+    };
+  }
+  [[nodiscard]] auto unaryRevalidator() const noexcept {
+    return [this](const auto& entry) noexcept {
+      return entry.stamp == opStamp(entry.a, entry.result);
+    };
+  }
+
+  // Operation caches: 4-way set-associative, generation-tagged (survive GC
+  // via incarnation revalidation; see compute_table.hpp). The inner product,
+  // norm and trace caches store plain values.
+  ComputeTable<VEdge, VEdge, CachedVEdge> addVTable_;
+  ComputeTable<MEdge, MEdge, CachedMEdge> addMTable_;
+  ComputeTable<MEdge, VEdge, CachedVEdge> mulMVTable_;
+  ComputeTable<MEdge, MEdge, CachedMEdge> mulMMTable_;
+  ComputeTable<MEdge, MEdge, CachedMEdge> kronMTable_;
+  ComputeTable<VEdge, VEdge, CachedVEdge> kronVTable_;
+  UnaryComputeTable<MEdge, CachedMEdge> transposeTable_;
+  ComputeTable<VEdge, VEdge, CVal> innerTable_;
   UnaryComputeTable<VEdge, DVal> normTable_;
   UnaryComputeTable<MEdge, CVal> traceTable_;
 
@@ -320,7 +416,14 @@ class Package {
     }
   }
 
+  /// Fresh sweep number for the stamp-based size() traversal. Node stamps
+  /// from 2^32 sweeps ago could theoretically alias; a size() call every
+  /// microsecond takes over an hour to get there, and the only consequence
+  /// would be one undercounted statistic.
+  std::uint32_t nextVisitMark() const noexcept { return ++visitMark_; }
+
   std::size_t gcThreshold_ = 1U << 18;
+  mutable std::uint32_t visitMark_ = 0;
   PackageStats stats_;
   std::function<bool()> abortCheck_;
   std::uint64_t abortCounter_ = 0;

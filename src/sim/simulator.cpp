@@ -63,6 +63,7 @@ SimulationResult CircuitSimulator::run() {
   stats_.wallSeconds = timer.seconds();
   stats_.finalStateNodes = pkg_->size(state_);
   stats_.dd = pkg_->stats();
+  stats_.cache = pkg_->cacheStats();
   return {state_, clbits_, stats_, trace_};
 }
 
@@ -190,7 +191,14 @@ MEdge CircuitSimulator::buildBlockDD(
 }
 
 MEdge CircuitSimulator::buildOpDD(const ir::Operation& op) {
-  return buildOperationDD(*pkg_, op);
+  const auto it = gateCache_.find(&op);
+  if (it != gateCache_.end()) {
+    return it->second;
+  }
+  const MEdge m = buildOperationDD(*pkg_, op);
+  pkg_->incRef(m);
+  gateCache_.emplace(&op, m);
+  return m;
 }
 
 void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
@@ -274,7 +282,8 @@ void CircuitSimulator::applyToState(const MEdge& m) {
   }
 
   stats_.peakStateNodes = std::max(stats_.peakStateNodes, lastStateSize_);
-  recordStep(StepKind::ApplyToState, pkg_->size(m), t.seconds());
+  recordStep(StepKind::ApplyToState,
+             config_.collectTrace ? pkg_->size(m) : 0, t.seconds());
 }
 
 void CircuitSimulator::flush() {

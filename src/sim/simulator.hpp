@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "dd/package.hpp"
@@ -71,6 +72,14 @@ class CircuitSimulator {
   std::size_t accCount_ = 0;
   std::size_t lastStateSize_ = 0;
   Timer runTimer_;
+
+  /// Gate-DD memoization: circuits apply the same ir::Operation objects
+  /// over and over (every Grover iteration re-walks the same compound
+  /// body), so the lowered matrix DD is cached per operation identity. The
+  /// cached edges are rooted in the package, which also keeps the
+  /// corresponding multiply compute-table entries revalidatable across
+  /// garbage collections.
+  std::unordered_map<const ir::Operation*, dd::MEdge> gateCache_;
 
   std::vector<bool> clbits_;
   SimulationStats stats_;

@@ -48,7 +48,10 @@ std::string SimulationStats::toString() const {
      << " MxV=" << mxvCount << " MxM=" << mxmCount
      << " peakStateNodes=" << peakStateNodes
      << " peakMatrixNodes=" << peakMatrixNodes
-     << " finalStateNodes=" << finalStateNodes;
+     << " finalStateNodes=" << finalStateNodes
+     << " identitySkipRate=" << dd.identitySkipRate()
+     << " mulCacheHitRate=" << cache.mulHitRate()
+     << " gcRetentionRate=" << cache.gcRetentionRate();
   return ss.str();
 }
 

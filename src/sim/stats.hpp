@@ -127,6 +127,9 @@ struct SimulationStats {
   std::uint64_t approxRounds = 0;
   /// Snapshot of the DD package counters at the end of the run.
   dd::PackageStats dd;
+  /// Snapshot of the memoization-layer counters at the end of the run
+  /// (multiply-cache hit rate, GC retention, ...).
+  dd::CacheStats cache;
 
   [[nodiscard]] std::string toString() const;
 };
