@@ -46,7 +46,8 @@ inline std::vector<Instance> figureBenchmarks() {
 
 /// Simulate once and return wall seconds (plus optional full stats). A
 /// positive \p timeLimitSeconds caps the run like the paper's 2h CPU budget;
-/// a timed-out run reports +infinity (rendered as "t/o" by the benches).
+/// a timed-out or budget-exhausted run reports +infinity (rendered as "t/o"
+/// by the benches), with the partial-progress stats preserved in statsOut.
 inline double timedRun(const ir::Circuit& circuit, sim::StrategyConfig config,
                        double timeLimitSeconds = 0.0,
                        sim::SimulationStats* statsOut = nullptr) {
@@ -57,7 +58,15 @@ inline double timedRun(const ir::Circuit& circuit, sim::StrategyConfig config,
       *statsOut = result.stats;
     }
     return result.stats.wallSeconds;
-  } catch (const sim::SimulationTimeout&) {
+  } catch (const sim::SimulationTimeout& e) {
+    if (statsOut != nullptr) {
+      *statsOut = e.partial().stats;
+    }
+    return std::numeric_limits<double>::infinity();
+  } catch (const sim::ResourceExhausted& e) {
+    if (statsOut != nullptr) {
+      *statsOut = e.partial().stats;
+    }
     return std::numeric_limits<double>::infinity();
   }
 }
@@ -94,6 +103,11 @@ struct BenchRecord {
   double gcRetentionRate = 0.0;
   std::uint64_t cacheRetained = 0;  ///< entries reused across a GC
   bool timedOut = false;
+  /// Degradation-ladder engagements under a resource budget (0 without one).
+  std::uint64_t degradationEvents = 0;
+  /// True when the run ended early (timeout or resource exhaustion) and the
+  /// stats come from a PartialResult snapshot rather than a completed run.
+  bool partialResult = false;
 };
 
 /// Build a record from a timedRun() result. Handles the +infinity timeout
@@ -103,12 +117,14 @@ inline BenchRecord makeRecord(std::string name, double seconds,
   BenchRecord r;
   r.name = std::move(name);
   r.timedOut = std::isinf(seconds);
+  r.partialResult = r.timedOut;
   r.wallMs = r.timedOut ? 0.0 : seconds * 1e3;
   r.peakNodes = stats.peakStateNodes + stats.peakMatrixNodes;
   r.mulCacheHitRate = stats.cache.mulHitRate();
   r.identitySkipRate = stats.dd.identitySkipRate();
   r.gcRetentionRate = stats.cache.gcRetentionRate();
   r.cacheRetained = stats.cache.cacheRetained;
+  r.degradationEvents = stats.degradationEvents;
   return r;
 }
 
@@ -130,11 +146,14 @@ inline void writeBenchJson(const std::string& benchName,
                  "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
                  "\"peak_nodes\": %zu, \"mul_cache_hit_rate\": %.4f, "
                  "\"identity_skip_rate\": %.4f, \"gc_retention_rate\": %.4f, "
-                 "\"cache_retained\": %llu, \"timed_out\": %s}%s\n",
+                 "\"cache_retained\": %llu, \"timed_out\": %s, "
+                 "\"degradation_events\": %llu, \"partial_result\": %s}%s\n",
                  r.name.c_str(), r.wallMs, r.peakNodes, r.mulCacheHitRate,
                  r.identitySkipRate, r.gcRetentionRate,
                  static_cast<unsigned long long>(r.cacheRetained),
                  r.timedOut ? "true" : "false",
+                 static_cast<unsigned long long>(r.degradationEvents),
+                 r.partialResult ? "true" : "false",
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

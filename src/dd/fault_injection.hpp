@@ -1,0 +1,98 @@
+/// \file fault_injection.hpp
+/// \brief Deterministic fault injection for the resource-governance paths.
+///
+/// Resource exhaustion, timeouts mid-multiply and emergency collections are
+/// inherently timing- and size-dependent — impossible to hit reliably with
+/// real workloads in a unit test. The FaultInjector turns each of them into
+/// a deterministic, countable event: fail node allocation after N requests,
+/// trip the abort check during top-level operation K, force a garbage
+/// collection at GC-poll S. It is compiled in unconditionally; an
+/// uninstalled injector costs one null-pointer check on the affected paths.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ddsim::dd {
+
+class FaultInjector {
+ public:
+  struct Config {
+    /// Let this many node requests succeed, then fail every further one
+    /// with ResourceExhausted (0 = disabled). Persistent, not one-shot:
+    /// callers that collect-and-retry keep failing until disarm().
+    std::uint64_t failAllocationAfter = 0;
+    /// Trip the abort check (ComputationAborted) at the first poll inside
+    /// the K-th top-level package operation, 1-based (0 = disabled). This
+    /// simulates a timeout firing mid-multiply, deterministically.
+    std::uint64_t abortAtOperation = 0;
+    /// Force a garbage collection at the S-th maybeGarbageCollect() poll,
+    /// 1-based (0 = disabled) — one poll happens per simulator step.
+    std::uint64_t forceGcAtPoll = 0;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Config& config) : cfg_(config) {}
+
+  void configure(const Config& config) noexcept { cfg_ = config; }
+  /// Clear every armed fault (counters keep their values for inspection).
+  void disarm() noexcept { cfg_ = Config{}; }
+
+  /// Called by the package on every node request. True => fail this one.
+  [[nodiscard]] bool onNodeRequest() noexcept {
+    ++nodeRequests_;
+    if (cfg_.failAllocationAfter == 0) {
+      return false;
+    }
+    const bool fail = nodeRequests_ > cfg_.failAllocationAfter;
+    if (fail) {
+      ++injectedAllocFailures_;
+    }
+    return fail;
+  }
+
+  /// Called from the abort poll with the current top-level operation index.
+  [[nodiscard]] bool onAbortPoll(std::uint64_t opIndex) noexcept {
+    const bool fire =
+        cfg_.abortAtOperation != 0 && opIndex == cfg_.abortAtOperation;
+    if (fire) {
+      ++injectedAborts_;
+    }
+    return fire;
+  }
+
+  /// Called from maybeGarbageCollect(). True => collect now regardless of
+  /// the adaptive threshold.
+  [[nodiscard]] bool onGcPoll() noexcept {
+    ++gcPolls_;
+    const bool fire = cfg_.forceGcAtPoll != 0 && gcPolls_ == cfg_.forceGcAtPoll;
+    if (fire) {
+      ++injectedGcs_;
+    }
+    return fire;
+  }
+
+  // Observed-event counters for test assertions.
+  [[nodiscard]] std::uint64_t nodeRequests() const noexcept {
+    return nodeRequests_;
+  }
+  [[nodiscard]] std::uint64_t injectedAllocFailures() const noexcept {
+    return injectedAllocFailures_;
+  }
+  [[nodiscard]] std::uint64_t injectedAborts() const noexcept {
+    return injectedAborts_;
+  }
+  [[nodiscard]] std::uint64_t injectedGcs() const noexcept {
+    return injectedGcs_;
+  }
+
+ private:
+  Config cfg_;
+  std::uint64_t nodeRequests_ = 0;
+  std::uint64_t gcPolls_ = 0;
+  std::uint64_t injectedAllocFailures_ = 0;
+  std::uint64_t injectedAborts_ = 0;
+  std::uint64_t injectedGcs_ = 0;
+};
+
+}  // namespace ddsim::dd

@@ -5,12 +5,24 @@
 /// through the general-purpose heap for every node dominates runtime. This
 /// manager hands out nodes from large chunks and recycles garbage-collected
 /// nodes through a free list threaded over Node::next.
+///
+/// Two resource-governance duties live here as well: a std::bad_alloc from
+/// chunk growth is converted into the structured ResourceExhausted taxonomy
+/// (with allocated/in-use diagnostics) instead of crashing the caller, and
+/// releaseFreeChunks() returns fully-reclaimed chunks to the OS so a
+/// governor-triggered garbage collection actually frees memory.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <new>
+#include <string>
 #include <vector>
+
+#include "dd/resource_governor.hpp"
 
 namespace ddsim::dd {
 
@@ -27,6 +39,7 @@ class MemoryManager {
   /// NodeT::id is preserved across recycling: together with the bump in
   /// free() it counts how often this address has been reclaimed, which is
   /// what lets stale compute-table entries detect pointer reuse.
+  /// Throws ResourceExhausted when chunk growth hits std::bad_alloc.
   NodeT* get() {
     if (free_ != nullptr) {
       NodeT* n = free_;
@@ -38,12 +51,25 @@ class MemoryManager {
       return n;
     }
     if (used_ == chunkCapacity_) {
-      chunks_.push_back(std::make_unique<NodeT[]>(chunkSize_));
+      try {
+        chunks_.push_back(std::make_unique<NodeT[]>(chunkSize_));
+      } catch (const std::bad_alloc&) {
+        throw ResourceExhausted(
+            "chunk allocation", inUse(), /*nodeBudget=*/0, bytesAllocated(),
+            "std::bad_alloc growing a " + std::to_string(chunkSize_) +
+                "-node chunk; " + std::to_string(allocated_) +
+                " nodes carved, " + std::to_string(freeCount_) + " free");
+      }
       chunkCapacity_ = chunkSize_;
       used_ = 0;
     }
     ++allocated_;
-    return &chunks_.back()[used_++];
+    NodeT* n = &chunks_.back()[used_++];
+    // Fresh carves start at the release epoch: every id in use stays above
+    // any id that ever lived in a released chunk, so a new chunk landing on
+    // a recycled address can never revalidate a stale compute-table entry.
+    n->id = idEpoch_;
+    return n;
   }
 
   /// Return a node to the free list. The caller must guarantee that no live
@@ -57,13 +83,105 @@ class MemoryManager {
     ++freeCount_;
   }
 
-  /// Total nodes ever carved out of chunks (monotone).
+  /// Return chunks whose nodes are all on the free list to the OS. The
+  /// caller must first drop every raw pointer into freed nodes (stale
+  /// compute-table entries!) — Package::emergencyCollect clears the compute
+  /// tables before calling this. Returns the number of bytes released.
+  std::size_t releaseFreeChunks() {
+    if (chunks_.empty() || freeCount_ == 0) {
+      return 0;
+    }
+    // Count free-listed nodes per chunk. Chunks are equally sized and only
+    // the last one can be partially carved.
+    struct Range {
+      const NodeT* lo;
+      std::size_t chunkIdx;
+    };
+    std::vector<Range> ranges;
+    ranges.reserve(chunks_.size());
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      ranges.push_back({chunks_[i].get(), i});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Range& a, const Range& b) { return a.lo < b.lo; });
+    const auto chunkOf = [&](const NodeT* n) -> std::size_t {
+      auto it = std::upper_bound(
+          ranges.begin(), ranges.end(), n,
+          [](const NodeT* x, const Range& r) { return x < r.lo; });
+      return std::prev(it)->chunkIdx;
+    };
+    std::vector<std::size_t> freeIn(chunks_.size(), 0);
+    for (const NodeT* n = free_; n != nullptr; n = n->next) {
+      ++freeIn[chunkOf(n)];
+    }
+
+    std::vector<bool> release(chunks_.size(), false);
+    std::uint64_t maxReleasedId = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      const std::size_t carved =
+          i + 1 == chunks_.size() ? used_ : chunkSize_;
+      if (carved == 0 || freeIn[i] != carved) {
+        continue;
+      }
+      release[i] = true;
+      any = true;
+      for (std::size_t k = 0; k < carved; ++k) {
+        maxReleasedId = std::max(maxReleasedId, chunks_[i][k].id);
+      }
+    }
+    if (!any) {
+      return 0;
+    }
+    idEpoch_ = std::max(idEpoch_, maxReleasedId + 1);
+
+    // Rebuild the free list without nodes from released chunks.
+    NodeT* newFree = nullptr;
+    std::size_t newFreeCount = 0;
+    for (NodeT* n = free_; n != nullptr;) {
+      NodeT* next = n->next;
+      if (!release[chunkOf(n)]) {
+        n->next = newFree;
+        newFree = n;
+        ++newFreeCount;
+      }
+      n = next;
+    }
+    free_ = newFree;
+    freeCount_ = newFreeCount;
+
+    std::size_t releasedChunks = 0;
+    const bool lastReleased = release.back();
+    std::vector<std::unique_ptr<NodeT[]>> kept;
+    kept.reserve(chunks_.size());
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      if (release[i]) {
+        allocated_ -= i + 1 == chunks_.size() ? used_ : chunkSize_;
+        ++releasedChunks;
+      } else {
+        kept.push_back(std::move(chunks_[i]));
+      }
+    }
+    chunks_ = std::move(kept);
+    if (lastReleased) {
+      // The carve chunk is gone; the next get() starts a fresh one.
+      chunkCapacity_ = 0;
+      used_ = 0;
+    }
+    return releasedChunks * chunkSize_ * sizeof(NodeT);
+  }
+
+  /// Nodes carved out of current chunks minus released ones.
   [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
   /// Nodes currently sitting on the free list.
   [[nodiscard]] std::size_t freeListSize() const noexcept { return freeCount_; }
   /// Nodes currently in use (allocated minus free-listed).
   [[nodiscard]] std::size_t inUse() const noexcept {
     return allocated_ - freeCount_;
+  }
+  /// Bytes currently held in chunks (what a byte budget governs).
+  [[nodiscard]] std::size_t bytesAllocated() const noexcept {
+    return chunks_.size() * chunkSize_ * sizeof(NodeT);
   }
 
  private:
@@ -74,6 +192,9 @@ class MemoryManager {
   NodeT* free_ = nullptr;
   std::size_t allocated_ = 0;
   std::size_t freeCount_ = 0;
+  /// One past the largest incarnation id that ever lived in a released
+  /// chunk; fresh carves start here (see get()).
+  std::uint64_t idEpoch_ = 0;
 };
 
 }  // namespace ddsim::dd

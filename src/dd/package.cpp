@@ -150,22 +150,64 @@ std::size_t Package::garbageCollect() {
 }
 
 bool Package::maybeGarbageCollect() {
-  const std::size_t live = vUnique_.liveCount() + mUnique_.liveCount();
+  if (injector_ != nullptr && injector_->onGcPoll()) {
+    garbageCollect();
+    return true;
+  }
+  const std::size_t live = liveNodes();
+  if (governor_.active()) {
+    const auto level = governor_.classify(live, bytesAllocated());
+    governor_.observe(level, live);
+    // Soft (or worse) pressure at a quiescent point: emergency-collect,
+    // including chunk release — but only if the live count has grown since
+    // the last emergency collection, so a mostly-live working set does not
+    // trigger a futile full sweep on every step.
+    if (level != ResourcePressure::None && live >= emergencyRearmLive_) {
+      emergencyCollect();
+      return true;
+    }
+  }
   if (live < gcThreshold_) {
     return false;
   }
   garbageCollect();
-  const std::size_t remaining = vUnique_.liveCount() + mUnique_.liveCount();
+  const std::size_t remaining = liveNodes();
   if (remaining > gcThreshold_ / 2) {
     gcThreshold_ *= 2;  // mostly-live table: back off to amortize sweeps
   }
   return true;
 }
 
+std::size_t Package::emergencyCollect() {
+  garbageCollect();
+  // Chunk release invalidates raw pointers held by stale compute-table
+  // entries (their nodes sit on the free list inside the released chunks),
+  // so the tables are hard-cleared — no revalidation possible — before any
+  // memory is returned to the OS.
+  addVTable_.clear();
+  addMTable_.clear();
+  mulMVTable_.clear();
+  mulMMTable_.clear();
+  kronMTable_.clear();
+  kronVTable_.clear();
+  transposeTable_.clear();
+  innerTable_.clear();
+  normTable_.clear();
+  traceTable_.clear();
+  const std::size_t released =
+      vMem_.releaseFreeChunks() + mMem_.releaseFreeChunks();
+  ++stats_.emergencyCollections;
+  stats_.bytesReleased += released;
+  const std::size_t live = liveNodes();
+  emergencyRearmLive_ = live + std::max<std::size_t>(live / 8, 1024);
+  return released;
+}
+
 // --------------------------------------------------------- node construction
 
 VEdge Package::makeVNode(Qubit v, std::array<VEdge, 2> children) {
   assert(v >= 0 && static_cast<std::size_t>(v) < numQubits_);
+  checkResources();
   for (auto& c : children) {
     if (c.w->exactlyZero()) {
       c = vZero();  // canonical zero stub
@@ -208,6 +250,7 @@ VEdge Package::makeVNode(Qubit v, std::array<VEdge, 2> children) {
 
 MEdge Package::makeMNode(Qubit v, std::array<MEdge, 4> children) {
   assert(v >= 0 && static_cast<std::size_t>(v) < numQubits_);
+  checkResources();
   bool allZero = true;
   for (auto& c : children) {
     if (c.w->exactlyZero()) {
@@ -284,6 +327,7 @@ VEdge Package::makeBasisState(std::uint64_t bits) {
 
 VEdge Package::buildDenseVector(Qubit level, std::span<const ComplexValue> amps,
                                 std::uint64_t off, std::uint64_t dim) {
+  pollAbort();
   if (level < 0) {
     return {&vTerminal_, clookup(amps[off])};
   }
@@ -353,7 +397,10 @@ MEdge Package::extendToFullWidth(MEdge e, const Controls& controls) {
 
 MEdge Package::makeGateDD(const GateMatrix& u, Qubit target,
                           const Controls& controls) {
-  assert(target >= 0 && static_cast<std::size_t>(target) < numQubits_);
+  const OpGuard guard(*this, "makeGateDD");
+  if (target < 0 || static_cast<std::size_t>(target) >= numQubits_) {
+    throw std::invalid_argument("makeGateDD: target out of range");
+  }
   Controls sorted = controls;
   std::sort(sorted.begin(), sorted.end());
   for (const auto& c : sorted) {
@@ -410,6 +457,7 @@ MEdge Package::makeGateDD(const GateMatrix& u, Qubit target,
 
 MEdge Package::buildPermutation(
     Qubit level, std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries) {
+  pollAbort();
   if (entries.empty()) {
     return mZero();
   }
@@ -433,6 +481,7 @@ MEdge Package::buildPermutation(
 
 MEdge Package::makePermutationDD(const std::vector<std::uint64_t>& perm,
                                  const Controls& controls) {
+  const OpGuard guard(*this, "makePermutationDD");
   if (!isPowerOfTwo(perm.size())) {
     throw std::invalid_argument("makePermutationDD: size must be a power of two");
   }
@@ -440,15 +489,15 @@ MEdge Package::makePermutationDD(const std::vector<std::uint64_t>& perm,
   if (static_cast<std::size_t>(t) > numQubits_) {
     throw std::invalid_argument("makePermutationDD: too many target qubits");
   }
-#ifndef NDEBUG
   {
     std::vector<bool> seen(perm.size(), false);
     for (const auto y : perm) {
-      assert(y < perm.size() && !seen[y] && "perm must be a bijection");
+      if (y >= perm.size() || seen[y]) {
+        throw std::invalid_argument("makePermutationDD: perm is not a bijection");
+      }
       seen[y] = true;
     }
   }
-#endif
   for (const auto& c : controls) {
     if (c.qubit < t || static_cast<std::size_t>(c.qubit) >= numQubits_) {
       throw std::invalid_argument(
@@ -467,6 +516,7 @@ MEdge Package::makePermutationDD(const std::vector<std::uint64_t>& perm,
 MEdge Package::buildDense(Qubit level, std::span<const ComplexValue> rowMajor,
                           std::uint64_t rowOff, std::uint64_t colOff,
                           std::uint64_t dim) {
+  pollAbort();
   if (level < 0) {
     const std::uint64_t fullDim = static_cast<std::uint64_t>(
         std::llround(std::sqrt(static_cast<double>(rowMajor.size()))));
@@ -516,8 +566,14 @@ MEdge Package::makeSmallMatrixFromDense(std::span<const ComplexValue> rowMajor) 
 
 // ---------------------------------------------------------------- addition
 
-VEdge Package::add(const VEdge& a, const VEdge& b) { return addRec(a, b); }
-MEdge Package::add(const MEdge& a, const MEdge& b) { return addRec(a, b); }
+VEdge Package::add(const VEdge& a, const VEdge& b) {
+  const OpGuard guard(*this, "add(vector)");
+  return addRec(a, b);
+}
+MEdge Package::add(const MEdge& a, const MEdge& b) {
+  const OpGuard guard(*this, "add(matrix)");
+  return addRec(a, b);
+}
 
 VEdge Package::addRec(const VEdge& a, const VEdge& b) {
   ++stats_.recursiveAddCalls;
@@ -609,6 +665,7 @@ MEdge Package::addRec(const MEdge& a, const MEdge& b) {
 // ------------------------------------------------------------ multiplication
 
 VEdge Package::multiply(const MEdge& m, const VEdge& v) {
+  const OpGuard guard(*this, "multiply(MxV)");
   ++stats_.matrixVectorMultiplications;
   if (m.w->exactlyZero() || v.w->exactlyZero()) {
     return vZero();
@@ -683,6 +740,7 @@ VEdge Package::mulNodesMV(MNode* a, VNode* b) {
 }
 
 MEdge Package::multiply(const MEdge& a, const MEdge& b) {
+  const OpGuard guard(*this, "multiply(MxM)");
   ++stats_.matrixMatrixMultiplications;
   if (a.w->exactlyZero() || b.w->exactlyZero()) {
     return mZero();
@@ -782,14 +840,17 @@ MEdge Package::mulNodesMM(MNode* a, MNode* b) {
 // -------------------------------------------------------- kronecker product
 
 MEdge Package::kronecker(const MEdge& top, const MEdge& bottom) {
+  const OpGuard guard(*this, "kronecker(matrix)");
   return kronRec(top, bottom);
 }
 
 VEdge Package::kronecker(const VEdge& top, const VEdge& bottom) {
+  const OpGuard guard(*this, "kronecker(vector)");
   return kronRec(top, bottom);
 }
 
 MEdge Package::kronRec(const MEdge& a, const MEdge& b) {
+  pollAbort();
   if (a.w->exactlyZero() || b.w->exactlyZero()) {
     return mZero();
   }
@@ -814,6 +875,7 @@ MEdge Package::kronRec(const MEdge& a, const MEdge& b) {
 }
 
 VEdge Package::kronRec(const VEdge& a, const VEdge& b) {
+  pollAbort();
   if (a.w->exactlyZero() || b.w->exactlyZero()) {
     return vZero();
   }
@@ -838,12 +900,14 @@ VEdge Package::kronRec(const VEdge& a, const VEdge& b) {
 // ------------------------------------------------------ conjugate transpose
 
 MEdge Package::conjugateTranspose(const MEdge& m) {
+  const OpGuard guard(*this, "conjugateTranspose");
   MEdge r = transposeRec({m.p, cone()});
   const CWeight w = clookup(m.w->conj() * *r.w);
   return w->exactlyZero() ? mZero() : MEdge{r.p, w};
 }
 
 MEdge Package::transposeRec(const MEdge& m) {
+  pollAbort();
   if (m.p->isTerminal()) {
     return {m.p, m.w};
   }
@@ -876,6 +940,7 @@ MEdge Package::transposeRec(const MEdge& m) {
 // ------------------------------------------------- inner products and norms
 
 ComplexValue Package::innerProduct(const VEdge& a, const VEdge& b) {
+  const OpGuard guard(*this, "innerProduct");
   if (a.w->exactlyZero() || b.w->exactlyZero()) {
     return {0.0, 0.0};
   }
@@ -883,6 +948,7 @@ ComplexValue Package::innerProduct(const VEdge& a, const VEdge& b) {
 }
 
 ComplexValue Package::innerProductRec(VNode* a, VNode* b) {
+  pollAbort();
   if (a->isTerminal()) {
     assert(b->isTerminal());
     return {1.0, 0.0};
@@ -915,6 +981,7 @@ ComplexValue Package::expectationValue(const MEdge& observable, const VEdge& v) 
 }
 
 ComplexValue Package::trace(const MEdge& m) {
+  const OpGuard guard(*this, "trace");
   if (m.w->exactlyZero()) {
     return {0.0, 0.0};
   }
@@ -922,6 +989,7 @@ ComplexValue Package::trace(const MEdge& m) {
 }
 
 ComplexValue Package::traceNode(MNode* p) {
+  pollAbort();
   if (p->isTerminal()) {
     return {1.0, 0.0};
   }
@@ -946,6 +1014,7 @@ ComplexValue Package::traceNode(MNode* p) {
 }
 
 double Package::norm2(const VEdge& v) {
+  const OpGuard guard(*this, "norm2");
   if (v.w->exactlyZero()) {
     return 0.0;
   }
@@ -953,6 +1022,7 @@ double Package::norm2(const VEdge& v) {
 }
 
 double Package::normNode(VNode* p) {
+  pollAbort();
   if (p->isTerminal()) {
     return 1.0;
   }
@@ -1092,6 +1162,9 @@ std::uint64_t Package::measureAll(VEdge& v, std::mt19937_64& rng, bool collapse)
 }
 
 double Package::probabilityOfOne(const VEdge& v, Qubit q) {
+  if (q < 0 || static_cast<std::size_t>(q) >= numQubits_) {
+    throw std::invalid_argument("probabilityOfOne: qubit out of range");
+  }
   if (v.w->exactlyZero()) {
     return 0.0;
   }
@@ -1132,6 +1205,9 @@ std::map<std::uint64_t, std::size_t> Package::sampleCounts(const VEdge& v,
 }
 
 int Package::measureOneCollapsing(VEdge& v, Qubit q, std::mt19937_64& rng) {
+  if (q < 0 || static_cast<std::size_t>(q) >= numQubits_) {
+    throw std::invalid_argument("measureOneCollapsing: qubit out of range");
+  }
   std::uniform_real_distribution<double> dist(0.0, 1.0);
   const double p1 = probabilityOfOne(v, q);
   const bool one = dist(rng) < p1;

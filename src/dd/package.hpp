@@ -25,8 +25,10 @@
 #include "dd/complex_table.hpp"
 #include "dd/complex_value.hpp"
 #include "dd/compute_table.hpp"
+#include "dd/fault_injection.hpp"
 #include "dd/memory_manager.hpp"
 #include "dd/node.hpp"
+#include "dd/resource_governor.hpp"
 #include "dd/unique_table.hpp"
 
 namespace ddsim::dd {
@@ -79,6 +81,11 @@ struct PackageStats {
   std::uint64_t garbageCollections = 0;
   std::uint64_t nodesCollected = 0;
   std::size_t peakLiveNodes = 0;
+  /// Emergency collections triggered by resource pressure (subset of
+  /// garbageCollections); these also release fully-free allocator chunks.
+  std::uint64_t emergencyCollections = 0;
+  /// Bytes returned to the OS by chunk release during emergency collections.
+  std::uint64_t bytesReleased = 0;
 
   /// Fraction of recursive multiply calls resolved by the identity fast
   /// path (0 when no multiplies ran).
@@ -273,12 +280,28 @@ class Package {
   /// be called at a quiescent point (no unrooted intermediate results held
   /// by the caller). Returns the number of nodes collected.
   std::size_t garbageCollect();
-  /// Collect if the number of live nodes exceeds the adaptive threshold.
+  /// Collect if the number of live nodes exceeds the adaptive threshold, a
+  /// configured resource budget is under pressure, or an installed fault
+  /// injector forces a collection.
   bool maybeGarbageCollect();
+  /// Pressure response: garbage-collect, drop every compute-table entry
+  /// (stale entries hold raw pointers into chunks about to be released),
+  /// and return fully-free allocator chunks to the OS. Quiescent-point
+  /// contract as garbageCollect(). Returns the number of bytes released.
+  std::size_t emergencyCollect();
 
   /// Live node counts (diagnostics / max-size strategy instrumentation).
   [[nodiscard]] std::size_t vNodeCount() const noexcept { return vUnique_.liveCount(); }
   [[nodiscard]] std::size_t mNodeCount() const noexcept { return mUnique_.liveCount(); }
+  /// Total live DD nodes (the quantity a node budget governs).
+  [[nodiscard]] std::size_t liveNodes() const noexcept {
+    return vUnique_.liveCount() + mUnique_.liveCount();
+  }
+  /// Bytes held by the node allocators plus the unique-table buckets.
+  [[nodiscard]] std::size_t bytesAllocated() const noexcept {
+    return vMem_.bytesAllocated() + mMem_.bytesAllocated() +
+           vUnique_.bucketBytes() + mUnique_.bucketBytes();
+  }
 
   /// Install a cancellation predicate polled periodically from inside the
   /// recursive operations (every few thousand recursion steps). When it
@@ -287,6 +310,28 @@ class Package {
   /// empty function to disable.
   void setAbortCheck(std::function<bool()> check) {
     abortCheck_ = std::move(check);
+  }
+
+  // --------------------------------------------------- resource governance
+  /// Budget and pressure-ladder policy; configure via
+  /// governor().setBudget(...) / setPressureCallback(...). The budget is
+  /// checked on every node creation: the soft rung fires the callback and
+  /// schedules an emergency collection at the next quiescent point, the
+  /// hard rung throws ResourceExhausted from the operation in flight.
+  [[nodiscard]] ResourceGovernor& governor() noexcept { return governor_; }
+  /// Current pressure level against the configured budget (None when no
+  /// budget is set).
+  [[nodiscard]] ResourcePressure resourcePressure() const noexcept {
+    return governor_.active()
+               ? governor_.classify(liveNodes(), bytesAllocated())
+               : ResourcePressure::None;
+  }
+
+  /// Install (or remove, with nullptr) a deterministic fault injector. The
+  /// injector is polled on every node request, abort poll and GC poll; not
+  /// owned. Zero-cost when unset beyond a null check.
+  void setFaultInjector(FaultInjector* injector) noexcept {
+    injector_ = injector;
   }
 
  private:
@@ -411,9 +456,61 @@ class Package {
   std::vector<MEdge> identities_;  ///< makeIdent(v) cache, pinned
 
   void pollAbort() {
+    if (injector_ != nullptr && injector_->onAbortPoll(opIndex_)) {
+      throw ComputationAborted{};
+    }
     if ((++abortCounter_ & 0x3FFFU) == 0 && abortCheck_ && abortCheck_()) {
       throw ComputationAborted{};
     }
+  }
+
+  /// RAII label for the top-level operation in flight: names the operation
+  /// in ResourceExhausted diagnostics and counts top-level operations for
+  /// the fault injector. Nested package calls keep the outermost label.
+  class OpGuard {
+   public:
+    OpGuard(Package& pkg, const char* name) noexcept
+        : pkg_(pkg), prev_(pkg.currentOp_) {
+      if (prev_ == nullptr) {
+        pkg_.currentOp_ = name;
+        ++pkg_.opIndex_;
+      }
+    }
+    ~OpGuard() { pkg_.currentOp_ = prev_; }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+
+   private:
+    Package& pkg_;
+    const char* prev_;
+  };
+
+  /// Budget/fault check on every node creation: soft rung fires the
+  /// pressure callback (collection is deferred to the next quiescent
+  /// point), hard rung throws ResourceExhausted out of the operation in
+  /// flight. Near-free when neither a budget nor an injector is set.
+  void checkResources() {
+    if (injector_ != nullptr && injector_->onNodeRequest()) {
+      throw ResourceExhausted(operationInFlight(), liveNodes(),
+                              governor_.budget().maxLiveNodes,
+                              bytesAllocated(),
+                              "fault injection: allocation failure");
+    }
+    if (!governor_.active()) {
+      return;
+    }
+    const std::size_t live = liveNodes();
+    const std::size_t bytes = bytesAllocated();
+    const ResourcePressure level = governor_.classify(live, bytes);
+    governor_.observe(level, live);
+    if (level == ResourcePressure::Hard) {
+      throw ResourceExhausted(operationInFlight(), live,
+                              governor_.budget().maxLiveNodes, bytes);
+    }
+  }
+
+  [[nodiscard]] const char* operationInFlight() const noexcept {
+    return currentOp_ != nullptr ? currentOp_ : "idle";
   }
 
   /// Fresh sweep number for the stamp-based size() traversal. Node stamps
@@ -427,6 +524,16 @@ class Package {
   PackageStats stats_;
   std::function<bool()> abortCheck_;
   std::uint64_t abortCounter_ = 0;
+
+  ResourceGovernor governor_;
+  FaultInjector* injector_ = nullptr;  ///< not owned; nullptr = disabled
+  const char* currentOp_ = nullptr;    ///< top-level operation label
+  std::uint64_t opIndex_ = 0;          ///< top-level operations started
+  /// Emergency-GC hysteresis: skip further emergency collections until the
+  /// live-node count has grown past this mark again (a collection that
+  /// freed nothing would otherwise repeat on every quiescent point while
+  /// pressure persists).
+  std::size_t emergencyRearmLive_ = 0;
 };
 
 }  // namespace ddsim::dd

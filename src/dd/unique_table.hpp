@@ -89,6 +89,11 @@ class UniqueTable {
   [[nodiscard]] std::size_t liveCount() const noexcept { return liveCount_; }
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  /// Bytes held by the bucket arrays (fixed overhead counted against a
+  /// byte budget alongside the node chunks).
+  [[nodiscard]] std::size_t bucketBytes() const noexcept {
+    return tables_.size() * kBucketsPerVar * sizeof(NodeT*);
+  }
 
   /// Visit every stored node (used by tests and diagnostics).
   template <typename F>

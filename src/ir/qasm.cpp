@@ -15,6 +15,16 @@ namespace ddsim::ir {
 
 namespace {
 
+/// Hard caps keeping hostile or corrupted input from exhausting memory at
+/// parse time: the DD package rejects anything above 62 qubits anyway, and
+/// classical registers beyond 2^16 bits serve no simulatable purpose.
+constexpr std::size_t kMaxQubits = 62;
+constexpr std::size_t kMaxClbits = 1U << 16;
+/// Parenthesis-nesting bound for parameter expressions — far above any real
+/// circuit, low enough that deeply nested "((((..." input cannot overflow
+/// the parser's recursion stack.
+constexpr std::size_t kMaxExprDepth = 256;
+
 // ------------------------------------------------- parameter expressions
 // Grammar: expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
 //          factor := ('-'|'+') factor | number | 'pi' | '(' expr ')'
@@ -61,6 +71,16 @@ class ExprParser {
   }
 
   double factor() {
+    // Every recursion step goes through factor(), so this single counter
+    // bounds the whole parser against stack overflow from pathological
+    // input like "((((((...1" or "------...1".
+    if (++depth_ > kMaxExprDepth) {
+      throw QasmError("expression nested too deeply", line_);
+    }
+    struct DepthGuard {
+      std::size_t& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
     skipSpace();
     if (consume('-')) {
       return -factor();
@@ -113,6 +133,7 @@ class ExprParser {
   std::string_view text_;
   std::size_t line_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 struct Statement {
@@ -174,6 +195,32 @@ std::string trim(std::string s) {
   return s;
 }
 
+/// Strict replacement for std::stoul on register indices/sizes: digits only
+/// (stoul would accept "+-0x" forms and silently stop at garbage), bounded
+/// length, and a QasmError instead of std::out_of_range on overflow — a
+/// multi-GB declaration like "qreg q[99999999999999]" must be a parse
+/// error, not a bad_alloc or a wrapped value.
+std::size_t parseIndex(const std::string& text, std::size_t line,
+                       const char* what) {
+  const std::string digits = trim(text);
+  if (digits.empty()) {
+    throw QasmError(std::string("missing ") + what, line);
+  }
+  if (digits.size() > 15) {
+    throw QasmError(std::string(what) + " '" + digits + "' is out of range",
+                    line);
+  }
+  std::size_t value = 0;
+  for (const char c : digits) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw QasmError(std::string("malformed ") + what + " '" + digits + "'",
+                      line);
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
 std::vector<std::string> splitList(const std::string& text, char sep) {
   std::vector<std::string> parts;
   std::string cur;
@@ -233,7 +280,9 @@ class Parser {
       throw QasmError("malformed register declaration", line);
     }
     const std::string name = trim(decl.substr(0, open));
-    const std::size_t size = std::stoul(decl.substr(open + 1, close - open - 1));
+    const std::size_t size =
+        parseIndex(decl.substr(open + 1, close - open - 1), line,
+                   "register size");
     if (size == 0) {
       throw QasmError("empty register", line);
     }
@@ -241,11 +290,21 @@ class Parser {
       if (qregs_.count(name) != 0) {
         throw QasmError("duplicate qreg '" + name + "'", line);
       }
+      if (size > kMaxQubits || numQubits_ + size > kMaxQubits) {
+        throw QasmError("qreg '" + name + "' exceeds the " +
+                            std::to_string(kMaxQubits) + "-qubit limit",
+                        line);
+      }
       qregs_[name] = {numQubits_, size};
       numQubits_ += size;
     } else {
       if (cregs_.count(name) != 0) {
         throw QasmError("duplicate creg '" + name + "'", line);
+      }
+      if (size > kMaxClbits || numClbits_ + size > kMaxClbits) {
+        throw QasmError("creg '" + name + "' exceeds the " +
+                            std::to_string(kMaxClbits) + "-bit limit",
+                        line);
       }
       cregs_[name] = {numClbits_, size};
       numClbits_ += size;
@@ -270,8 +329,14 @@ class Parser {
                           ref + "'",
                       line);
     }
+    if (close < open) {
+      throw QasmError(std::string("malformed ") + what + " reference '" + ref +
+                          "'",
+                      line);
+    }
     const std::string name = trim(ref.substr(0, open));
-    const std::size_t idx = std::stoul(ref.substr(open + 1, close - open - 1));
+    const std::size_t idx = parseIndex(
+        ref.substr(open + 1, close - open - 1), line, "register index");
     const auto it = regs.find(name);
     if (it == regs.end()) {
       throw QasmError("unknown register '" + name + "'", line);

@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "dd/approximation.hpp"
@@ -32,6 +34,28 @@ CircuitSimulator::CircuitSimulator(const ir::Circuit& circuit,
     throw std::invalid_argument(
         "approximation: per-step fidelity must be in (0, 1]");
   }
+  if (config_.softBudgetFraction <= 0.0 || config_.softBudgetFraction > 1.0) {
+    throw std::invalid_argument(
+        "budget: softBudgetFraction must be in (0, 1]");
+  }
+  // DDSIM_NODE_BUDGET supplies a process-wide default (used e.g. by the CI
+  // job that runs the whole suite under a tiny budget); an explicit config
+  // value wins.
+  if (config_.nodeBudget == 0) {
+    if (const char* env = std::getenv("DDSIM_NODE_BUDGET")) {
+      config_.nodeBudget = std::strtoull(env, nullptr, 10);
+    }
+  }
+  if (config_.nodeBudget > 0 || config_.byteBudget > 0) {
+    pkg_->governor().setBudget({config_.nodeBudget, config_.byteBudget,
+                                config_.softBudgetFraction});
+    // Fires deep inside a multiplication; only flag it — the ladder reacts
+    // at the next quiescent point.
+    pkg_->governor().setPressureCallback(
+        [this](dd::ResourcePressure, std::size_t) {
+          pressureSignaled_ = true;
+        });
+  }
 }
 
 SimulationResult CircuitSimulator::run() {
@@ -57,7 +81,11 @@ SimulationResult CircuitSimulator::run() {
     processOps(circuit_.ops());
     flush();
   } catch (const dd::ComputationAborted&) {
-    throw SimulationTimeout(config_.timeLimitSeconds);
+    throw SimulationTimeout(config_.timeLimitSeconds, makePartial());
+  } catch (const dd::ResourceExhausted& e) {
+    // Every rung of the degradation ladder failed; surface the dd-layer
+    // diagnosis together with how far the run got.
+    throw ResourceExhausted(e, makePartial());
   }
 
   stats_.wallSeconds = timer.seconds();
@@ -140,13 +168,32 @@ void CircuitSimulator::handleCompound(const ir::CompoundOperation& comp) {
   // once per repetition. After the one-time construction no further
   // matrix-matrix multiplication is needed (paper Section IV-B).
   flush();
-  MEdge block = buildBlockDD(comp.body());
+  MEdge block{};
+  try {
+    block = buildBlockDD(comp.body());
+  } catch (const dd::ResourceExhausted&) {
+    // The block matrix does not fit the budget. Reclaim and degrade
+    // DD-repeating to plain repetition: stream the block's gates through
+    // the normal combining logic instead.
+    pkg_->emergencyCollect();
+    ++stats_.degradationEvents;
+    ++stats_.resourceRecoveries;
+    for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+      processOps(comp.body());
+    }
+    return;
+  }
   pkg_->incRef(block);
   stats_.peakMatrixNodes = std::max(stats_.peakMatrixNodes, pkg_->size(block));
-  for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
-    applyToState(block);
-    stats_.appliedGates += comp.flatGateCount() / comp.repetitions();
-    afterStep();
+  try {
+    for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+      applyToState(block);
+      stats_.appliedGates += comp.flatGateCount() / comp.repetitions();
+      afterStep();
+    }
+  } catch (...) {
+    pkg_->decRef(block);
+    throw;
   }
   pkg_->decRef(block);
 }
@@ -155,36 +202,48 @@ MEdge CircuitSimulator::buildBlockDD(
     const std::vector<std::unique_ptr<ir::Operation>>& body) {
   MEdge block = pkg_->makeIdent();
   pkg_->incRef(block);
-  for (const auto& op : body) {
-    MEdge g{};
-    switch (op->kind()) {
-      case OpKind::Standard:
-      case OpKind::Oracle:
-        g = buildOpDD(*op);
-        break;
-      case OpKind::Compound: {
-        const auto& inner = static_cast<const ir::CompoundOperation&>(*op);
-        MEdge innerBlock = buildBlockDD(inner.body());
-        pkg_->incRef(innerBlock);
-        g = pkg_->makeIdent();
-        for (std::size_t rep = 0; rep < inner.repetitions(); ++rep) {
-          g = pkg_->multiply(innerBlock, g);
-          ++stats_.mxmCount;
+  try {
+    for (const auto& op : body) {
+      MEdge g{};
+      switch (op->kind()) {
+        case OpKind::Standard:
+        case OpKind::Oracle:
+          g = buildOpDD(*op);
+          break;
+        case OpKind::Compound: {
+          const auto& inner = static_cast<const ir::CompoundOperation&>(*op);
+          MEdge innerBlock = buildBlockDD(inner.body());
+          pkg_->incRef(innerBlock);
+          g = pkg_->makeIdent();
+          try {
+            for (std::size_t rep = 0; rep < inner.repetitions(); ++rep) {
+              g = pkg_->multiply(innerBlock, g);
+              ++stats_.mxmCount;
+            }
+          } catch (...) {
+            pkg_->decRef(innerBlock);
+            throw;
+          }
+          pkg_->decRef(innerBlock);
+          break;
         }
-        pkg_->decRef(innerBlock);
-        break;
+        default:
+          throw std::invalid_argument(
+              "DD-repeating requires purely unitary blocks, found: " +
+              op->toString());
       }
-      default:
-        throw std::invalid_argument(
-            "DD-repeating requires purely unitary blocks, found: " +
-            op->toString());
+      MEdge combined = pkg_->multiply(g, block);
+      ++stats_.mxmCount;
+      pkg_->incRef(combined);
+      pkg_->decRef(block);
+      block = combined;
+      pkg_->maybeGarbageCollect();
     }
-    MEdge combined = pkg_->multiply(g, block);
-    ++stats_.mxmCount;
-    pkg_->incRef(combined);
+  } catch (...) {
+    // Drop the root so an abandoned partial product is reclaimable by the
+    // next (emergency) collection.
     pkg_->decRef(block);
-    block = combined;
-    pkg_->maybeGarbageCollect();
+    throw;
   }
   pkg_->decRef(block);  // caller re-roots
   return block;
@@ -208,6 +267,16 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
     afterStep();
     return;
   }
+  // Degradation rung: while a pressure cooldown is active, run in the
+  // paper's sequential mode (Eq. 1) — one MxV per operation, no accumulator
+  // to blow up.
+  if (sequentialCooldown_ > 0) {
+    --sequentialCooldown_;
+    ++stats_.sequentialFallbackOps;
+    applyToState(gateDD);
+    afterStep();
+    return;
+  }
 
   const Timer t;
   if (!accPending_) {
@@ -215,20 +284,50 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
     pkg_->incRef(acc_);
     accPending_ = true;
     accCount_ = 1;
+    accGates_ = gateCount;
   } else {
     // state' = g * (acc * v) = (g * acc) * v: new factors multiply from the
     // left.
-    MEdge combined = pkg_->multiply(gateDD, acc_);
+    MEdge combined{};
+    try {
+      combined = pkg_->multiply(gateDD, acc_);
+    } catch (const dd::ResourceExhausted&) {
+      // Accumulator explosion hit the hard rung mid-MxM. Reclaim, flush the
+      // product built so far, apply the new gate directly, and cool down in
+      // sequential mode.
+      pkg_->emergencyCollect();
+      ++stats_.degradationEvents;
+      ++stats_.pressureFlushes;
+      pressureSignaled_ = false;
+      flush();
+      applyToState(gateDD);
+      ++stats_.resourceRecoveries;
+      enterCooldown();
+      afterStep();
+      return;
+    }
     ++stats_.mxmCount;
     pkg_->incRef(combined);
     pkg_->decRef(acc_);
     acc_ = combined;
     ++accCount_;
+    accGates_ += gateCount;
   }
 
   const std::size_t accSize = pkg_->size(acc_);
   stats_.peakMatrixNodes = std::max(stats_.peakMatrixNodes, accSize);
   recordStep(StepKind::CombineMatrix, accSize, t.seconds());
+
+  // Soft rung: pressure observed while (or since) accumulating. Flush the
+  // accumulator at this quiescent point and fall back to sequential
+  // application for the cooldown window.
+  if (pressureObserved()) {
+    ++stats_.degradationEvents;
+    ++stats_.pressureFlushes;
+    flush();
+    enterCooldown();
+    return;
+  }
 
   bool full = false;
   switch (config_.schedule) {
@@ -257,7 +356,21 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
 
 void CircuitSimulator::applyToState(const MEdge& m) {
   const Timer t;
-  VEdge next = pkg_->multiply(m, state_);
+  VEdge next{};
+  try {
+    next = pkg_->multiply(m, state_);
+  } catch (const dd::ResourceExhausted&) {
+    // Hard rung mid-MxV: reclaim everything reclaimable, shrink the state
+    // if approximation is allowed, then retry once. A second failure
+    // propagates to run(), which wraps it with the progress snapshot.
+    pkg_->emergencyCollect();
+    ++stats_.degradationEvents;
+    if (config_.approximateFidelity < 1.0) {
+      forcedApproximation();
+    }
+    next = pkg_->multiply(m, state_);
+    ++stats_.resourceRecoveries;
+  }
   ++stats_.mxvCount;
   pkg_->incRef(next);
   pkg_->decRef(state_);
@@ -281,6 +394,14 @@ void CircuitSimulator::applyToState(const MEdge& m) {
     }
   }
 
+  // Soft rung on the state DD itself: if pressure was observed and lossy
+  // compression is allowed, prune now rather than carrying an oversized
+  // state into the next multiplication.
+  if (config_.approximateFidelity < 1.0 && pressureObserved()) {
+    ++stats_.degradationEvents;
+    forcedApproximation();
+  }
+
   stats_.peakStateNodes = std::max(stats_.peakStateNodes, lastStateSize_);
   recordStep(StepKind::ApplyToState,
              config_.collectTrace ? pkg_->size(m) : 0, t.seconds());
@@ -294,6 +415,7 @@ void CircuitSimulator::flush() {
   pkg_->decRef(acc_);
   accPending_ = false;
   accCount_ = 0;
+  accGates_ = 0;
   afterStep();
 }
 
@@ -301,8 +423,52 @@ void CircuitSimulator::afterStep() {
   pkg_->maybeGarbageCollect();
   if (config_.timeLimitSeconds > 0.0 &&
       runTimer_.seconds() > config_.timeLimitSeconds) {
-    throw SimulationTimeout(config_.timeLimitSeconds);
+    throw SimulationTimeout(config_.timeLimitSeconds, makePartial());
   }
+}
+
+void CircuitSimulator::enterCooldown() {
+  sequentialCooldown_ = config_.degradeCooldownOps;
+}
+
+/// Prune the state DD down to the configured per-step fidelity, counting
+/// the round as pressure-forced.
+void CircuitSimulator::forcedApproximation() {
+  const auto approx =
+      dd::approximate(*pkg_, state_, config_.approximateFidelity);
+  if (approx.removedEdges > 0) {
+    pkg_->incRef(approx.state);
+    pkg_->decRef(state_);
+    state_ = approx.state;
+    stats_.approxFidelity *= approx.fidelity;
+    ++stats_.approxRounds;
+    ++stats_.pressureApproximations;
+    lastStateSize_ = approx.nodesAfter;
+  }
+}
+
+/// Consume the pressure flag: true if the governor signaled pressure since
+/// the last check, or current usage still sits above the soft threshold.
+bool CircuitSimulator::pressureObserved() {
+  const bool signaled = pressureSignaled_;
+  pressureSignaled_ = false;
+  return signaled ||
+         pkg_->resourcePressure() != dd::ResourcePressure::None;
+}
+
+PartialResult CircuitSimulator::makePartial() {
+  PartialResult p;
+  p.opsCompleted =
+      stats_.appliedGates >= accGates_ ? stats_.appliedGates - accGates_ : 0;
+  p.peakLiveNodes = std::max(
+      {stats_.peakStateNodes, stats_.peakMatrixNodes, pkg_->liveNodes()});
+  p.elapsedSeconds = runTimer_.seconds();
+  p.stats = stats_;
+  p.stats.wallSeconds = p.elapsedSeconds;
+  p.stats.finalStateNodes = pkg_->size(state_);
+  p.stats.dd = pkg_->stats();
+  p.stats.cache = pkg_->cacheStats();
+  return p;
 }
 
 DetachedResult simulate(const ir::Circuit& circuit, StrategyConfig config,

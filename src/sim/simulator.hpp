@@ -42,7 +42,10 @@ class CircuitSimulator {
 
   /// Simulate the whole circuit. May be called once per simulator.
   /// Throws SimulationTimeout if StrategyConfig::timeLimitSeconds is set
-  /// and exceeded.
+  /// and exceeded, and sim::ResourceExhausted if a node/byte budget is set
+  /// and the degradation ladder (emergency collection, pressure flush,
+  /// sequential fallback, forced approximation) could not keep the run
+  /// under it. Both carry a PartialResult progress snapshot.
   SimulationResult run();
 
   /// The DD package holding the final state (for amplitude queries etc.).
@@ -58,6 +61,11 @@ class CircuitSimulator {
   void applyToState(const dd::MEdge& m);
   void flush();
   void afterStep();
+  /// Degradation ladder helpers (see stats.hpp for the rung accounting).
+  void enterCooldown();
+  void forcedApproximation();
+  [[nodiscard]] bool pressureObserved();
+  [[nodiscard]] PartialResult makePartial();
 
   const ir::Circuit& circuit_;
   StrategyConfig config_;
@@ -70,7 +78,16 @@ class CircuitSimulator {
   dd::MEdge acc_{};      ///< accumulated operation product (combining modes)
   bool accPending_ = false;
   std::size_t accCount_ = 0;
+  /// Gates sitting in the accumulator, i.e. counted in appliedGates but not
+  /// yet applied to the state (PartialResult::opsCompleted excludes them).
+  std::uint64_t accGates_ = 0;
   std::size_t lastStateSize_ = 0;
+  /// Remaining operations to apply sequentially after a pressure event
+  /// before matrix-matrix combination is re-enabled.
+  std::size_t sequentialCooldown_ = 0;
+  /// Set by the governor's pressure callback (possibly deep inside a
+  /// multiplication); consumed at the next quiescent point.
+  bool pressureSignaled_ = false;
   Timer runTimer_;
 
   /// Gate-DD memoization: circuits apply the same ir::Operation objects

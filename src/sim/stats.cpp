@@ -28,6 +28,9 @@ std::string StrategyConfig::toString() const {
   if (reuseRepeatedBlocks) {
     ss << "+DD-repeating";
   }
+  if (nodeBudget > 0 || byteBudget > 0) {
+    ss << "+budget(nodes=" << nodeBudget << ",bytes=" << byteBudget << ")";
+  }
   return ss.str();
 }
 
@@ -52,6 +55,13 @@ std::string SimulationStats::toString() const {
      << " identitySkipRate=" << dd.identitySkipRate()
      << " mulCacheHitRate=" << cache.mulHitRate()
      << " gcRetentionRate=" << cache.gcRetentionRate();
+  if (degradationEvents > 0) {
+    ss << " degradationEvents=" << degradationEvents
+       << " pressureFlushes=" << pressureFlushes
+       << " sequentialFallbackOps=" << sequentialFallbackOps
+       << " pressureApproximations=" << pressureApproximations
+       << " resourceRecoveries=" << resourceRecoveries;
+  }
   return ss.str();
 }
 

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dd/package.hpp"
@@ -60,6 +61,21 @@ struct StrategyConfig {
   /// fidelity of the final state against the exact run.
   double approximateFidelity = 1.0;
   std::size_t approximateThreshold = 512;
+  /// Resource budget: abort-or-degrade once the package holds this many
+  /// live DD nodes (0 = unlimited; the DDSIM_NODE_BUDGET environment
+  /// variable supplies a default when unset). Soft pressure starts at
+  /// softBudgetFraction x nodeBudget and triggers the degradation ladder
+  /// (emergency collection, accumulator flush, sequential fallback,
+  /// forced approximation); only the hard limit aborts.
+  std::size_t nodeBudget = 0;
+  /// Resource budget in bytes across node chunks and unique-table buckets
+  /// (0 = unlimited).
+  std::size_t byteBudget = 0;
+  /// Fraction of the hard budget at which soft pressure fires, in (0, 1].
+  double softBudgetFraction = 0.75;
+  /// After a pressure event the simulator stays in sequential (MxV-only)
+  /// mode for this many operations before re-enabling combination.
+  std::size_t degradeCooldownOps = 16;
 
   [[nodiscard]] static StrategyConfig sequential() { return {}; }
   [[nodiscard]] static StrategyConfig kOperations(std::size_t k) {
@@ -125,6 +141,20 @@ struct SimulationStats {
   double approxFidelity = 1.0;
   /// Number of approximation passes that actually pruned something.
   std::uint64_t approxRounds = 0;
+  /// Times the degradation ladder engaged (any rung).
+  std::uint64_t degradationEvents = 0;
+  /// Accumulator flushes forced by resource pressure rather than the
+  /// schedule's own combine criterion.
+  std::uint64_t pressureFlushes = 0;
+  /// Operations applied sequentially (MxV) while a pressure cooldown
+  /// suppressed matrix-matrix combination.
+  std::uint64_t sequentialFallbackOps = 0;
+  /// Approximation rounds forced by resource pressure (also counted in
+  /// approxRounds).
+  std::uint64_t pressureApproximations = 0;
+  /// Hard-rung ResourceExhausted throws the ladder absorbed (emergency
+  /// collection + retry succeeded).
+  std::uint64_t resourceRecoveries = 0;
   /// Snapshot of the DD package counters at the end of the run.
   dd::PackageStats dd;
   /// Snapshot of the memoization-layer counters at the end of the run
@@ -134,18 +164,54 @@ struct SimulationStats {
   [[nodiscard]] std::string toString() const;
 };
 
+/// Snapshot of how far a run got before it was cut short. Both
+/// SimulationTimeout and sim::ResourceExhausted carry one, so a caller can
+/// report progress (and the degradation attempts made) instead of losing
+/// everything to the exception.
+struct PartialResult {
+  /// Elementary gates applied to the state before the abort.
+  std::uint64_t opsCompleted = 0;
+  std::size_t peakLiveNodes = 0;
+  double elapsedSeconds = 0.0;
+  /// Statistics as of the abort (wallSeconds/dd/cache snapshots included).
+  SimulationStats stats;
+};
+
 /// Thrown by CircuitSimulator::run when StrategyConfig::timeLimitSeconds is
 /// exceeded.
 class SimulationTimeout : public std::runtime_error {
  public:
-  explicit SimulationTimeout(double limitSeconds)
+  explicit SimulationTimeout(double limitSeconds, PartialResult partial = {})
       : std::runtime_error("simulation exceeded the time limit of " +
                            std::to_string(limitSeconds) + " s"),
-        limit_(limitSeconds) {}
+        limit_(limitSeconds),
+        partial_(std::move(partial)) {}
   [[nodiscard]] double limitSeconds() const noexcept { return limit_; }
+  /// Progress made before the limit hit.
+  [[nodiscard]] const PartialResult& partial() const noexcept {
+    return partial_;
+  }
 
  private:
   double limit_;
+  PartialResult partial_;
+};
+
+/// Thrown by CircuitSimulator::run when the resource budget is exhausted and
+/// every rung of the degradation ladder failed to bring usage back under it.
+/// Wraps the dd-layer diagnosis (live nodes, budget, operation in flight)
+/// and adds the simulation progress snapshot.
+class ResourceExhausted : public dd::ResourceExhausted {
+ public:
+  ResourceExhausted(const dd::ResourceExhausted& cause, PartialResult partial)
+      : dd::ResourceExhausted(cause), partial_(std::move(partial)) {}
+  /// Progress made before the budget ran out.
+  [[nodiscard]] const PartialResult& partial() const noexcept {
+    return partial_;
+  }
+
+ private:
+  PartialResult partial_;
 };
 
 /// Simple wall-clock stopwatch.

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -69,6 +71,96 @@ TEST(MemoryManager, InUseAccounting) {
   EXPECT_EQ(mm.inUse(), 1U);
   mm.free(b);
   EXPECT_EQ(mm.inUse(), 0U);
+}
+
+TEST(MemoryManager, ReleaseFreeChunksReturnsFullyFreeChunks) {
+  MemoryManager<MNode> mm(4);
+  std::vector<MNode*> nodes;
+  for (int i = 0; i < 64; ++i) {
+    nodes.push_back(mm.get());
+  }
+  const std::size_t bytesBefore = mm.bytesAllocated();
+  EXPECT_EQ(bytesBefore, 16U * 4 * sizeof(MNode));
+
+  // Free chunks 0..7 entirely (nodes 0..31), keep the rest in use.
+  for (std::size_t i = 0; i < 32; ++i) {
+    mm.free(nodes[i]);
+  }
+  const std::size_t released = mm.releaseFreeChunks();
+  EXPECT_EQ(released, 8U * 4 * sizeof(MNode));
+  EXPECT_EQ(mm.bytesAllocated(), bytesBefore - released);
+  EXPECT_EQ(mm.allocated(), 32U);
+  EXPECT_EQ(mm.inUse(), 32U);
+  EXPECT_EQ(mm.freeListSize(), 0U);
+
+  // The surviving nodes keep working and further allocation is intact.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(mm.get(), nullptr);
+  }
+  EXPECT_EQ(mm.inUse(), 40U);
+}
+
+TEST(MemoryManager, ReleaseFreeChunksKeepsPartiallyUsedChunks) {
+  MemoryManager<MNode> mm(4);
+  std::vector<MNode*> nodes;
+  for (int i = 0; i < 16; ++i) {
+    nodes.push_back(mm.get());
+  }
+  // Free every other node: no chunk becomes fully free.
+  for (std::size_t i = 0; i < nodes.size(); i += 2) {
+    mm.free(nodes[i]);
+  }
+  EXPECT_EQ(mm.releaseFreeChunks(), 0U);
+  EXPECT_EQ(mm.allocated(), 16U);
+  EXPECT_EQ(mm.freeListSize(), 8U);
+}
+
+TEST(MemoryManager, ReleaseFreeChunksHandlesCarveChunk) {
+  MemoryManager<MNode> mm(4);
+  // Only partially carve the first (and only) chunk, then free everything.
+  MNode* a = mm.get();
+  MNode* b = mm.get();
+  mm.free(a);
+  mm.free(b);
+  EXPECT_EQ(mm.releaseFreeChunks(), 4U * sizeof(MNode));
+  EXPECT_EQ(mm.bytesAllocated(), 0U);
+  EXPECT_EQ(mm.allocated(), 0U);
+  // Allocation restarts cleanly on a fresh chunk.
+  EXPECT_NE(mm.get(), nullptr);
+  EXPECT_EQ(mm.inUse(), 1U);
+}
+
+TEST(MemoryManager, IdEpochAdvancesAcrossChunkRelease) {
+  MemoryManager<VNode> mm(4);
+  std::vector<VNode*> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(mm.get());
+  }
+  // Bump incarnations, then release the chunk.
+  for (VNode* n : nodes) {
+    mm.free(n);  // id becomes 1
+  }
+  ASSERT_GT(mm.releaseFreeChunks(), 0U);
+  // A fresh carve (possibly at the same address) must start above every id
+  // that lived in the released chunk, or stale compute-table entries could
+  // falsely revalidate.
+  VNode* fresh = mm.get();
+  EXPECT_GE(fresh->id, 2U);
+}
+
+TEST(MemoryManager, ChunkGrowthBadAllocBecomesResourceExhausted) {
+  // A chunk too large for any allocator: make_unique throws, and the
+  // manager must convert it into the structured taxonomy instead of
+  // crashing with an unhandled bad_alloc.
+  MemoryManager<VNode> mm(std::numeric_limits<std::size_t>::max() /
+                          sizeof(VNode) / 2);
+  EXPECT_THROW(mm.get(), ResourceExhausted);
+  try {
+    mm.get();
+  } catch (const ResourceExhausted& e) {
+    EXPECT_STREQ(e.operation().c_str(), "chunk allocation");
+    EXPECT_NE(std::string(e.what()).find("bad_alloc"), std::string::npos);
+  }
 }
 
 TEST(UniqueTableDirect, DeduplicatesStructurallyEqualNodes) {

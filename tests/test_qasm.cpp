@@ -201,5 +201,57 @@ TEST(Qasm, CompoundBlocksAreFlattenedOnWrite) {
   EXPECT_EQ(reparsed.numOps(), 3U);
 }
 
+// ------------------------------------------------- hostile-input hardening
+// Malformed or adversarial QASM must produce a QasmError — never a crash, a
+// hang, or an attempted multi-GB allocation.
+
+TEST(QasmHardening, HugeRegisterDeclarationIsRejectedAtParseTime) {
+  // Would be ~100 TB of qubits if taken literally: must be a parse error,
+  // not an out-of-range wrap or a bad_alloc.
+  EXPECT_THROW(parseQasm("qreg q[99999999999999];"), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[18446744073709551617];"), QasmError);
+  EXPECT_THROW(parseQasm("creg c[99999999999999]; qreg q[1];"), QasmError);
+}
+
+TEST(QasmHardening, RegisterSizesAreCappedAgainstSimulableLimit) {
+  // The DD package tops out at 62 qubits; reject at parse time so errors
+  // carry the offending line instead of surfacing later from dd::Package.
+  EXPECT_THROW(parseQasm("qreg q[63];"), QasmError);
+  EXPECT_THROW(parseQasm("qreg a[40]; qreg b[40];"), QasmError);
+  EXPECT_NO_THROW(parseQasm("qreg q[62]; h q[0];"));
+  EXPECT_THROW(parseQasm("qreg q[1]; creg c[65537];"), QasmError);
+}
+
+TEST(QasmHardening, MalformedIndicesAreRejected) {
+  EXPECT_THROW(parseQasm("qreg q[-3];"), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[2x];"), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[];"), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[2]; h q[1e3];"), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[2]; h q]1[;"), QasmError);
+}
+
+TEST(QasmHardening, DeepParenthesisNestingIsBounded) {
+  // 100k nested parentheses: naive recursive descent would overflow the
+  // stack; the parser must fail gracefully instead.
+  const std::string open(100'000, '(');
+  const std::string close(100'000, ')');
+  EXPECT_THROW(parseQasm("qreg q[1]; rz(" + open + "1.0" + close + ") q[0];"),
+               QasmError);
+  // Unary-minus chains recurse through the same path.
+  EXPECT_THROW(parseQasm("qreg q[1]; rz(" + std::string(100'000, '-') +
+                         "1.0) q[0];"),
+               QasmError);
+  // Reasonable nesting keeps working.
+  EXPECT_NO_THROW(parseQasm("qreg q[1]; rz(((pi/2))) q[0];"));
+}
+
+TEST(QasmHardening, TruncatedProgramsFailCleanly) {
+  EXPECT_THROW(parseQasm("qreg q[2]; h q["), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[2]; measure q[0] ->"), QasmError);
+  EXPECT_THROW(parseQasm("qreg q[2]; rz(0.5"), QasmError);
+  EXPECT_THROW(parseQasm("qreg"), QasmError);
+  EXPECT_THROW(parseQasm(""), QasmError);
+}
+
 }  // namespace
 }  // namespace ddsim::ir
