@@ -1,0 +1,163 @@
+/// \file bench_serve_throughput.cpp
+/// \brief Serving-layer scaling bench: jobs/sec over a mixed Grover/QFT
+///        manifest at 1, 4 and hardware-concurrency workers.
+///
+/// Every job gets a distinct seed, so no two jobs share a cache key and
+/// nothing coalesces — the bench measures pure worker-pool scaling, where
+/// each simulation owns a private dd::Package and the only shared state is
+/// the admission queue. Emits BENCH_serve.json with jobs/sec per pool size
+/// and the speedup relative to one worker.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "algo/grover.hpp"
+#include "algo/qft.hpp"
+#include "bench_common.hpp"
+#include "serve/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ddsim;
+
+/// The mixed workload: moderately sized Grover and QFT instances (with a
+/// final measurement so results carry classical bits). Sized to run in a
+/// few hundred milliseconds each, so a batch dominates thread start-up and
+/// queue overhead but the whole sweep stays laptop-friendly.
+std::vector<std::shared_ptr<const ir::Circuit>> makeWorkload() {
+  std::vector<std::shared_ptr<const ir::Circuit>> circuits;
+  algo::GroverOptions grover;
+  grover.measure = true;
+  for (const std::size_t n : {12U, 13U, 14U}) {
+    circuits.push_back(std::make_shared<const ir::Circuit>(
+        algo::makeGroverCircuit(n, /*marked=*/(1ULL << n) - 3, grover)));
+  }
+  for (const std::size_t n : {14U, 16U, 18U}) {
+    // makeQFTCircuit allocates no classical bits; re-host it in a circuit
+    // that has them so the jobs carry measured outcomes.
+    ir::Circuit qft(n, n);
+    qft.appendCircuit(algo::makeQFTCircuit(n));
+    qft.measureAll();
+    circuits.push_back(
+        std::make_shared<const ir::Circuit>(std::move(qft)));
+  }
+  return circuits;
+}
+
+struct RunResult {
+  std::size_t workers = 0;
+  std::size_t jobs = 0;
+  double wallSeconds = 0.0;
+  double jobsPerSecond = 0.0;
+  double meanQueueSeconds = 0.0;
+};
+
+RunResult runBatch(
+    const std::vector<std::shared_ptr<const ir::Circuit>>& circuits,
+    std::size_t workers, std::size_t jobsPerCircuit) {
+  serve::ServiceConfig config;
+  config.workers = workers;
+  config.queueCapacity = circuits.size() * jobsPerCircuit + 8;
+  config.cacheCapacity = 0;  // measure pure simulation throughput
+  config.startPaused = true; // admission excluded from the timed window
+  serve::SimulationService service(config);
+
+  std::vector<serve::JobHandle> handles;
+  std::uint64_t stream = 0;
+  for (std::size_t rep = 0; rep < jobsPerCircuit; ++rep) {
+    for (const auto& circuit : circuits) {
+      serve::JobSpec spec;
+      spec.circuit = circuit;
+      spec.config = sim::StrategyConfig::kOperations(4);
+      // Distinct decorrelated seeds: no cache key ever repeats.
+      spec.seed = sim::deriveSeed(12345, stream++);
+      handles.push_back(service.submit(std::move(spec)));
+    }
+  }
+
+  const sim::Timer timer;
+  service.start();
+  for (const auto& handle : handles) {
+    handle.wait();
+  }
+  RunResult r;
+  r.wallSeconds = timer.seconds();
+  r.workers = service.workerCount();
+  r.jobs = handles.size();
+  r.jobsPerSecond = static_cast<double>(r.jobs) / r.wallSeconds;
+  r.meanQueueSeconds = service.stats().queueLatencyMeanSeconds;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto circuits = makeWorkload();
+  const std::size_t hw = std::max(1U, std::thread::hardware_concurrency());
+  std::vector<std::size_t> pools{1, 4};
+  if (hw != 4 && hw != 1) {
+    pools.push_back(hw);
+  }
+
+  std::printf("serve throughput: %zu circuits x 4 seeds, pools:",
+              circuits.size());
+  for (const std::size_t p : pools) {
+    std::printf(" %zu", p);
+  }
+  std::printf(" (hardware_concurrency=%zu)\n", hw);
+  bench::printRule();
+  std::printf("%-10s %8s %12s %12s %10s\n", "workers", "jobs", "wall_s",
+              "jobs/s", "speedup");
+
+  std::vector<RunResult> results;
+  for (const std::size_t p : pools) {
+    // Warm-up pass keeps first-touch page faults out of the 1-worker
+    // baseline (which everything else is normalized against).
+    if (results.empty()) {
+      runBatch(circuits, p, 1);
+    }
+    results.push_back(runBatch(circuits, p, /*jobsPerCircuit=*/4));
+    const RunResult& r = results.back();
+    const double speedup = results.front().wallSeconds / r.wallSeconds;
+    std::printf("%-10zu %8zu %12.3f %12.2f %9.2fx\n", r.workers, r.jobs,
+                r.wallSeconds, r.jobsPerSecond, speedup);
+  }
+  bench::printRule();
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"workers=%zu\", \"workers\": %zu, "
+                   "\"jobs\": %zu, \"wall_ms\": %.3f, \"jobs_per_sec\": "
+                   "%.3f, \"speedup_vs_1\": %.3f, "
+                   "\"queue_latency_mean_s\": %.6f}%s\n",
+                   r.workers, r.workers, r.jobs, r.wallSeconds * 1e3,
+                   r.jobsPerSecond,
+                   results.front().wallSeconds / r.wallSeconds,
+                   r.meanQueueSeconds,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+
+  if (hw >= 4 && results.size() >= 2) {
+    const double speedup = results[0].wallSeconds / results[1].wallSeconds;
+    std::printf("4-worker speedup vs 1: %.2fx (acceptance floor: 2.5x)\n",
+                speedup);
+  } else {
+    std::printf(
+        "note: only %zu hardware threads — 4-worker speedup is not "
+        "meaningful on this host\n",
+        hw);
+  }
+  return 0;
+}

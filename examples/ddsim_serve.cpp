@@ -1,0 +1,254 @@
+/// \file ddsim_serve.cpp
+/// \brief Batch-simulation driver over the serve/ subsystem: read a job
+///        manifest (QASM paths + per-job strategy/budget options), run all
+///        jobs through a SimulationService worker pool, write per-job JSON
+///        results (including partial progress on failures) plus aggregated
+///        service statistics.
+///
+/// Usage:
+///   ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] [--cache <n>]
+///               [--out <results.json>] [--stats <stats.json>]
+///
+/// Manifest format: see serve/manifest.hpp (one job per line, `#` comments).
+/// QASM paths are resolved relative to the manifest's directory. A job line
+/// with `repeat=n` fans out into n jobs seeded with sim::deriveSeed(seed, i)
+/// — the documented derivation rule, so recorded (seed, i) pairs reproduce
+/// bit-identical outcomes anywhere.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/qasm.hpp"
+#include "ir/transforms.hpp"
+#include "serve/manifest.hpp"
+#include "serve/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] "
+      "[--cache <n>] [--out <results.json>] [--stats <stats.json>]\n\n"
+      "manifest lines: <qasm-path> [strategy=seq|k=<n>|maxsize=<n>|"
+      "adaptive[=<r>]] [dd-repeating] [detect-repetitions] [seed=<n>] "
+      "[repeat=<n>] [priority=high|normal|low] [deadline=<s>] "
+      "[time-limit=<s>] [node-budget=<n>] [label=<text>]\n");
+}
+
+std::string dirOf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash + 1);
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct SubmittedJob {
+  std::string label;
+  std::uint64_t seed = 0;
+  ddsim::serve::JobHandle handle;
+  std::string admissionError;  ///< non-empty when never admitted
+};
+
+void writeResults(std::FILE* f, const std::vector<SubmittedJob>& jobs) {
+  using ddsim::serve::JobStatus;
+  std::fprintf(f, "{\n  \"jobs\": [\n");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SubmittedJob& job = jobs[i];
+    std::fprintf(f, "    {\"label\": \"%s\", \"seed\": %llu, ",
+                 jsonEscape(job.label).c_str(),
+                 static_cast<unsigned long long>(job.seed));
+    if (!job.admissionError.empty()) {
+      std::fprintf(f, "\"status\": \"rejected\", \"error\": \"%s\"}",
+                   jsonEscape(job.admissionError).c_str());
+    } else {
+      const ddsim::serve::JobResult& r = job.handle.wait();
+      std::fprintf(f,
+                   "\"status\": \"%s\", \"from_cache\": %s, "
+                   "\"coalesced\": %s, \"worker\": %d, "
+                   "\"queue_seconds\": %.6f, \"run_seconds\": %.6f",
+                   ddsim::serve::statusName(r.status).c_str(),
+                   r.fromCache ? "true" : "false",
+                   r.coalesced ? "true" : "false", r.worker, r.queueSeconds,
+                   r.runSeconds);
+      if (r.status == JobStatus::Completed || r.status == JobStatus::Cached) {
+        std::string bits;
+        for (const bool b : r.classicalBits) {
+          bits += b ? '1' : '0';
+        }
+        std::fprintf(f,
+                     ", \"classical_bits\": \"%s\", \"applied_gates\": %llu, "
+                     "\"peak_state_nodes\": %zu, \"degradation_events\": %llu",
+                     bits.c_str(),
+                     static_cast<unsigned long long>(r.stats.appliedGates),
+                     r.stats.peakStateNodes,
+                     static_cast<unsigned long long>(
+                         r.stats.degradationEvents));
+      }
+      if (r.partial) {
+        std::fprintf(
+            f,
+            ", \"partial\": {\"ops_completed\": %llu, "
+            "\"peak_live_nodes\": %zu, \"elapsed_seconds\": %.6f}",
+            static_cast<unsigned long long>(r.partial->opsCompleted),
+            r.partial->peakLiveNodes, r.partial->elapsedSeconds);
+      }
+      if (!r.error.empty()) {
+        std::fprintf(f, ", \"error\": \"%s\"", jsonEscape(r.error).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s\n", i + 1 < jobs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ddsim;
+
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string manifestPath = argv[1];
+  serve::ServiceConfig serviceConfig;
+  serviceConfig.workers = 0;  // hardware concurrency
+  std::string outPath = "serve_results.json";
+  std::string statsPath;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool hasValue = i + 1 < argc;
+    if (arg == "--workers" && hasValue) {
+      serviceConfig.workers = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--queue" && hasValue) {
+      serviceConfig.queueCapacity = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--cache" && hasValue) {
+      serviceConfig.cacheCapacity = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && hasValue) {
+      outPath = argv[++i];
+    } else if (arg == "--stats" && hasValue) {
+      statsPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  std::vector<serve::ManifestEntry> entries;
+  try {
+    entries = serve::parseManifestFile(manifestPath);
+  } catch (const serve::ManifestError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "error: manifest has no jobs\n");
+    return 1;
+  }
+
+  const std::string baseDir = dirOf(manifestPath);
+  serve::SimulationService service(serviceConfig);
+  std::printf("ddsim_serve: %zu manifest entries, %zu workers\n",
+              entries.size(), service.workerCount());
+
+  std::vector<SubmittedJob> jobs;
+  for (const auto& entry : entries) {
+    std::shared_ptr<const ir::Circuit> circuit;
+    std::string loadError;
+    try {
+      const std::string path = entry.path.front() == '/'
+                                   ? entry.path
+                                   : baseDir + entry.path;
+      ir::Circuit parsed = ir::parseQasmFile(path);
+      if (entry.detectRepetitions) {
+        parsed = ir::detectRepetitions(parsed);
+      }
+      circuit = std::make_shared<const ir::Circuit>(std::move(parsed));
+    } catch (const std::exception& e) {
+      loadError = e.what();
+    }
+    for (std::size_t i = 0; i < entry.repeat; ++i) {
+      SubmittedJob job;
+      job.label = entry.repeat > 1
+                      ? entry.label + "#" + std::to_string(i)
+                      : entry.label;
+      job.seed = entry.repeat > 1 ? sim::deriveSeed(entry.seed, i)
+                                  : entry.seed;
+      if (!loadError.empty()) {
+        job.admissionError = loadError;
+      } else {
+        serve::JobSpec spec;
+        spec.circuit = circuit;
+        spec.config = entry.config;
+        spec.seed = job.seed;
+        spec.priority = entry.priority;
+        spec.deadlineSeconds = entry.deadlineSeconds;
+        spec.label = job.label;
+        if (auto handle = service.trySubmit(spec)) {
+          job.handle = *handle;
+        } else {
+          job.admissionError = "admission queue full";
+        }
+      }
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // Wait for everything, then report.
+  for (const auto& job : jobs) {
+    if (job.admissionError.empty()) {
+      job.handle.wait();
+    }
+  }
+
+  std::FILE* f = std::fopen(outPath.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  writeResults(f, jobs);
+  std::fclose(f);
+  std::printf("wrote %s\n", outPath.c_str());
+
+  const serve::ServiceStats stats = service.stats();
+  if (!statsPath.empty()) {
+    std::ofstream sf(statsPath);
+    sf << stats.toJson() << "\n";
+    std::printf("wrote %s\n", statsPath.c_str());
+  }
+  std::printf(
+      "finished: %llu completed, %llu cached, %llu coalesced, %llu failed "
+      "(%.1f jobs/s, queue mean %.3f s)\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cached),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.failed + stats.timedOut +
+                                      stats.expired +
+                                      stats.resourceExhausted),
+      stats.jobsPerSecond, stats.queueLatencyMeanSeconds);
+  return 0;
+}

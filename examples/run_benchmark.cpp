@@ -27,6 +27,7 @@
 #include "ir/optimize.hpp"
 #include "ir/qasm.hpp"
 #include "ir/transforms.hpp"
+#include "serve/manifest.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -42,25 +43,9 @@ void usage() {
   }
 }
 
+// Strategy specs share the manifest grammar of the serving layer.
 std::optional<ddsim::sim::StrategyConfig> parseStrategy(const std::string& s) {
-  using ddsim::sim::StrategyConfig;
-  if (s == "seq" || s == "sequential") {
-    return StrategyConfig::sequential();
-  }
-  if (s.rfind("k=", 0) == 0) {
-    return StrategyConfig::kOperations(std::strtoul(s.c_str() + 2, nullptr, 10));
-  }
-  if (s.rfind("maxsize=", 0) == 0) {
-    return StrategyConfig::maxSizeStrategy(
-        std::strtoul(s.c_str() + 8, nullptr, 10));
-  }
-  if (s == "adaptive") {
-    return StrategyConfig::adaptive();
-  }
-  if (s.rfind("adaptive=", 0) == 0) {
-    return StrategyConfig::adaptive(std::strtod(s.c_str() + 9, nullptr));
-  }
-  return std::nullopt;
+  return ddsim::serve::parseStrategySpec(s);
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace ddsim::serve {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  const std::size_t shardCount =
+      std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
+                                                    1, capacity)));
+  perShardCapacity_ =
+      capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / shardCount);
+  shards_.reserve(shardCount);
+  for (std::size_t i = 0; i < shardCount; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<CachedOutcome> ResultCache::lookup(const CacheKey& key) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Shard& shard = shardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::insert(const CacheKey& key, CachedOutcome outcome) {
+  if (capacity_ == 0) {
+    return;
+  }
+  Shard& shard = shardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(outcome);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= perShardCapacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(outcome));
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheCounters ResultCache::counters() const {
+  CacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.insertions = insertions_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.entries = entries_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace ddsim::serve

@@ -1,0 +1,114 @@
+/// \file result_cache.hpp
+/// \brief Sharded, content-addressed LRU cache of finished simulation
+///        results.
+///
+/// The batch-simulation service answers duplicate submissions without
+/// re-simulating. A cache entry is keyed by the triple
+/// (circuit content hash, strategy-config hash, seed): the circuit hash is
+/// ir::contentHash over the canonicalized operation stream, the config hash
+/// is sim::StrategyConfig::contentHash, and the seed pins the stochastic
+/// measurement outcomes. The full triple is stored and compared — the
+/// 64-bit hashes only pick the shard/bucket, so a hash collision costs a
+/// missed dedup opportunity, never a wrong answer being served.
+///
+/// Sharding: the key is mixed down to a shard index; each shard holds an
+/// independent mutex, hash map and LRU list, so concurrent workers on
+/// different keys rarely contend. Counters are process-wide atomics.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/hash.hpp"
+#include "sim/stats.hpp"
+
+namespace ddsim::serve {
+
+/// Content-addressed identity of a job whose outcome is cacheable.
+struct CacheKey {
+  std::uint64_t circuitHash = 0;
+  std::uint64_t configHash = 0;
+  std::uint64_t seed = 0;
+
+  bool operator==(const CacheKey&) const noexcept = default;
+
+  /// Mixed 64-bit digest used for shard and bucket selection.
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = ir::hashCombine(ir::kHashSeed, circuitHash);
+    h = ir::hashCombine(h, configHash);
+    return ir::hashCombine(h, seed);
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(k.digest());
+  }
+};
+
+/// The detached portion of a finished simulation that can be replayed to a
+/// duplicate submitter (no DD handles — the backing package is long gone).
+struct CachedOutcome {
+  std::vector<bool> classicalBits;
+  sim::SimulationStats stats;
+};
+
+/// Monotonic cache counters (snapshot via ResultCache::counters()).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;  ///< current live entries across all shards
+};
+
+class ResultCache {
+ public:
+  /// \p capacity is the total entry budget, split evenly across
+  /// \p shards independent LRU shards (each gets at least one slot).
+  /// capacity == 0 disables the cache (every lookup misses, inserts drop).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look up and touch (move to most-recently-used) an entry.
+  [[nodiscard]] std::optional<CachedOutcome> lookup(const CacheKey& key);
+
+  /// Insert or refresh an entry, evicting the shard's LRU tail if full.
+  void insert(const CacheKey& key, CachedOutcome outcome);
+
+  [[nodiscard]] CacheCounters counters() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<CacheKey, CachedOutcome>> lru;
+    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index;
+  };
+
+  [[nodiscard]] Shard& shardFor(const CacheKey& key) noexcept {
+    // Shard on the high digest bits; the map re-hashes the low ones.
+    return *shards_[(key.digest() >> 48) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t perShardCapacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> entries_{0};
+};
+
+}  // namespace ddsim::serve

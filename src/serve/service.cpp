@@ -1,0 +1,553 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "ir/hash.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim::serve {
+
+namespace detail {
+
+/// Shared state behind a JobHandle. The followers vector (coalesced
+/// duplicates awaiting this job's result) is guarded by the service's
+/// queue mutex; everything else by the record's own mutex or atomics.
+struct JobRecord {
+  JobSpec spec;
+  std::uint64_t id = 0;
+  CacheKey key{};
+  bool cacheable = false;
+  std::chrono::steady_clock::time_point submitted;
+  std::atomic<bool> cancelRequested{false};
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  JobResult result;
+
+  std::vector<std::shared_ptr<JobRecord>> followers;
+};
+
+}  // namespace detail
+
+using detail::JobRecord;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+std::uint64_t toNs(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+void atomicMax(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string priorityName(JobPriority p) {
+  switch (p) {
+    case JobPriority::High: return "high";
+    case JobPriority::Normal: return "normal";
+    case JobPriority::Low: return "low";
+  }
+  return "?";
+}
+
+std::optional<JobPriority> priorityFromName(const std::string& name) {
+  if (name == "high") {
+    return JobPriority::High;
+  }
+  if (name == "normal") {
+    return JobPriority::Normal;
+  }
+  if (name == "low") {
+    return JobPriority::Low;
+  }
+  return std::nullopt;
+}
+
+std::string statusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::Completed: return "completed";
+    case JobStatus::Cached: return "cached";
+    case JobStatus::TimedOut: return "timed_out";
+    case JobStatus::Expired: return "expired";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::ResourceExhausted: return "resource_exhausted";
+    case JobStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- JobHandle
+
+std::uint64_t JobHandle::id() const { return rec_ ? rec_->id : 0; }
+
+const JobResult& JobHandle::wait() const {
+  std::unique_lock<std::mutex> lock(rec_->mutex);
+  rec_->cv.wait(lock, [this] { return rec_->done; });
+  return rec_->result;
+}
+
+bool JobHandle::waitFor(double seconds) const {
+  std::unique_lock<std::mutex> lock(rec_->mutex);
+  return rec_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [this] { return rec_->done; });
+}
+
+bool JobHandle::done() const {
+  const std::lock_guard<std::mutex> lock(rec_->mutex);
+  return rec_->done;
+}
+
+bool JobHandle::cancel() const {
+  {
+    const std::lock_guard<std::mutex> lock(rec_->mutex);
+    if (rec_->done) {
+      return false;
+    }
+  }
+  rec_->cancelRequested.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+// ----------------------------------------------------- SimulationService
+
+SimulationService::SimulationService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cacheCapacity, config.cacheShards),
+      started_(Clock::now()),
+      paused_(config.startPaused) {
+  std::size_t n = config_.workers;
+  if (n == 0) {
+    n = std::max(1U, std::thread::hardware_concurrency());
+  }
+  perWorkerJobs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perWorkerJobs_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this, i] { workerLoop(static_cast<int>(i)); });
+  }
+}
+
+SimulationService::~SimulationService() { shutdown(/*drain=*/true); }
+
+void SimulationService::start() {
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    paused_ = false;
+  }
+  workAvailable_.notify_all();
+}
+
+JobHandle SimulationService::submit(JobSpec spec) {
+  if (!spec.circuit) {
+    throw std::invalid_argument("submit: null circuit");
+  }
+  spec.config.validate();
+
+  auto rec = std::make_shared<JobRecord>();
+  rec->id = nextJobId_.fetch_add(1, std::memory_order_relaxed);
+  rec->submitted = Clock::now();
+  rec->cacheable = !spec.bypassCache && cache_.capacity() > 0;
+  rec->spec = std::move(spec);
+  if (rec->cacheable) {
+    // Hashing is the expensive part of admission — keep it off the lock.
+    rec->key = CacheKey{ir::contentHash(*rec->spec.circuit),
+                        rec->spec.config.contentHash(), rec->spec.seed};
+  }
+
+  // Cache lookup, coalescing and enqueueing must be one atomic decision:
+  // finishJob inserts the outcome into the cache *before* retiring the
+  // in-flight entry, so under this lock a duplicate always sees either the
+  // in-flight leader or the cached result — never a gap that would start a
+  // second simulation of the same key.
+  std::optional<CachedOutcome> hit;
+  {
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      throw AdmissionError("submit: service is shutting down");
+    }
+    if (rec->cacheable) {
+      const auto it = inflight_.find(rec->key);
+      if (it != inflight_.end()) {
+        it->second->followers.push_back(rec);
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        return JobHandle{std::move(rec)};
+      }
+      hit = cache_.lookup(rec->key);
+    }
+    if (!hit) {
+      if (queueDepth_ >= config_.queueCapacity) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw AdmissionError("submit: admission queue is full (" +
+                             std::to_string(config_.queueCapacity) + " jobs)");
+      }
+      queues_[static_cast<int>(rec->spec.priority)].push_back(rec);
+      ++queueDepth_;
+      if (rec->cacheable) {
+        inflight_.emplace(rec->key, rec);
+      }
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (hit) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    JobResult r;
+    r.status = JobStatus::Cached;
+    r.classicalBits = std::move(hit->classicalBits);
+    r.stats = hit->stats;
+    r.fromCache = true;
+    publish(rec, std::move(r));
+    return JobHandle{std::move(rec)};
+  }
+  workAvailable_.notify_one();
+  return JobHandle{std::move(rec)};
+}
+
+std::optional<JobHandle> SimulationService::trySubmit(JobSpec spec) {
+  try {
+    return submit(std::move(spec));
+  } catch (const AdmissionError&) {
+    return std::nullopt;
+  }
+}
+
+std::shared_ptr<JobRecord> SimulationService::popLocked() {
+  for (auto& queue : queues_) {
+    if (!queue.empty()) {
+      auto rec = std::move(queue.front());
+      queue.pop_front();
+      --queueDepth_;
+      return rec;
+    }
+  }
+  return nullptr;
+}
+
+void SimulationService::workerLoop(int workerId) {
+  for (;;) {
+    std::shared_ptr<JobRecord> rec;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      workAvailable_.wait(lock, [this] {
+        return stopping_ || (!paused_ && queueDepth_ > 0);
+      });
+      if (queueDepth_ == 0) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      rec = popLocked();
+    }
+    if (!rec) {
+      continue;
+    }
+
+    JobResult r;
+    r.worker = workerId;
+    r.queueSeconds = secondsSince(rec->submitted);
+    const JobSpec& spec = rec->spec;
+
+    if (rec->cancelRequested.load(std::memory_order_relaxed)) {
+      r.status = JobStatus::Cancelled;
+      finishJob(rec, std::move(r));
+      continue;
+    }
+    if (spec.deadlineSeconds > 0.0 && r.queueSeconds >= spec.deadlineSeconds) {
+      r.status = JobStatus::Expired;
+      r.error = "deadline passed while queued";
+      finishJob(rec, std::move(r));
+      continue;
+    }
+
+    // Map the remaining deadline onto the simulator's timeout machinery:
+    // queue wait already consumed part of the budget.
+    sim::StrategyConfig config = spec.config;
+    bool deadlineBinding = false;
+    if (spec.deadlineSeconds > 0.0) {
+      const double remaining = spec.deadlineSeconds - r.queueSeconds;
+      if (config.timeLimitSeconds <= 0.0 ||
+          remaining < config.timeLimitSeconds) {
+        config.timeLimitSeconds = remaining;
+        deadlineBinding = true;
+      }
+    }
+
+    simulationsRun_.fetch_add(1, std::memory_order_relaxed);
+    perWorkerJobs_[static_cast<std::size_t>(workerId)]->fetch_add(
+        1, std::memory_order_relaxed);
+    const sim::Timer runTimer;
+    try {
+      sim::CircuitSimulator simulator(*spec.circuit, config, spec.seed);
+      simulator.setCancelCheck([raw = rec.get()] {
+        return raw->cancelRequested.load(std::memory_order_relaxed);
+      });
+      sim::SimulationResult res = simulator.run();
+      r.status = JobStatus::Completed;
+      r.classicalBits = std::move(res.classicalBits);
+      r.stats = res.stats;
+    } catch (const sim::SimulationCancelled& e) {
+      r.status = JobStatus::Cancelled;
+      r.partial = e.partial();
+      r.stats = e.partial().stats;
+    } catch (const sim::SimulationTimeout& e) {
+      r.status = deadlineBinding ? JobStatus::Expired : JobStatus::TimedOut;
+      r.partial = e.partial();
+      r.stats = e.partial().stats;
+      r.error = e.what();
+    } catch (const sim::ResourceExhausted& e) {
+      r.status = JobStatus::ResourceExhausted;
+      r.partial = e.partial();
+      r.stats = e.partial().stats;
+      r.error = e.what();
+    } catch (const std::exception& e) {
+      r.status = JobStatus::Failed;
+      r.error = e.what();
+    }
+    r.runSeconds = runTimer.seconds();
+    finishJob(rec, std::move(r));
+  }
+}
+
+void SimulationService::finishJob(const std::shared_ptr<JobRecord>& rec,
+                                  JobResult result) {
+  // Insert into the cache BEFORE retiring the in-flight entry: submit()
+  // checks inflight-then-cache under the queue lock, so this order leaves
+  // no window in which a duplicate sees neither and re-simulates.
+  if (result.status == JobStatus::Completed && rec->cacheable) {
+    cache_.insert(rec->key, CachedOutcome{result.classicalBits, result.stats});
+  }
+
+  std::vector<std::shared_ptr<JobRecord>> followers;
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    if (rec->cacheable) {
+      const auto it = inflight_.find(rec->key);
+      if (it != inflight_.end() && it->second == rec) {
+        inflight_.erase(it);
+      }
+    }
+    followers = std::move(rec->followers);
+    rec->followers.clear();
+  }
+
+  for (const auto& follower : followers) {
+    JobResult fr = result;
+    fr.coalesced = true;
+    fr.runSeconds = 0.0;  // no worker time consumed by the duplicate
+    fr.queueSeconds = secondsSince(follower->submitted);
+    publish(follower, std::move(fr));
+  }
+  publish(rec, std::move(result));
+}
+
+void SimulationService::publish(const std::shared_ptr<JobRecord>& rec,
+                                JobResult result) {
+  result.completionIndex =
+      completionCounter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  accumulate(result);
+  {
+    const std::lock_guard<std::mutex> lock(rec->mutex);
+    rec->result = std::move(result);
+    rec->done = true;
+  }
+  rec->cv.notify_all();
+}
+
+void SimulationService::accumulate(const JobResult& result) {
+  switch (result.status) {
+    case JobStatus::Completed:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::Cached:
+      cachedAnswers_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::TimedOut:
+      timedOut_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::Expired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::Cancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::ResourceExhausted:
+      resourceExhausted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::Failed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  const std::uint64_t queueNs = toNs(result.queueSeconds);
+  queueLatencySumNs_.fetch_add(queueNs, std::memory_order_relaxed);
+  atomicMax(queueLatencyMaxNs_, queueNs);
+  execSumNs_.fetch_add(toNs(result.runSeconds), std::memory_order_relaxed);
+  degradationEvents_.fetch_add(result.stats.degradationEvents,
+                               std::memory_order_relaxed);
+  pressureFlushes_.fetch_add(result.stats.pressureFlushes,
+                             std::memory_order_relaxed);
+  sequentialFallbackOps_.fetch_add(result.stats.sequentialFallbackOps,
+                                   std::memory_order_relaxed);
+  pressureApproximations_.fetch_add(result.stats.pressureApproximations,
+                                    std::memory_order_relaxed);
+  resourceRecoveries_.fetch_add(result.stats.resourceRecoveries,
+                                std::memory_order_relaxed);
+}
+
+void SimulationService::shutdown(bool drain) {
+  std::vector<std::shared_ptr<JobRecord>> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    stopping_ = true;
+    if (!drain) {
+      for (auto& queue : queues_) {
+        for (auto& rec : queue) {
+          if (rec->cacheable) {
+            const auto it = inflight_.find(rec->key);
+            if (it != inflight_.end() && it->second == rec) {
+              inflight_.erase(it);
+            }
+          }
+          orphans.push_back(std::move(rec));
+        }
+        queue.clear();
+      }
+      queueDepth_ = 0;
+    }
+  }
+  for (const auto& rec : orphans) {
+    std::vector<std::shared_ptr<JobRecord>> followers;
+    {
+      const std::lock_guard<std::mutex> lock(queueMutex_);
+      followers = std::move(rec->followers);
+      rec->followers.clear();
+    }
+    JobResult r;
+    r.status = JobStatus::Cancelled;
+    r.error = "service shut down before execution";
+    r.queueSeconds = secondsSince(rec->submitted);
+    for (const auto& follower : followers) {
+      JobResult fr = r;
+      fr.coalesced = true;
+      fr.queueSeconds = secondsSince(follower->submitted);
+      publish(follower, std::move(fr));
+    }
+    publish(rec, std::move(r));
+  }
+  workAvailable_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+ServiceStats SimulationService::stats() const {
+  ServiceStats s;
+  s.workers = workers_.size();
+  s.elapsedSeconds = secondsSince(started_);
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    s.queueDepth = queueDepth_;
+  }
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.simulationsRun = simulationsRun_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cached = cachedAnswers_.load(std::memory_order_relaxed);
+  s.timedOut = timedOut_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.resourceExhausted = resourceExhausted_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  const std::uint64_t finished = s.completed + s.cached + s.timedOut +
+                                 s.expired + s.cancelled +
+                                 s.resourceExhausted + s.failed;
+  if (finished > 0) {
+    s.queueLatencyMeanSeconds =
+        static_cast<double>(queueLatencySumNs_.load(
+            std::memory_order_relaxed)) /
+        1e9 / static_cast<double>(finished);
+  }
+  s.queueLatencyMaxSeconds =
+      static_cast<double>(queueLatencyMaxNs_.load(std::memory_order_relaxed)) /
+      1e9;
+  s.execSecondsTotal =
+      static_cast<double>(execSumNs_.load(std::memory_order_relaxed)) / 1e9;
+  s.jobsPerSecond = s.elapsedSeconds > 0.0
+                        ? static_cast<double>(finished) / s.elapsedSeconds
+                        : 0.0;
+  s.cache = cache_.counters();
+  s.degradationEvents = degradationEvents_.load(std::memory_order_relaxed);
+  s.pressureFlushes = pressureFlushes_.load(std::memory_order_relaxed);
+  s.sequentialFallbackOps =
+      sequentialFallbackOps_.load(std::memory_order_relaxed);
+  s.pressureApproximations =
+      pressureApproximations_.load(std::memory_order_relaxed);
+  s.resourceRecoveries = resourceRecoveries_.load(std::memory_order_relaxed);
+  s.perWorkerJobs.reserve(perWorkerJobs_.size());
+  for (const auto& counter : perWorkerJobs_) {
+    s.perWorkerJobs.push_back(counter->load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+std::string ServiceStats::toJson() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"workers\": " << workers;
+  os << ", \"elapsed_seconds\": " << elapsedSeconds;
+  os << ", \"queue_depth\": " << queueDepth;
+  os << ", \"submitted\": " << submitted;
+  os << ", \"rejected\": " << rejected;
+  os << ", \"coalesced\": " << coalesced;
+  os << ", \"simulations_run\": " << simulationsRun;
+  os << ", \"completed\": " << completed;
+  os << ", \"cached\": " << cached;
+  os << ", \"timed_out\": " << timedOut;
+  os << ", \"expired\": " << expired;
+  os << ", \"cancelled\": " << cancelled;
+  os << ", \"resource_exhausted\": " << resourceExhausted;
+  os << ", \"failed\": " << failed;
+  os << ", \"jobs_per_second\": " << jobsPerSecond;
+  os << ", \"queue_latency_mean_seconds\": " << queueLatencyMeanSeconds;
+  os << ", \"queue_latency_max_seconds\": " << queueLatencyMaxSeconds;
+  os << ", \"exec_seconds_total\": " << execSecondsTotal;
+  os << ", \"cache\": {\"hits\": " << cache.hits
+     << ", \"misses\": " << cache.misses
+     << ", \"insertions\": " << cache.insertions
+     << ", \"evictions\": " << cache.evictions
+     << ", \"entries\": " << cache.entries << "}";
+  os << ", \"degradation\": {\"events\": " << degradationEvents
+     << ", \"pressure_flushes\": " << pressureFlushes
+     << ", \"sequential_fallback_ops\": " << sequentialFallbackOps
+     << ", \"pressure_approximations\": " << pressureApproximations
+     << ", \"resource_recoveries\": " << resourceRecoveries << "}";
+  os << ", \"per_worker_jobs\": [";
+  for (std::size_t i = 0; i < perWorkerJobs.size(); ++i) {
+    os << (i > 0 ? ", " : "") << perWorkerJobs[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ddsim::serve

@@ -1,0 +1,280 @@
+/// \file service.hpp
+/// \brief Multi-tenant batch-simulation service: fixed worker pool, bounded
+///        priority admission queue, content-addressed result cache.
+///
+/// Architecture (see DESIGN.md, "Serving layer"):
+///  * **Worker/package ownership** — each worker thread simulates at most
+///    one job at a time, and every simulation owns a private dd::Package
+///    (unique table, compute tables, complex table). No DD state is ever
+///    shared between threads, so the hot DD paths need no locking at all;
+///    the only synchronized structures are the admission queue, the result
+///    cache shards and the stats counters.
+///  * **Admission** — a bounded queue with three priority bands (High /
+///    Normal / Low, FIFO within a band). A full queue rejects at submit
+///    time (AdmissionError) instead of buffering unboundedly.
+///  * **Deduplication** — jobs are content-addressed by (circuit hash,
+///    strategy hash, seed). A submission matching a finished job is
+///    answered from the ResultCache without touching the queue; one
+///    matching a queued/running job is *coalesced* onto it and receives a
+///    copy of its result when it finishes. Coalesced handles share one
+///    execution — cancelling it cancels every attached handle.
+///  * **Deadlines & budgets** — a per-job deadline (wall seconds from
+///    submission) is mapped onto the simulator's existing timeout
+///    machinery: time spent queued is charged against it, an expired job
+///    is failed without simulating, and a binding deadline mid-run
+///    surfaces as JobStatus::Expired (with PartialResult) rather than
+///    TimedOut. Node/byte budgets ride the StrategyConfig governor knobs
+///    unchanged.
+///  * **Cancellation** — cooperative, via CircuitSimulator::setCancelCheck
+///    feeding the package abort-poll (PR 2 machinery): a cancel request
+///    unwinds even mid-multiplication and yields a PartialResult.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "serve/result_cache.hpp"
+#include "sim/stats.hpp"
+
+namespace ddsim::serve {
+
+enum class JobPriority { High = 0, Normal = 1, Low = 2 };
+
+[[nodiscard]] std::string priorityName(JobPriority p);
+[[nodiscard]] std::optional<JobPriority> priorityFromName(
+    const std::string& name);
+
+enum class JobStatus {
+  Completed,         ///< simulated to completion
+  Cached,            ///< answered from the result cache, nothing simulated
+  TimedOut,          ///< StrategyConfig::timeLimitSeconds exceeded
+  Expired,           ///< per-job deadline passed (queued or mid-run)
+  Cancelled,         ///< cancel() honoured (queued or mid-run)
+  ResourceExhausted, ///< node/byte budget exhausted, ladder failed
+  Failed,            ///< any other error (parse/config/internal)
+};
+
+[[nodiscard]] std::string statusName(JobStatus s);
+
+/// One unit of admission: a circuit plus how to run it.
+struct JobSpec {
+  /// Shared so duplicate submissions and the worker can reference the same
+  /// immutable circuit concurrently (readers only; Circuit is never
+  /// mutated after submission).
+  std::shared_ptr<const ir::Circuit> circuit;
+  sim::StrategyConfig config;
+  std::uint64_t seed = 0;
+  JobPriority priority = JobPriority::Normal;
+  /// Wall-clock deadline in seconds measured from submission (0 = none).
+  /// Queue wait counts against it.
+  double deadlineSeconds = 0.0;
+  /// Presentation label for manifests/reports (not part of the cache key).
+  std::string label;
+  /// Skip cache lookup, coalescing and insertion for this job.
+  bool bypassCache = false;
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::Failed;
+  std::vector<bool> classicalBits;
+  sim::SimulationStats stats;
+  /// Progress snapshot when the run was cut short (timeout, deadline,
+  /// cancellation, resource exhaustion).
+  std::optional<sim::PartialResult> partial;
+  std::string error;
+  double queueSeconds = 0.0;  ///< submission -> execution start (or resolution)
+  double runSeconds = 0.0;    ///< time spent simulating (0 for cache hits)
+  int worker = -1;            ///< executing worker id (-1: never ran)
+  bool fromCache = false;     ///< answered from the result cache
+  bool coalesced = false;     ///< attached to another in-flight submission
+  /// Global completion sequence number (1-based, total order over finished
+  /// jobs of one service) — lets tests and reports reconstruct ordering.
+  std::uint64_t completionIndex = 0;
+};
+
+namespace detail {
+struct JobRecord;
+}  // namespace detail
+
+/// Handle to a submitted job. Cheap to copy; all copies refer to the same
+/// job. Results stay retrievable for the handle's lifetime.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return rec_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const;
+  /// Block until the job resolves; returns the result (stable reference,
+  /// valid while any handle exists).
+  const JobResult& wait() const;
+  /// Wait up to \p seconds; true if the job resolved.
+  bool waitFor(double seconds) const;
+  [[nodiscard]] bool done() const;
+  /// Request cooperative cancellation. Honoured before execution (queued
+  /// jobs resolve Cancelled without simulating) or mid-run via the abort
+  /// poll. Returns false if the job had already resolved.
+  bool cancel() const;
+
+ private:
+  friend class SimulationService;
+  explicit JobHandle(std::shared_ptr<detail::JobRecord> rec)
+      : rec_(std::move(rec)) {}
+  std::shared_ptr<detail::JobRecord> rec_;
+};
+
+/// Thrown by submit() when the admission queue is full or the service is
+/// shutting down.
+class AdmissionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ServiceConfig {
+  /// Worker threads (0 = hardware concurrency, at least 1).
+  std::size_t workers = 0;
+  /// Maximum queued (not yet executing) jobs before submissions reject.
+  std::size_t queueCapacity = 256;
+  /// Total result-cache entries (0 disables caching and coalescing).
+  std::size_t cacheCapacity = 1024;
+  std::size_t cacheShards = 8;
+  /// Construct with workers idle until start() — lets tests (and batch
+  /// drivers that want strict priority order) enqueue everything first.
+  bool startPaused = false;
+};
+
+/// Aggregated service statistics snapshot (all counters monotonic since
+/// service construction).
+struct ServiceStats {
+  std::size_t workers = 0;
+  double elapsedSeconds = 0.0;
+  std::size_t queueDepth = 0;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t simulationsRun = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t timedOut = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t resourceExhausted = 0;
+  std::uint64_t failed = 0;
+
+  double queueLatencyMeanSeconds = 0.0;
+  double queueLatencyMaxSeconds = 0.0;
+  double execSecondsTotal = 0.0;
+  /// Finished jobs (every status) per elapsed wall second.
+  double jobsPerSecond = 0.0;
+
+  CacheCounters cache;
+
+  /// Degradation-ladder engagements summed across all jobs, per rung.
+  std::uint64_t degradationEvents = 0;
+  std::uint64_t pressureFlushes = 0;
+  std::uint64_t sequentialFallbackOps = 0;
+  std::uint64_t pressureApproximations = 0;
+  std::uint64_t resourceRecoveries = 0;
+
+  std::vector<std::uint64_t> perWorkerJobs;
+
+  /// Stable flat JSON object (keys documented in DESIGN.md).
+  [[nodiscard]] std::string toJson() const;
+};
+
+class SimulationService {
+ public:
+  explicit SimulationService(ServiceConfig config = {});
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  /// Admit a job. Throws AdmissionError when the queue is full or the
+  /// service is shutting down; std::invalid_argument on a null circuit or
+  /// malformed StrategyConfig (validated in the caller's thread, before
+  /// admission). May resolve immediately (cache hit).
+  JobHandle submit(JobSpec spec);
+
+  /// Non-throwing admission: nullopt instead of AdmissionError.
+  std::optional<JobHandle> trySubmit(JobSpec spec);
+
+  /// Release paused workers (no-op when already running).
+  void start();
+
+  /// Stop accepting work. drain=true finishes everything queued; false
+  /// resolves still-queued jobs as Cancelled. Idempotent; joins workers.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t workerCount() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void workerLoop(int workerId);
+  std::shared_ptr<detail::JobRecord> popLocked();
+  void finishJob(const std::shared_ptr<detail::JobRecord>& rec,
+                 JobResult result);
+  void publish(const std::shared_ptr<detail::JobRecord>& rec,
+               JobResult result);
+  void accumulate(const JobResult& result);
+
+  ServiceConfig config_;
+  ResultCache cache_;
+  Clock::time_point started_;
+
+  mutable std::mutex queueMutex_;
+  std::condition_variable workAvailable_;
+  std::deque<std::shared_ptr<detail::JobRecord>> queues_[3];
+  std::size_t queueDepth_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  /// Leaders of queued/running cacheable jobs, for coalescing.
+  std::unordered_map<CacheKey, std::shared_ptr<detail::JobRecord>,
+                     CacheKeyHash>
+      inflight_;
+
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> nextJobId_{1};
+  std::atomic<std::uint64_t> completionCounter_{0};
+
+  // Aggregation counters (relaxed; snapshot coherence is not required).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> simulationsRun_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cachedAnswers_{0};
+  std::atomic<std::uint64_t> timedOut_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> resourceExhausted_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> queueLatencySumNs_{0};
+  std::atomic<std::uint64_t> queueLatencyMaxNs_{0};
+  std::atomic<std::uint64_t> execSumNs_{0};
+  std::atomic<std::uint64_t> degradationEvents_{0};
+  std::atomic<std::uint64_t> pressureFlushes_{0};
+  std::atomic<std::uint64_t> sequentialFallbackOps_{0};
+  std::atomic<std::uint64_t> pressureApproximations_{0};
+  std::atomic<std::uint64_t> resourceRecoveries_{0};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> perWorkerJobs_;
+};
+
+}  // namespace ddsim::serve

@@ -21,23 +21,7 @@ CircuitSimulator::CircuitSimulator(const ir::Circuit& circuit,
       pkg_(std::make_unique<dd::Package>(circuit.numQubits())),
       rng_(seed),
       clbits_(std::max<std::size_t>(1, circuit.numClbits()), false) {
-  if (config_.schedule == Schedule::KOperations && config_.k == 0) {
-    throw std::invalid_argument("k-operations: k must be positive");
-  }
-  if (config_.schedule == Schedule::MaxSize && config_.maxSize == 0) {
-    throw std::invalid_argument("max-size: s_max must be positive");
-  }
-  if (config_.schedule == Schedule::Adaptive && config_.adaptiveRatio <= 0.0) {
-    throw std::invalid_argument("adaptive: ratio must be positive");
-  }
-  if (config_.approximateFidelity <= 0.0 || config_.approximateFidelity > 1.0) {
-    throw std::invalid_argument(
-        "approximation: per-step fidelity must be in (0, 1]");
-  }
-  if (config_.softBudgetFraction <= 0.0 || config_.softBudgetFraction > 1.0) {
-    throw std::invalid_argument(
-        "budget: softBudgetFraction must be in (0, 1]");
-  }
+  config_.validate();
   // DDSIM_NODE_BUDGET supplies a process-wide default (used e.g. by the CI
   // job that runs the whole suite under a tiny budget); an explicit config
   // value wins.
@@ -66,11 +50,13 @@ SimulationResult CircuitSimulator::run() {
 
   runTimer_ = Timer{};
   const Timer& timer = runTimer_;
-  if (config_.timeLimitSeconds > 0.0) {
+  if (config_.timeLimitSeconds > 0.0 || cancelCheck_) {
     // Interrupts even a single runaway multiplication, not just the gaps
-    // between operations.
+    // between operations. The cancellation hook rides the same abort poll.
     pkg_->setAbortCheck([this] {
-      return runTimer_.seconds() > config_.timeLimitSeconds;
+      return (cancelCheck_ && cancelCheck_()) ||
+             (config_.timeLimitSeconds > 0.0 &&
+              runTimer_.seconds() > config_.timeLimitSeconds);
     });
   }
   state_ = pkg_->makeZeroState();
@@ -81,6 +67,11 @@ SimulationResult CircuitSimulator::run() {
     processOps(circuit_.ops());
     flush();
   } catch (const dd::ComputationAborted&) {
+    // Disambiguate who tripped the shared abort poll: an active
+    // cancellation request wins (a cancelled job is not "timed out").
+    if (cancelCheck_ && cancelCheck_()) {
+      throw SimulationCancelled(makePartial());
+    }
     throw SimulationTimeout(config_.timeLimitSeconds, makePartial());
   } catch (const dd::ResourceExhausted& e) {
     // Every rung of the degradation ladder failed; surface the dd-layer
@@ -421,6 +412,9 @@ void CircuitSimulator::flush() {
 
 void CircuitSimulator::afterStep() {
   pkg_->maybeGarbageCollect();
+  if (cancelCheck_ && cancelCheck_()) {
+    throw SimulationCancelled(makePartial());
+  }
   if (config_.timeLimitSeconds > 0.0 &&
       runTimer_.seconds() > config_.timeLimitSeconds) {
     throw SimulationTimeout(config_.timeLimitSeconds, makePartial());
@@ -476,6 +470,19 @@ DetachedResult simulate(const ir::Circuit& circuit, StrategyConfig config,
   CircuitSimulator sim(circuit, config, seed);
   SimulationResult result = sim.run();
   return {std::move(result.classicalBits), result.stats};
+}
+
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream) noexcept {
+  // SplitMix64 over golden-ratio spaced stream offsets (same finalizer as
+  // ir::hashCombine). Documented contract — see simulator.hpp.
+  std::uint64_t z = base ^ (stream * 0x9e3779b97f4a7c15ULL +
+                            0x9e3779b97f4a7c15ULL);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
 }
 
 }  // namespace ddsim::sim

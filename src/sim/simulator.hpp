@@ -37,6 +37,18 @@ struct SimulationResult {
 class CircuitSimulator {
  public:
   /// The circuit is referenced, not copied; it must outlive run().
+  /// The config is validated (StrategyConfig::validate) — malformed values
+  /// throw std::invalid_argument here rather than misbehaving mid-run.
+  ///
+  /// Seeding and reproducibility: the simulator owns a private
+  /// std::mt19937_64 engine constructed directly from \p seed, and nothing
+  /// else consumes randomness, so the same (circuit, config, seed) triple
+  /// produces bit-identical classical outcomes on every run — regardless of
+  /// which thread runs it or what executes concurrently. Batch drivers that
+  /// need several decorrelated streams from one base seed must not use
+  /// base+i (adjacent mt19937_64 seeds correlate); derive stream i as
+  /// deriveSeed(base, i) instead — that is the seed-derivation rule the
+  /// serving layer applies when a manifest entry fans out into repeats.
   CircuitSimulator(const ir::Circuit& circuit, StrategyConfig config = {},
                    std::uint64_t seed = 0);
 
@@ -47,6 +59,16 @@ class CircuitSimulator {
   /// sequential fallback, forced approximation) could not keep the run
   /// under it. Both carry a PartialResult progress snapshot.
   SimulationResult run();
+
+  /// Install a cooperative cancellation hook, polled between operations and
+  /// (via the package abort-poll) inside long multiplications. When it
+  /// returns true, run() aborts with SimulationCancelled carrying a
+  /// PartialResult. Must be called before run(); the hook must be callable
+  /// from the thread executing run() and is invoked frequently, so it
+  /// should be cheap (typically an atomic flag load).
+  void setCancelCheck(std::function<bool()> check) {
+    cancelCheck_ = std::move(check);
+  }
 
   /// The DD package holding the final state (for amplitude queries etc.).
   [[nodiscard]] dd::Package& package() noexcept { return *pkg_; }
@@ -88,6 +110,7 @@ class CircuitSimulator {
   /// Set by the governor's pressure callback (possibly deep inside a
   /// multiplication); consumed at the next quiescent point.
   bool pressureSignaled_ = false;
+  std::function<bool()> cancelCheck_;
   Timer runTimer_;
 
   /// Gate-DD memoization: circuits apply the same ir::Operation objects
@@ -112,7 +135,19 @@ struct DetachedResult {
 };
 
 /// Convenience: simulate and return classical outcome plus statistics.
+/// Deterministic under the same seeding rule as CircuitSimulator: equal
+/// (circuit, config, seed) yields equal results run-to-run and across
+/// concurrent callers (each call owns an isolated package and RNG).
 DetachedResult simulate(const ir::Circuit& circuit, StrategyConfig config = {},
                         std::uint64_t seed = 0);
+
+/// The seed-derivation rule for fanning one base seed out into independent
+/// streams (job repeats, shot batches): stream \p stream of base \p base
+/// uses SplitMix64(base XOR golden-ratio spaced stream index). Adjacent
+/// streams are decorrelated — unlike base+i fed straight into mt19937_64 —
+/// and the mapping is a stable part of the public contract, so manifests
+/// that record (base, stream) reproduce bit-identical outcomes anywhere.
+[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t base,
+                                       std::uint64_t stream) noexcept;
 
 }  // namespace ddsim::sim

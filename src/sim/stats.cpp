@@ -1,7 +1,10 @@
 #include "sim/stats.hpp"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
+
+#include "ir/hash.hpp"
 
 namespace ddsim::sim {
 
@@ -13,6 +16,51 @@ std::string scheduleName(Schedule s) {
     case Schedule::Adaptive: return "adaptive";
   }
   return "?";
+}
+
+void StrategyConfig::validate() const {
+  if (k < 1) {
+    throw std::invalid_argument("StrategyConfig: k must be >= 1");
+  }
+  if (maxSize == 0) {
+    throw std::invalid_argument("StrategyConfig: maxSize (s_max) must be > 0");
+  }
+  if (!(adaptiveRatio > 0.0) || !std::isfinite(adaptiveRatio)) {
+    throw std::invalid_argument(
+        "StrategyConfig: adaptiveRatio must be positive and finite");
+  }
+  if (timeLimitSeconds < 0.0 || !std::isfinite(timeLimitSeconds)) {
+    throw std::invalid_argument(
+        "StrategyConfig: timeLimitSeconds must be non-negative and finite");
+  }
+  if (!(approximateFidelity > 0.0) || approximateFidelity > 1.0) {
+    throw std::invalid_argument(
+        "StrategyConfig: approximateFidelity must be in (0, 1]");
+  }
+  if (!(softBudgetFraction > 0.0) || softBudgetFraction > 1.0) {
+    throw std::invalid_argument(
+        "StrategyConfig: softBudgetFraction must be in (0, 1]");
+  }
+}
+
+std::uint64_t StrategyConfig::contentHash() const noexcept {
+  using ir::hashCombine;
+  using ir::hashDouble;
+  std::uint64_t h = hashCombine(ir::kHashSeed, 0x53434647ULL);  // "SCFG"
+  h = hashCombine(h, static_cast<std::uint64_t>(schedule));
+  h = hashCombine(h, k);
+  h = hashCombine(h, maxSize);
+  h = hashDouble(h, adaptiveRatio);
+  h = hashCombine(h, reuseRepeatedBlocks ? 1U : 0U);
+  h = hashCombine(h, collectTrace ? 1U : 0U);
+  h = hashDouble(h, timeLimitSeconds);
+  h = hashDouble(h, approximateFidelity);
+  h = hashCombine(h, approximateThreshold);
+  h = hashCombine(h, nodeBudget);
+  h = hashCombine(h, byteBudget);
+  h = hashDouble(h, softBudgetFraction);
+  h = hashCombine(h, degradeCooldownOps);
+  return h;
 }
 
 std::string StrategyConfig::toString() const {

@@ -97,6 +97,19 @@ struct StrategyConfig {
     return c;
   }
 
+  /// Reject malformed configurations with std::invalid_argument. Checked
+  /// unconditionally (a k of 0 is invalid even under Schedule::Sequential):
+  /// k >= 1, maxSize > 0, adaptiveRatio > 0 and finite, a non-negative
+  /// finite time limit, approximateFidelity in (0, 1], softBudgetFraction
+  /// in (0, 1]. CircuitSimulator calls this at construction so a bad config
+  /// fails fast instead of silently misbehaving mid-run.
+  void validate() const;
+
+  /// Stable 64-bit content hash over every field that influences the
+  /// simulation outcome or its statistics — part of the serve-layer result
+  /// cache key alongside ir::contentHash(circuit) and the seed.
+  [[nodiscard]] std::uint64_t contentHash() const noexcept;
+
   [[nodiscard]] std::string toString() const;
 };
 
@@ -194,6 +207,25 @@ class SimulationTimeout : public std::runtime_error {
 
  private:
   double limit_;
+  PartialResult partial_;
+};
+
+/// Thrown by CircuitSimulator::run when a cancellation hook installed via
+/// CircuitSimulator::setCancelCheck reported true. Cancellation is
+/// cooperative: the hook is polled between operations and — through the
+/// package abort-poll machinery — inside long-running multiplications, so
+/// even a single runaway MxM unwinds promptly.
+class SimulationCancelled : public std::runtime_error {
+ public:
+  explicit SimulationCancelled(PartialResult partial = {})
+      : std::runtime_error("simulation cancelled"),
+        partial_(std::move(partial)) {}
+  /// Progress made before the cancellation was honoured.
+  [[nodiscard]] const PartialResult& partial() const noexcept {
+    return partial_;
+  }
+
+ private:
   PartialResult partial_;
 };
 

@@ -1,0 +1,498 @@
+/// Tests for the batch-simulation service: admission, priorities, deadlines,
+/// cancellation, result caching/coalescing, manifest parsing and the stats
+/// export. Concurrency-sensitive tests are written to pass under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "algo/grover.hpp"
+#include "ir/circuit.hpp"
+#include "serve/manifest.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace ddsim {
+namespace {
+
+std::shared_ptr<const ir::Circuit> makeBell() {
+  ir::Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measureAll();
+  return std::make_shared<const ir::Circuit>(std::move(c));
+}
+
+std::shared_ptr<const ir::Circuit> makeGrover(std::size_t n) {
+  algo::GroverOptions options;
+  options.measure = true;
+  return std::make_shared<const ir::Circuit>(
+      algo::makeGroverCircuit(n, /*marked=*/(1ULL << n) - 2, options));
+}
+
+/// Many cheap layers: minutes of work if run to completion (no test does —
+/// every use is cut short by a cancel, deadline or time limit), with
+/// per-gate granularity fine enough that the abort is honoured within
+/// milliseconds.
+constexpr std::uint64_t kLongCircuitGates = 23ULL * 2000000ULL;
+
+std::shared_ptr<const ir::Circuit> makeLongCircuit() {
+  ir::Circuit layer(12);
+  for (std::size_t q = 0; q < 12; ++q) {
+    layer.h(q);
+  }
+  for (std::size_t q = 0; q + 1 < 12; ++q) {
+    layer.cx(q, q + 1);
+  }
+  ir::Circuit c(12);
+  c.appendRepeated(std::move(layer), 2000000, "layer");
+  return std::make_shared<const ir::Circuit>(std::move(c));
+}
+
+serve::JobSpec spec(std::shared_ptr<const ir::Circuit> circuit,
+                    std::uint64_t seed = 0,
+                    sim::StrategyConfig config = {}) {
+  serve::JobSpec s;
+  s.circuit = std::move(circuit);
+  s.config = config;
+  s.seed = seed;
+  return s;
+}
+
+/// Long-circuit jobs skip the cache: content-hashing 46M flattened gates
+/// costs real time in submit(), which would eat into deadline budgets.
+serve::JobSpec longSpec(std::uint64_t seed,
+                        sim::StrategyConfig config = {}) {
+  serve::JobSpec s = spec(makeLongCircuit(), seed, config);
+  s.bypassCache = true;
+  return s;
+}
+
+// ------------------------------------------------------------ basic service
+
+TEST(SimulationService, CompletedJobMatchesDirectSimulation) {
+  const auto grover = makeGrover(8);
+  const auto config = sim::StrategyConfig::kOperations(4);
+  const sim::DetachedResult direct = sim::simulate(*grover, config, 7);
+
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  serve::SimulationService service(sc);
+  const serve::JobHandle handle = service.submit(spec(grover, 7, config));
+  const serve::JobResult& r = handle.wait();
+
+  EXPECT_EQ(r.status, serve::JobStatus::Completed);
+  EXPECT_FALSE(r.fromCache);
+  EXPECT_EQ(r.classicalBits, direct.classicalBits);
+  EXPECT_EQ(r.stats.mxvCount, direct.stats.mxvCount);
+  EXPECT_EQ(r.stats.mxmCount, direct.stats.mxmCount);
+  EXPECT_EQ(r.stats.appliedGates, direct.stats.appliedGates);
+  EXPECT_GE(r.worker, 0);
+  EXPECT_GT(r.completionIndex, 0U);
+}
+
+TEST(SimulationService, RejectsNullCircuitAndBadConfig) {
+  serve::SimulationService service({.workers = 1});
+  EXPECT_THROW((void)service.submit(serve::JobSpec{}), std::invalid_argument);
+
+  serve::JobSpec bad = spec(makeBell());
+  bad.config.k = 0;
+  EXPECT_THROW((void)service.submit(std::move(bad)), std::invalid_argument);
+}
+
+TEST(SimulationService, PriorityBandsDrainHighFirst) {
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+
+  serve::JobSpec low = spec(makeBell(), 1);
+  low.priority = serve::JobPriority::Low;
+  serve::JobSpec normal = spec(makeBell(), 2);
+  normal.priority = serve::JobPriority::Normal;
+  serve::JobSpec high = spec(makeBell(), 3);
+  high.priority = serve::JobPriority::High;
+
+  // Submission order is worst-case: lowest priority first.
+  const auto hLow = service.submit(std::move(low));
+  const auto hNormal = service.submit(std::move(normal));
+  const auto hHigh = service.submit(std::move(high));
+  service.start();
+
+  const auto& rLow = hLow.wait();
+  const auto& rNormal = hNormal.wait();
+  const auto& rHigh = hHigh.wait();
+  EXPECT_LT(rHigh.completionIndex, rNormal.completionIndex);
+  EXPECT_LT(rNormal.completionIndex, rLow.completionIndex);
+}
+
+TEST(SimulationService, BoundedQueueRejectsWhenFull) {
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.queueCapacity = 2;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+
+  const auto h1 = service.submit(spec(makeBell(), 1));
+  const auto h2 = service.submit(spec(makeBell(), 2));
+  EXPECT_THROW((void)service.submit(spec(makeBell(), 3)),
+               serve::AdmissionError);
+  EXPECT_FALSE(service.trySubmit(spec(makeBell(), 4)).has_value());
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 2U);
+  EXPECT_EQ(stats.submitted, 2U);
+  EXPECT_EQ(stats.queueDepth, 2U);
+
+  service.start();
+  h1.wait();
+  h2.wait();
+}
+
+TEST(SimulationService, SubmitAfterShutdownIsRejected) {
+  serve::SimulationService service({.workers = 1});
+  service.shutdown();
+  EXPECT_THROW((void)service.submit(spec(makeBell())), serve::AdmissionError);
+}
+
+// ------------------------------------------------- cancellation & deadlines
+
+TEST(SimulationService, CancelBeforeExecutionSkipsSimulation) {
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+
+  const auto handle = service.submit(spec(makeBell(), 5));
+  EXPECT_TRUE(handle.cancel());
+  service.start();
+  const serve::JobResult& r = handle.wait();
+
+  EXPECT_EQ(r.status, serve::JobStatus::Cancelled);
+  EXPECT_EQ(r.runSeconds, 0.0);
+  EXPECT_FALSE(r.partial.has_value());
+  EXPECT_EQ(service.stats().simulationsRun, 0U);
+  EXPECT_FALSE(handle.cancel());  // already resolved
+}
+
+TEST(SimulationService, CancelMidRunYieldsPartialResult) {
+  serve::SimulationService service({.workers = 1});
+  const auto handle = service.submit(longSpec(1));
+
+  // Wait until the worker has actually started simulating, then cancel.
+  while (service.stats().simulationsRun == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(handle.cancel());
+  const serve::JobResult& r = handle.wait();
+
+  EXPECT_EQ(r.status, serve::JobStatus::Cancelled);
+  ASSERT_TRUE(r.partial.has_value());
+  EXPECT_LT(r.partial->opsCompleted, kLongCircuitGates);
+  EXPECT_EQ(service.stats().cancelled, 1U);
+}
+
+TEST(SimulationService, DeadlinePassedWhileQueuedExpiresWithoutSimulating) {
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+
+  serve::JobSpec job = spec(makeBell(), 9);
+  job.deadlineSeconds = 0.02;
+  const auto handle = service.submit(std::move(job));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  service.start();
+  const serve::JobResult& r = handle.wait();
+
+  EXPECT_EQ(r.status, serve::JobStatus::Expired);
+  EXPECT_FALSE(r.partial.has_value());
+  EXPECT_GE(r.queueSeconds, 0.02);
+  EXPECT_EQ(service.stats().simulationsRun, 0U);
+}
+
+TEST(SimulationService, DeadlineBindingMidRunExpiresWithPartial) {
+  serve::SimulationService service({.workers = 1});
+  serve::JobSpec job = longSpec(2);
+  job.deadlineSeconds = 0.25;
+  const auto handle = service.submit(std::move(job));
+  const serve::JobResult& r = handle.wait();
+
+  // The deadline, not a config time limit, cut the run short.
+  EXPECT_EQ(r.status, serve::JobStatus::Expired);
+  EXPECT_TRUE(r.partial.has_value());
+  EXPECT_EQ(service.stats().expired, 1U);
+  EXPECT_EQ(service.stats().timedOut, 0U);
+}
+
+TEST(SimulationService, ConfigTimeLimitSurfacesAsTimedOut) {
+  serve::SimulationService service({.workers = 1});
+  sim::StrategyConfig config;
+  config.timeLimitSeconds = 0.2;
+  const auto handle = service.submit(longSpec(3, config));
+  const serve::JobResult& r = handle.wait();
+
+  EXPECT_EQ(r.status, serve::JobStatus::TimedOut);
+  EXPECT_TRUE(r.partial.has_value());
+  EXPECT_FALSE(r.error.empty());
+}
+
+// ------------------------------------------------------- caching & dedup
+
+TEST(SimulationService, RepeatSubmissionIsAnsweredFromCache) {
+  serve::SimulationService service({.workers = 1});
+  const auto bell = makeBell();
+
+  const auto first = service.submit(spec(bell, 11));
+  const serve::JobResult& r1 = first.wait();
+  EXPECT_EQ(r1.status, serve::JobStatus::Completed);
+
+  const auto second = service.submit(spec(bell, 11));
+  const serve::JobResult& r2 = second.wait();
+  EXPECT_EQ(r2.status, serve::JobStatus::Cached);
+  EXPECT_TRUE(r2.fromCache);
+  EXPECT_EQ(r2.runSeconds, 0.0);
+  EXPECT_EQ(r2.classicalBits, r1.classicalBits);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.simulationsRun, 1U);
+  EXPECT_EQ(stats.cached, 1U);
+  EXPECT_GE(stats.cache.hits, 1U);
+}
+
+TEST(SimulationService, DistinctSeedsAndConfigsDoNotShareCacheEntries) {
+  serve::SimulationService service({.workers = 1});
+  const auto bell = makeBell();
+
+  service.submit(spec(bell, 1)).wait();
+  service.submit(spec(bell, 2)).wait();  // different seed
+  service.submit(spec(bell, 1, sim::StrategyConfig::kOperations(2))).wait();
+
+  EXPECT_EQ(service.stats().simulationsRun, 3U);
+}
+
+TEST(SimulationService, BypassCacheForcesResimulation) {
+  serve::SimulationService service({.workers = 1});
+  const auto bell = makeBell();
+  serve::JobSpec a = spec(bell, 4);
+  a.bypassCache = true;
+  serve::JobSpec b = spec(bell, 4);
+  b.bypassCache = true;
+  service.submit(std::move(a)).wait();
+  service.submit(std::move(b)).wait();
+  EXPECT_EQ(service.stats().simulationsRun, 2U);
+}
+
+TEST(SimulationService, ConcurrentIdenticalSubmissionsSimulateOnce) {
+  serve::ServiceConfig sc;
+  sc.workers = 4;
+  serve::SimulationService service(sc);
+  const auto grover = makeGrover(10);
+  const auto config = sim::StrategyConfig::kOperations(4);
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<serve::JobHandle> handles(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      handles[i] = service.submit(spec(grover, 21, config));
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  const std::vector<bool> expected = handles[0].wait().classicalBits;
+  for (const auto& handle : handles) {
+    const serve::JobResult& r = handle.wait();
+    EXPECT_TRUE(r.status == serve::JobStatus::Completed ||
+                r.status == serve::JobStatus::Cached);
+    EXPECT_EQ(r.classicalBits, expected);
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.simulationsRun, 1U);
+  EXPECT_EQ(stats.coalesced + stats.cached, kThreads - 1);
+  EXPECT_EQ(stats.submitted, kThreads);
+}
+
+// --------------------------------------------------------- ResultCache LRU
+
+serve::CacheKey key(std::uint64_t n) {
+  return serve::CacheKey{n, 0, 0};
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
+  serve::ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  cache.insert(key(1), {{true}, {}});
+  cache.insert(key(2), {{false}, {}});
+  ASSERT_TRUE(cache.lookup(key(1)).has_value());  // touch 1: now 2 is LRU
+  cache.insert(key(3), {{true, true}, {}});       // evicts 2
+
+  EXPECT_FALSE(cache.lookup(key(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key(3)).has_value());
+
+  const serve::CacheCounters c = cache.counters();
+  EXPECT_EQ(c.insertions, 3U);
+  EXPECT_EQ(c.evictions, 1U);
+  EXPECT_EQ(c.entries, 2U);
+  EXPECT_EQ(c.hits, 3U);
+  EXPECT_EQ(c.misses, 1U);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  serve::ResultCache cache(0);
+  cache.insert(key(1), {{true}, {}});
+  EXPECT_FALSE(cache.lookup(key(1)).has_value());
+  EXPECT_EQ(cache.counters().entries, 0U);
+}
+
+TEST(ResultCache, FullKeyComparisonSurvivesDigestCollisions) {
+  // Same digest inputs arranged differently must not alias.
+  serve::ResultCache cache(8, 1);
+  cache.insert(serve::CacheKey{1, 2, 3}, {{true}, {}});
+  EXPECT_FALSE(cache.lookup(serve::CacheKey{3, 2, 1}).has_value());
+  EXPECT_TRUE(cache.lookup(serve::CacheKey{1, 2, 3}).has_value());
+}
+
+// ------------------------------------------------------------ seed fan-out
+
+TEST(DeriveSeed, StableAndDecorrelated) {
+  EXPECT_EQ(sim::deriveSeed(42, 7), sim::deriveSeed(42, 7));
+  EXPECT_NE(sim::deriveSeed(42, 0), sim::deriveSeed(42, 1));
+  EXPECT_NE(sim::deriveSeed(42, 0), sim::deriveSeed(43, 0));
+
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(sim::deriveSeed(0, i));
+  }
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+// ----------------------------------------------------------- stats export
+
+TEST(ServiceStats, JsonExportCarriesAllCounterGroups) {
+  serve::SimulationService service({.workers = 2});
+  service.submit(spec(makeBell(), 1)).wait();
+  service.submit(spec(makeBell(), 1)).wait();  // cache hit
+
+  const std::string json = service.stats().toJson();
+  for (const char* needle :
+       {"\"workers\": 2", "\"submitted\": 2", "\"simulations_run\": 1",
+        "\"cached\": 1", "\"cache\": {\"hits\": 1", "\"degradation\": {",
+        "\"per_worker_jobs\": [", "\"jobs_per_second\":",
+        "\"queue_latency_mean_seconds\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+// -------------------------------------------------------------- manifests
+
+TEST(Manifest, ParsesOptionsCommentsAndBlankLines) {
+  const std::string text =
+      "# mixed workload\n"
+      "bell.qasm strategy=k=4 seed=11 repeat=3 priority=high deadline=2.5 "
+      "label=hello\n"
+      "\n"
+      "ghz.qasm dd-repeating detect-repetitions time-limit=10 "
+      "node-budget=5000 byte-budget=1000000 approx=0.99  # trailing comment\n";
+  const auto entries = serve::parseManifest(text);
+  ASSERT_EQ(entries.size(), 2U);
+
+  const serve::ManifestEntry& a = entries[0];
+  EXPECT_EQ(a.path, "bell.qasm");
+  EXPECT_EQ(a.label, "hello");
+  EXPECT_EQ(a.config.schedule, sim::Schedule::KOperations);
+  EXPECT_EQ(a.config.k, 4U);
+  EXPECT_EQ(a.seed, 11U);
+  EXPECT_EQ(a.repeat, 3U);
+  EXPECT_EQ(a.priority, serve::JobPriority::High);
+  EXPECT_DOUBLE_EQ(a.deadlineSeconds, 2.5);
+
+  const serve::ManifestEntry& b = entries[1];
+  EXPECT_EQ(b.label, "ghz.qasm");
+  EXPECT_TRUE(b.ddRepeating);
+  EXPECT_TRUE(b.config.reuseRepeatedBlocks);
+  EXPECT_TRUE(b.detectRepetitions);
+  EXPECT_DOUBLE_EQ(b.config.timeLimitSeconds, 10.0);
+  EXPECT_EQ(b.config.nodeBudget, 5000U);
+  EXPECT_EQ(b.config.byteBudget, 1000000U);
+  EXPECT_DOUBLE_EQ(b.config.approximateFidelity, 0.99);
+}
+
+TEST(Manifest, StrategyTokenPreservesEarlierOptions) {
+  const auto entries =
+      serve::parseManifest("a.qasm dd-repeating time-limit=5 strategy=k=8\n");
+  ASSERT_EQ(entries.size(), 1U);
+  EXPECT_EQ(entries[0].config.schedule, sim::Schedule::KOperations);
+  EXPECT_EQ(entries[0].config.k, 8U);
+  EXPECT_TRUE(entries[0].config.reuseRepeatedBlocks);
+  EXPECT_DOUBLE_EQ(entries[0].config.timeLimitSeconds, 5.0);
+}
+
+TEST(Manifest, ErrorsCarryLineNumbers) {
+  const std::string text =
+      "good.qasm\n"
+      "# comment\n"
+      "bad.qasm strategy=bogus\n";
+  try {
+    (void)serve::parseManifest(text);
+    FAIL() << "expected ManifestError";
+  } catch (const serve::ManifestError& e) {
+    EXPECT_EQ(e.line(), 3U);
+    EXPECT_NE(std::string(e.what()).find("manifest:3"), std::string::npos);
+  }
+
+  EXPECT_THROW((void)serve::parseManifest("a.qasm repeat=0\n"),
+               serve::ManifestError);
+  EXPECT_THROW((void)serve::parseManifest("a.qasm priority=urgent\n"),
+               serve::ManifestError);
+  EXPECT_THROW((void)serve::parseManifest("a.qasm seed=abc\n"),
+               serve::ManifestError);
+  EXPECT_THROW((void)serve::parseManifest("a.qasm frobnicate=1\n"),
+               serve::ManifestError);
+  // Config validation also runs per line (k=0 is malformed).
+  EXPECT_THROW((void)serve::parseManifest("a.qasm strategy=k=0\n"),
+               serve::ManifestError);
+}
+
+TEST(Manifest, StrategySpecGrammar) {
+  EXPECT_TRUE(serve::parseStrategySpec("seq").has_value());
+  EXPECT_TRUE(serve::parseStrategySpec("sequential").has_value());
+  const auto k = serve::parseStrategySpec("k=8");
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(k->k, 8U);
+  const auto ms = serve::parseStrategySpec("maxsize=2048");
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_EQ(ms->maxSize, 2048U);
+  const auto ad = serve::parseStrategySpec("adaptive=0.5");
+  ASSERT_TRUE(ad.has_value());
+  EXPECT_DOUBLE_EQ(ad->adaptiveRatio, 0.5);
+  EXPECT_FALSE(serve::parseStrategySpec("bogus").has_value());
+}
+
+// ------------------------------------------------------------- shutdown
+
+TEST(SimulationService, NonDrainingShutdownCancelsQueuedJobs) {
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+
+  const auto h1 = service.submit(spec(makeBell(), 1));
+  const auto h2 = service.submit(spec(makeBell(), 2));
+  service.shutdown(/*drain=*/false);
+
+  EXPECT_EQ(h1.wait().status, serve::JobStatus::Cancelled);
+  EXPECT_EQ(h2.wait().status, serve::JobStatus::Cancelled);
+  EXPECT_EQ(service.stats().simulationsRun, 0U);
+}
+
+}  // namespace
+}  // namespace ddsim

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <complex>
+#include <limits>
 #include <numbers>
 #include <random>
 #include <sstream>
@@ -291,6 +292,41 @@ TEST(Simulator, AdaptiveRejectsNonPositiveRatio) {
   circuit.h(0);
   EXPECT_THROW(CircuitSimulator(circuit, StrategyConfig::adaptive(0.0)),
                std::invalid_argument);
+}
+
+// Every malformed StrategyConfig field is rejected at simulator
+// construction (StrategyConfig::validate), one rejection per field.
+TEST(Simulator, ValidateRejectsEachMalformedField) {
+  ir::Circuit circuit(1);
+  circuit.h(0);
+  const auto reject = [&](void (*tweak)(StrategyConfig&)) {
+    StrategyConfig config;
+    tweak(config);
+    EXPECT_THROW(CircuitSimulator(circuit, config), std::invalid_argument);
+  };
+  reject([](StrategyConfig& c) { c.k = 0; });
+  reject([](StrategyConfig& c) { c.maxSize = 0; });
+  reject([](StrategyConfig& c) { c.adaptiveRatio = 0.0; });
+  reject([](StrategyConfig& c) { c.adaptiveRatio = -1.0; });
+  reject([](StrategyConfig& c) {
+    c.adaptiveRatio = std::numeric_limits<double>::quiet_NaN();
+  });
+  reject([](StrategyConfig& c) { c.timeLimitSeconds = -1.0; });
+  reject([](StrategyConfig& c) {
+    c.timeLimitSeconds = std::numeric_limits<double>::infinity();
+  });
+  reject([](StrategyConfig& c) { c.approximateFidelity = 0.0; });
+  reject([](StrategyConfig& c) { c.approximateFidelity = 1.5; });
+  reject([](StrategyConfig& c) { c.softBudgetFraction = 0.0; });
+  reject([](StrategyConfig& c) { c.softBudgetFraction = 1.01; });
+
+  // The default config and sane edge values still pass.
+  EXPECT_NO_THROW(StrategyConfig{}.validate());
+  StrategyConfig edge;
+  edge.approximateFidelity = 1.0;
+  edge.softBudgetFraction = 1.0;
+  edge.timeLimitSeconds = 0.0;
+  EXPECT_NO_THROW(edge.validate());
 }
 
 TEST(Simulator, TraceRecordsSteps) {
