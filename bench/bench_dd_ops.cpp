@@ -12,6 +12,7 @@
 #include "algo/supremacy.hpp"
 #include "dd/package.hpp"
 #include "ir/gate.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -159,6 +160,17 @@ void BM_VectorAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VectorAdd);
+
+/// Cost of one instrumentation site with no collector installed — the
+/// "zero-cost when disabled" contract of obs::ScopedSpan (one relaxed load
+/// plus one branch; should stay within noise of an empty loop).
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench.disabled", obs::cat::kDd);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
 
 void BM_InnerProduct(benchmark::State& state) {
   dd::Package pkg(kQubits);

@@ -8,6 +8,12 @@
 /// Usage:
 ///   ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] [--cache <n>]
 ///               [--out <results.json>] [--stats <stats.json>]
+///               [--trace-out <trace.json>] [--stats-dump <seconds>]
+///
+/// --trace-out records every package/simulator/serve span of the run and
+/// writes Chrome trace-event JSON (open in Perfetto or chrome://tracing).
+/// --stats-dump prints the aggregated ServiceStats JSON to stderr every
+/// <seconds> while jobs are in flight.
 ///
 /// Manifest format: see serve/manifest.hpp (one job per line, `#` comments).
 /// QASM paths are resolved relative to the manifest's directory. A job line
@@ -15,15 +21,22 @@
 /// — the documented derivation rule, so recorded (seed, i) pairs reproduce
 /// bit-identical outcomes anywhere.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ir/qasm.hpp"
 #include "ir/transforms.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "serve/manifest.hpp"
 #include "serve/service.hpp"
 #include "sim/simulator.hpp"
@@ -33,7 +46,8 @@ namespace {
 void usage() {
   std::printf(
       "usage: ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] "
-      "[--cache <n>] [--out <results.json>] [--stats <stats.json>]\n\n"
+      "[--cache <n>] [--out <results.json>] [--stats <stats.json>] "
+      "[--trace-out <trace.json>] [--stats-dump <seconds>]\n\n"
       "manifest lines: <qasm-path> [strategy=seq|k=<n>|maxsize=<n>|"
       "adaptive[=<r>]] [dd-repeating] [detect-repetitions] [seed=<n>] "
       "[repeat=<n>] [priority=high|normal|low] [deadline=<s>] "
@@ -137,6 +151,8 @@ int main(int argc, char** argv) {
   serviceConfig.workers = 0;  // hardware concurrency
   std::string outPath = "serve_results.json";
   std::string statsPath;
+  std::string tracePath;
+  double statsDumpSeconds = 0.0;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,6 +167,10 @@ int main(int argc, char** argv) {
       outPath = argv[++i];
     } else if (arg == "--stats" && hasValue) {
       statsPath = argv[++i];
+    } else if (arg == "--trace-out" && hasValue) {
+      tracePath = argv[++i];
+    } else if (arg == "--stats-dump" && hasValue) {
+      statsDumpSeconds = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage();
@@ -171,9 +191,35 @@ int main(int argc, char** argv) {
   }
 
   const std::string baseDir = dirOf(manifestPath);
+
+  // Install the collector before the service spawns its workers so every
+  // span of the run — including package-level ones — is recorded.
+  obs::TraceCollector collector;
+  if (!tracePath.empty()) {
+    collector.install();
+  }
+
   serve::SimulationService service(serviceConfig);
   std::printf("ddsim_serve: %zu manifest entries, %zu workers\n",
               entries.size(), service.workerCount());
+
+  // Periodic stats dump: one line of ServiceStats JSON to stderr every
+  // --stats-dump seconds until the run finishes.
+  std::mutex dumpMutex;
+  std::condition_variable dumpCv;
+  bool dumpStop = false;
+  std::thread dumpThread;
+  if (statsDumpSeconds > 0.0) {
+    dumpThread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dumpMutex);
+      while (!dumpCv.wait_for(lock,
+                              std::chrono::duration<double>(statsDumpSeconds),
+                              [&] { return dumpStop; })) {
+        const std::string json = service.stats().toJson();
+        std::fprintf(stderr, "%s\n", json.c_str());
+      }
+    });
+  }
 
   std::vector<SubmittedJob> jobs;
   for (const auto& entry : entries) {
@@ -223,6 +269,31 @@ int main(int argc, char** argv) {
     if (job.admissionError.empty()) {
       job.handle.wait();
     }
+  }
+
+  if (dumpThread.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(dumpMutex);
+      dumpStop = true;
+    }
+    dumpCv.notify_all();
+    dumpThread.join();
+  }
+
+  if (!tracePath.empty()) {
+    // Join the workers before exporting: the trace lifecycle contract
+    // requires recording threads to have quiesced.
+    service.shutdown(/*drain=*/true);
+    collector.stop();
+    std::ofstream tf(tracePath);
+    if (!tf) {
+      std::fprintf(stderr, "error: cannot write %s\n", tracePath.c_str());
+      return 1;
+    }
+    obs::writeChromeTrace(tf, collector);
+    std::printf("wrote %s (%zu events, %llu dropped)\n", tracePath.c_str(),
+                collector.eventCount(),
+                static_cast<unsigned long long>(collector.droppedCount()));
   }
 
   std::FILE* f = std::fopen(outPath.c_str(), "w");

@@ -8,8 +8,13 @@
 ///                 [--strategy seq|k=<n>|maxsize=<n>|adaptive[=<ratio>]]
 ///                 [--dd-repeating] [--detect-repetitions] [--optimize]
 ///                 [--shots <n>]
-///                 [--trace <file.csv>] [--seed <n>]
+///                 [--trace <file.csv>] [--trace-out <trace.json>]
+///                 [--seed <n>]
 ///                 [--approximate <fidelity>] [--approx-sim <fidelity>]
+///
+/// --trace writes the per-step DD-size CSV; --trace-out records the span
+/// timeline of the whole run as Chrome trace-event JSON (open in Perfetto
+/// or chrome://tracing).
 ///
 /// Benchmark names follow the paper: grover_16, shor_15_7, shordd_15_7,
 /// supremacy_4x4_12, qft_20, ...
@@ -27,6 +32,8 @@
 #include "ir/optimize.hpp"
 #include "ir/qasm.hpp"
 #include "ir/transforms.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "serve/manifest.hpp"
 #include "sim/simulator.hpp"
 
@@ -36,7 +43,8 @@ void usage() {
   std::printf(
       "usage: run_benchmark <name|file.qasm> [--strategy "
       "seq|k=<n>|maxsize=<n>|adaptive[=<r>]] [--dd-repeating] "
-      "[--detect-repetitions] [--shots <n>] [--trace <csv>] [--seed <n>]\n\n"
+      "[--detect-repetitions] [--shots <n>] [--trace <csv>] "
+      "[--trace-out <json>] [--seed <n>]\n\n"
       "example benchmark names:\n");
   for (const auto& name : ddsim::algo::benchmarkExamples()) {
     std::printf("  %s\n", name.c_str());
@@ -62,6 +70,7 @@ int main(int argc, char** argv) {
   sim::StrategyConfig config = sim::StrategyConfig::sequential();
   std::size_t shots = 0;
   std::string traceFile;
+  std::string traceOutFile;
   std::uint64_t seed = 0;
   bool detectReps = false;
   bool runOptimizer = false;
@@ -88,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" && i + 1 < argc) {
       traceFile = argv[++i];
       config.collectTrace = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      traceOutFile = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--approximate" && i + 1 < argc) {
@@ -141,8 +152,21 @@ int main(int argc, char** argv) {
               circuit->flatGateCount(), circuit->numOps());
   std::printf("strategy   : %s\n\n", config.toString().c_str());
 
+  obs::TraceCollector collector;
+  if (!traceOutFile.empty()) {
+    collector.install();
+  }
+
   sim::CircuitSimulator simulator(*circuit, config, seed);
   const auto result = simulator.run();
+
+  if (!traceOutFile.empty()) {
+    collector.stop();
+    std::ofstream out(traceOutFile);
+    obs::writeChromeTrace(out, collector);
+    std::printf("span trace with %zu events written to %s\n",
+                collector.eventCount(), traceOutFile.c_str());
+  }
 
   std::printf("time       : %.3f s\n", result.stats.wallSeconds);
   std::printf("MxV / MxM  : %llu / %llu\n",

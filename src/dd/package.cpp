@@ -1,5 +1,7 @@
 #include "dd/package.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -113,6 +115,7 @@ template void Package::decRefNode<2>(Node<2>*) noexcept;
 template void Package::decRefNode<4>(Node<4>*) noexcept;
 
 std::size_t Package::garbageCollect() {
+  const obs::ScopedSpan span("dd.gc", obs::cat::kDd);
   const std::size_t collected =
       vUnique_.garbageCollect() + mUnique_.garbageCollect();
   // Sweep the complex table: weights referenced by the surviving nodes (or
@@ -179,6 +182,7 @@ bool Package::maybeGarbageCollect() {
 }
 
 std::size_t Package::emergencyCollect() {
+  const obs::ScopedSpan span("dd.emergency-collect", obs::cat::kDd);
   garbageCollect();
   // Chunk release invalidates raw pointers held by stale compute-table
   // entries (their nodes sit on the free list inside the released chunks),
@@ -568,10 +572,12 @@ MEdge Package::makeSmallMatrixFromDense(std::span<const ComplexValue> rowMajor) 
 
 VEdge Package::add(const VEdge& a, const VEdge& b) {
   const OpGuard guard(*this, "add(vector)");
+  const obs::ScopedSpan span("dd.add.v", obs::cat::kDd);
   return addRec(a, b);
 }
 MEdge Package::add(const MEdge& a, const MEdge& b) {
   const OpGuard guard(*this, "add(matrix)");
+  const obs::ScopedSpan span("dd.add.m", obs::cat::kDd);
   return addRec(a, b);
 }
 
@@ -666,6 +672,7 @@ MEdge Package::addRec(const MEdge& a, const MEdge& b) {
 
 VEdge Package::multiply(const MEdge& m, const VEdge& v) {
   const OpGuard guard(*this, "multiply(MxV)");
+  const obs::ScopedSpan span("dd.multiply.mv", obs::cat::kDd);
   ++stats_.matrixVectorMultiplications;
   if (m.w->exactlyZero() || v.w->exactlyZero()) {
     return vZero();
@@ -741,6 +748,7 @@ VEdge Package::mulNodesMV(MNode* a, VNode* b) {
 
 MEdge Package::multiply(const MEdge& a, const MEdge& b) {
   const OpGuard guard(*this, "multiply(MxM)");
+  const obs::ScopedSpan span("dd.multiply.mm", obs::cat::kDd);
   ++stats_.matrixMatrixMultiplications;
   if (a.w->exactlyZero() || b.w->exactlyZero()) {
     return mZero();

@@ -1,0 +1,46 @@
+/// \file chrome_trace.hpp
+/// \brief Chrome trace-event JSON export of a TraceCollector session, plus
+///        a structural validator for the emitted files.
+///
+/// The export follows the "JSON Object Format" of the Trace Event spec:
+/// `{"traceEvents": [...]}` with Duration ('B'/'E') and Instant ('i')
+/// events, microsecond timestamps, and one `tid` per recorded thread
+/// (thread-name metadata events label the tracks). Files load directly in
+/// chrome://tracing and in Perfetto's legacy-trace importer.
+///
+/// The validator re-parses an emitted file with a minimal JSON reader and
+/// checks the invariants the exporter guarantees: the document is valid
+/// JSON of the expected shape, 'B'/'E' events are brace-balanced per track,
+/// and timestamps are monotone (non-decreasing) per track. It backs both
+/// the unit tests and the CI job that smoke-tests `ddsim_serve --trace-out`.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace ddsim::obs {
+
+/// Serialize the collector's tracks as Chrome trace-event JSON. Call only
+/// after the recording threads have quiesced (see the lifecycle contract in
+/// trace.hpp).
+void writeChromeTrace(std::ostream& os, const TraceCollector& collector);
+
+struct TraceValidation {
+  bool ok = false;
+  std::string error;        ///< first violation found (empty when ok)
+  std::size_t events = 0;   ///< B/E/i events checked
+  std::size_t tracks = 0;   ///< distinct tids carrying events
+};
+
+/// Validate trace-event JSON text (see file comment for the checks).
+[[nodiscard]] TraceValidation validateChromeTrace(const std::string& json);
+
+/// Convenience: read and validate a file; a missing/unreadable file fails
+/// with `ok == false` and a descriptive error.
+[[nodiscard]] TraceValidation validateChromeTraceFile(const std::string& path);
+
+}  // namespace ddsim::obs

@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace ddsim::obs {
+
+std::uint64_t Gauge::toBits(double v) noexcept {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double Gauge::fromBits(std::uint64_t b) noexcept {
+  double v = 0;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+namespace {
+
+/// Precomputed bucket upper bounds (ascending); the overflow bucket is
+/// handled separately with a +inf bound.
+const std::array<double, Histogram::kBuckets>& bucketBounds() {
+  static const auto bounds = [] {
+    std::array<double, Histogram::kBuckets> b{};
+    double bound = Histogram::kFirstBound;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      b[i] = bound;
+      bound *= Histogram::kGrowth;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+std::size_t bucketIndex(double value) noexcept {
+  const auto& bounds = bucketBounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<std::size_t>(it - bounds.begin());  // kBuckets = overflow
+}
+
+}  // namespace
+
+double Histogram::bucketBound(std::size_t i) noexcept {
+  return i < kBuckets ? bucketBounds()[i]
+                      : std::numeric_limits<double>::infinity();
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!(value >= 0.0)) {  // negative or NaN: clamp into the first bucket
+    value = 0.0;
+  }
+  counts_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sumNs_.fetch_add(static_cast<std::uint64_t>(value * 1e9),
+                   std::memory_order_relaxed);
+  // Non-negative doubles order like their bit patterns, so an integer CAS
+  // max keeps the true maximum without a lock.
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::uint64_t cur = maxBits_.load(std::memory_order_relaxed);
+  while (cur < bits && !maxBits_.compare_exchange_weak(
+                           cur, bits, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : counts_) {
+    n += c.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double Histogram::max() const noexcept {
+  const std::uint64_t bits = maxBits_.load(std::memory_order_relaxed);
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<std::uint64_t, kBuckets + 1> counts{};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      if (i >= kBuckets) {
+        return max();  // overflow bucket: the max is the best estimate
+      }
+      const double lower = i == 0 ? 0.0 : bucketBound(i - 1);
+      const double upper = bucketBound(i);
+      const double fraction =
+          std::clamp((target - before) / static_cast<double>(counts[i]), 0.0,
+                     1.0);
+      return std::min(lower + fraction * (upper - lower), max());
+    }
+  }
+  return max();
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c > 0) {
+      s.buckets.emplace_back(bucketBound(i), c);
+      s.count += c;
+    }
+  }
+  s.sum = static_cast<double>(sumNs_.load(std::memory_order_relaxed)) / 1e9;
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+std::string HistogramSnapshot::toJson() const {
+  std::ostringstream os;
+  os << "{\"count\": " << count << ", \"sum\": " << sum << ", \"max\": " << max
+     << ", \"p50\": " << p50 << ", \"p95\": " << p95 << ", \"p99\": " << p99
+     << ", \"buckets\": [";
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    os << (i > 0 ? ", " : "") << "{\"le\": ";
+    if (std::isinf(buckets[i].first)) {
+      os << "\"+inf\"";
+    } else {
+      os << buckets[i].first;
+    }
+    os << ", \"count\": " << buckets[i].second << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::toJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << c->value();
+    first = false;
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << g->value();
+    first = false;
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ", ") << "\"" << name
+       << "\": " << h->snapshot().toJson();
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ddsim::obs

@@ -1,0 +1,124 @@
+/// \file metrics.hpp
+/// \brief Thread-safe metrics primitives: counters, gauges, and fixed-bucket
+///        histograms with quantile estimation, plus a named registry.
+///
+/// All primitives are lock-free on the update path (relaxed atomics) and
+/// safe to snapshot concurrently — a snapshot is a coherent-enough view for
+/// reporting, not a linearizable one, matching the existing ServiceStats
+/// counter semantics.
+///
+/// Histograms use a fixed geometric bucket layout (factor 1.5 from 1 µs),
+/// chosen so that quantile estimates carry at most ~25% relative error
+/// over the whole 1 µs .. 10^5 s latency range while update stays one
+/// branch-free index computation plus one atomic increment. Quantiles are
+/// interpolated linearly inside the selected bucket and clamped to the
+/// observed maximum, so p50 <= p95 <= p99 <= max always holds.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ddsim::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, live nodes, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(toBits(v), std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return fromBits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static std::uint64_t toBits(double v) noexcept;
+  static double fromBits(std::uint64_t b) noexcept;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Exported view of a histogram (see Histogram::snapshot()).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Non-empty buckets only, as (upper bound, count) pairs in ascending
+  /// order. The final bucket's bound may be +inf (overflow bucket).
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  /// Flat JSON object: count/sum/max/p50/p95/p99 plus a `buckets` array of
+  /// {"le": bound, "count": n} objects.
+  [[nodiscard]] std::string toJson() const;
+};
+
+/// Fixed-bucket histogram over non-negative values (typically seconds).
+class Histogram {
+ public:
+  /// Geometric layout: bucket i spans (kFirstBound * 1.5^(i-1),
+  /// kFirstBound * 1.5^i]; bucket 0 additionally catches everything below,
+  /// and a final overflow bucket everything above.
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr double kFirstBound = 1e-6;
+  static constexpr double kGrowth = 1.5;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// Quantile estimate for q in [0, 1]; 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Upper bound of bucket i (the overflow bucket has bound +inf).
+  [[nodiscard]] static double bucketBound(std::size_t i) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> counts_{};
+  std::atomic<std::uint64_t> sumNs_{0};  ///< sum in nanoseconds-of-value
+  std::atomic<std::uint64_t> maxBits_{0};
+};
+
+/// Named metric registry. Lookup is mutex-guarded (call sites cache the
+/// returned reference); the metrics themselves are lock-free. References
+/// remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One JSON object with every registered metric: counters and gauges as
+  /// scalars, histograms via HistogramSnapshot::toJson().
+  [[nodiscard]] std::string toJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ddsim::obs

@@ -11,12 +11,24 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
   const std::size_t shardCount =
       std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
                                                     1, capacity)));
-  perShardCapacity_ =
-      capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / shardCount);
+  // Distribute the budget so per-shard capacities sum to exactly
+  // `capacity`: floor(capacity / shardCount) each, with the remainder
+  // handed out one slot at a time to the leading shards.
+  const std::size_t base = capacity / shardCount;
+  const std::size_t remainder = capacity % shardCount;
   shards_.reserve(shardCount);
   for (std::size_t i = 0; i < shardCount; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < remainder ? 1 : 0);
   }
+}
+
+std::size_t ResultCache::effectiveCapacity() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->capacity;
+  }
+  return total;
 }
 
 std::optional<CachedOutcome> ResultCache::lookup(const CacheKey& key) {
@@ -48,7 +60,7 @@ void ResultCache::insert(const CacheKey& key, CachedOutcome outcome) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= perShardCapacity_) {
+  if (shard.lru.size() >= shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -70,8 +70,10 @@ struct CacheCounters {
 
 class ResultCache {
  public:
-  /// \p capacity is the total entry budget, split evenly across
-  /// \p shards independent LRU shards (each gets at least one slot).
+  /// \p capacity is the total entry budget, distributed across \p shards
+  /// independent LRU shards: every shard gets floor(capacity / shards)
+  /// slots and the first capacity % shards shards one extra, so the
+  /// per-shard capacities always sum to exactly \p capacity.
   /// capacity == 0 disables the cache (every lookup misses, inserts drop).
   explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
 
@@ -86,10 +88,13 @@ class ResultCache {
 
   [[nodiscard]] CacheCounters counters() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Sum of per-shard capacities; equals capacity() by construction.
+  [[nodiscard]] std::size_t effectiveCapacity() const noexcept;
 
  private:
   struct Shard {
     std::mutex mutex;
+    std::size_t capacity = 0;
     /// Front = most recently used.
     std::list<std::pair<CacheKey, CachedOutcome>> lru;
     std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index;
@@ -101,7 +106,6 @@ class ResultCache {
   }
 
   std::size_t capacity_;
-  std::size_t perShardCapacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::atomic<std::uint64_t> hits_{0};

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ir/hash.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace ddsim::serve {
@@ -189,6 +190,7 @@ JobHandle SimulationService::submit(JobSpec spec) {
         it->second->followers.push_back(rec);
         submitted_.fetch_add(1, std::memory_order_relaxed);
         coalesced_.fetch_add(1, std::memory_order_relaxed);
+        obs::traceInstant("serve.coalesced", obs::cat::kServe, rec->id);
         return JobHandle{std::move(rec)};
       }
       hit = cache_.lookup(rec->key);
@@ -207,8 +209,12 @@ JobHandle SimulationService::submit(JobSpec spec) {
       submitted_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  if (rec->spec.bypassCache) {
+    cacheBypassed_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (hit) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    obs::traceInstant("serve.cache-hit", obs::cat::kServe, rec->id);
     JobResult r;
     r.status = JobStatus::Cached;
     r.classicalBits = std::move(hit->classicalBits);
@@ -217,6 +223,7 @@ JobHandle SimulationService::submit(JobSpec spec) {
     publish(rec, std::move(r));
     return JobHandle{std::move(rec)};
   }
+  obs::traceInstant("serve.queued", obs::cat::kServe, rec->id);
   workAvailable_.notify_one();
   return JobHandle{std::move(rec)};
 }
@@ -265,6 +272,7 @@ void SimulationService::workerLoop(int workerId) {
     r.worker = workerId;
     r.queueSeconds = secondsSince(rec->submitted);
     const JobSpec& spec = rec->spec;
+    obs::traceInstant("serve.dequeued", obs::cat::kServe, rec->id);
 
     if (rec->cancelRequested.load(std::memory_order_relaxed)) {
       r.status = JobStatus::Cancelled;
@@ -294,6 +302,7 @@ void SimulationService::workerLoop(int workerId) {
     simulationsRun_.fetch_add(1, std::memory_order_relaxed);
     perWorkerJobs_[static_cast<std::size_t>(workerId)]->fetch_add(
         1, std::memory_order_relaxed);
+    const obs::ScopedSpan runSpan("serve.job-run", obs::cat::kServe, rec->id);
     const sim::Timer runTimer;
     try {
       sim::CircuitSimulator simulator(*spec.circuit, config, spec.seed);
@@ -363,6 +372,7 @@ void SimulationService::publish(const std::shared_ptr<JobRecord>& rec,
                                 JobResult result) {
   result.completionIndex =
       completionCounter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::traceInstant("serve.job-finished", obs::cat::kServe, rec->id);
   accumulate(result);
   {
     const std::lock_guard<std::mutex> lock(rec->mutex);
@@ -400,6 +410,15 @@ void SimulationService::accumulate(const JobResult& result) {
   queueLatencySumNs_.fetch_add(queueNs, std::memory_order_relaxed);
   atomicMax(queueLatencyMaxNs_, queueNs);
   execSumNs_.fetch_add(toNs(result.runSeconds), std::memory_order_relaxed);
+  queueLatencyHist_.observe(result.queueSeconds);
+  // Execution/degradation distributions cover only jobs that consumed
+  // worker time — cache hits and coalesced duplicates would flood the low
+  // buckets with zeros.
+  if (!result.fromCache && !result.coalesced && result.worker >= 0) {
+    execHist_.observe(result.runSeconds);
+    degradationPerJobHist_.observe(
+        static_cast<double>(result.stats.degradationEvents));
+  }
   degradationEvents_.fetch_add(result.stats.degradationEvents,
                                std::memory_order_relaxed);
   pressureFlushes_.fetch_add(result.stats.pressureFlushes,
@@ -496,6 +515,16 @@ ServiceStats SimulationService::stats() const {
   s.jobsPerSecond = s.elapsedSeconds > 0.0
                         ? static_cast<double>(finished) / s.elapsedSeconds
                         : 0.0;
+  s.queueLatencyHistogram = queueLatencyHist_.snapshot();
+  s.queueLatencyP50Seconds = s.queueLatencyHistogram.p50;
+  s.queueLatencyP95Seconds = s.queueLatencyHistogram.p95;
+  s.queueLatencyP99Seconds = s.queueLatencyHistogram.p99;
+  s.execHistogram = execHist_.snapshot();
+  s.execP50Seconds = s.execHistogram.p50;
+  s.execP95Seconds = s.execHistogram.p95;
+  s.execP99Seconds = s.execHistogram.p99;
+  s.degradationPerJobHistogram = degradationPerJobHist_.snapshot();
+  s.cacheBypassed = cacheBypassed_.load(std::memory_order_relaxed);
   s.cache = cache_.counters();
   s.degradationEvents = degradationEvents_.load(std::memory_order_relaxed);
   s.pressureFlushes = pressureFlushes_.load(std::memory_order_relaxed);
@@ -531,12 +560,23 @@ std::string ServiceStats::toJson() const {
   os << ", \"jobs_per_second\": " << jobsPerSecond;
   os << ", \"queue_latency_mean_seconds\": " << queueLatencyMeanSeconds;
   os << ", \"queue_latency_max_seconds\": " << queueLatencyMaxSeconds;
+  os << ", \"queue_latency_p50_seconds\": " << queueLatencyP50Seconds;
+  os << ", \"queue_latency_p95_seconds\": " << queueLatencyP95Seconds;
+  os << ", \"queue_latency_p99_seconds\": " << queueLatencyP99Seconds;
   os << ", \"exec_seconds_total\": " << execSecondsTotal;
+  os << ", \"exec_p50_seconds\": " << execP50Seconds;
+  os << ", \"exec_p95_seconds\": " << execP95Seconds;
+  os << ", \"exec_p99_seconds\": " << execP99Seconds;
+  os << ", \"queue_latency_histogram\": " << queueLatencyHistogram.toJson();
+  os << ", \"exec_histogram\": " << execHistogram.toJson();
+  os << ", \"degradation_per_job_histogram\": "
+     << degradationPerJobHistogram.toJson();
   os << ", \"cache\": {\"hits\": " << cache.hits
      << ", \"misses\": " << cache.misses
      << ", \"insertions\": " << cache.insertions
      << ", \"evictions\": " << cache.evictions
-     << ", \"entries\": " << cache.entries << "}";
+     << ", \"entries\": " << cache.entries
+     << ", \"bypassed\": " << cacheBypassed << "}";
   os << ", \"degradation\": {\"events\": " << degradationEvents
      << ", \"pressure_flushes\": " << pressureFlushes
      << ", \"sequential_fallback_ops\": " << sequentialFallbackOps

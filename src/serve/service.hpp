@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "ir/circuit.hpp"
+#include "obs/metrics.hpp"
 #include "serve/result_cache.hpp"
 #include "sim/stats.hpp"
 
@@ -179,6 +180,26 @@ struct ServiceStats {
   /// Finished jobs (every status) per elapsed wall second.
   double jobsPerSecond = 0.0;
 
+  /// Queue-wait quantiles over every finished job (histogram-estimated,
+  /// clamped so p50 <= p95 <= p99 <= max always holds).
+  double queueLatencyP50Seconds = 0.0;
+  double queueLatencyP95Seconds = 0.0;
+  double queueLatencyP99Seconds = 0.0;
+  /// Execution-time quantiles over jobs that actually simulated.
+  double execP50Seconds = 0.0;
+  double execP95Seconds = 0.0;
+  double execP99Seconds = 0.0;
+
+  /// Full bucketed distributions backing the quantiles above.
+  obs::HistogramSnapshot queueLatencyHistogram;
+  obs::HistogramSnapshot execHistogram;
+  /// Degradation-ladder engagements per simulated job (how hard each job
+  /// leaned on the governor, not just the process-wide total).
+  obs::HistogramSnapshot degradationPerJobHistogram;
+
+  /// Submissions that opted out of the cache (bypassCache).
+  std::uint64_t cacheBypassed = 0;
+
   CacheCounters cache;
 
   /// Degradation-ladder engagements summed across all jobs, per rung.
@@ -269,6 +290,10 @@ class SimulationService {
   std::atomic<std::uint64_t> queueLatencySumNs_{0};
   std::atomic<std::uint64_t> queueLatencyMaxNs_{0};
   std::atomic<std::uint64_t> execSumNs_{0};
+  std::atomic<std::uint64_t> cacheBypassed_{0};
+  obs::Histogram queueLatencyHist_;
+  obs::Histogram execHist_;
+  obs::Histogram degradationPerJobHist_;
   std::atomic<std::uint64_t> degradationEvents_{0};
   std::atomic<std::uint64_t> pressureFlushes_{0};
   std::atomic<std::uint64_t> sequentialFallbackOps_{0};

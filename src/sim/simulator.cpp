@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "dd/approximation.hpp"
+#include "obs/trace.hpp"
 #include "sim/build_dd.hpp"
 
 namespace ddsim::sim {
@@ -115,6 +116,7 @@ void CircuitSimulator::processOps(
       case OpKind::Measure: {
         flush();
         const auto& m = static_cast<const ir::MeasureOperation&>(*op);
+        const obs::ScopedSpan span("sim.measure", obs::cat::kSim);
         const Timer t;
         clbits_[m.clbit()] =
             pkg_->measureOneCollapsing(state_, m.qubit(), rng_) != 0;
@@ -269,6 +271,7 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
     return;
   }
 
+  const obs::ScopedSpan span("sim.combine", obs::cat::kSim);
   const Timer t;
   if (!accPending_) {
     acc_ = gateDD;
@@ -286,6 +289,7 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
       // Accumulator explosion hit the hard rung mid-MxM. Reclaim, flush the
       // product built so far, apply the new gate directly, and cool down in
       // sequential mode.
+      obs::traceInstant("sim.rung.collect-retry", obs::cat::kSim);
       pkg_->emergencyCollect();
       ++stats_.degradationEvents;
       ++stats_.pressureFlushes;
@@ -313,6 +317,7 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
   // accumulator at this quiescent point and fall back to sequential
   // application for the cooldown window.
   if (pressureObserved()) {
+    obs::traceInstant("sim.rung.pressure-flush", obs::cat::kSim);
     ++stats_.degradationEvents;
     ++stats_.pressureFlushes;
     flush();
@@ -346,6 +351,7 @@ void CircuitSimulator::enqueue(const MEdge& gateDD, std::size_t gateCount) {
 }
 
 void CircuitSimulator::applyToState(const MEdge& m) {
+  const obs::ScopedSpan span("sim.apply", obs::cat::kSim);
   const Timer t;
   VEdge next{};
   try {
@@ -354,6 +360,7 @@ void CircuitSimulator::applyToState(const MEdge& m) {
     // Hard rung mid-MxV: reclaim everything reclaimable, shrink the state
     // if approximation is allowed, then retry once. A second failure
     // propagates to run(), which wraps it with the progress snapshot.
+    obs::traceInstant("sim.rung.collect-retry", obs::cat::kSim);
     pkg_->emergencyCollect();
     ++stats_.degradationEvents;
     if (config_.approximateFidelity < 1.0) {
@@ -422,12 +429,14 @@ void CircuitSimulator::afterStep() {
 }
 
 void CircuitSimulator::enterCooldown() {
+  obs::traceInstant("sim.rung.sequential-fallback", obs::cat::kSim);
   sequentialCooldown_ = config_.degradeCooldownOps;
 }
 
 /// Prune the state DD down to the configured per-step fidelity, counting
 /// the round as pressure-forced.
 void CircuitSimulator::forcedApproximation() {
+  const obs::ScopedSpan span("sim.forced-approximation", obs::cat::kSim);
   const auto approx =
       dd::approximate(*pkg_, state_, config_.approximateFidelity);
   if (approx.removedEdges > 0) {

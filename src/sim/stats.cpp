@@ -52,7 +52,9 @@ std::uint64_t StrategyConfig::contentHash() const noexcept {
   h = hashCombine(h, maxSize);
   h = hashDouble(h, adaptiveRatio);
   h = hashCombine(h, reuseRepeatedBlocks ? 1U : 0U);
-  h = hashCombine(h, collectTrace ? 1U : 0U);
+  // collectTrace is deliberately excluded: it only toggles step-trace
+  // recording and never changes the simulation outcome, so trace-on and
+  // trace-off submissions must coalesce to the same cache entry.
   h = hashDouble(h, timeLimitSeconds);
   h = hashDouble(h, approximateFidelity);
   h = hashCombine(h, approximateThreshold);

@@ -108,6 +108,8 @@ struct StrategyConfig {
   /// Stable 64-bit content hash over every field that influences the
   /// simulation outcome or its statistics — part of the serve-layer result
   /// cache key alongside ir::contentHash(circuit) and the seed.
+  /// Observation-only knobs (collectTrace) are excluded so that otherwise
+  /// identical submissions coalesce regardless of tracing.
   [[nodiscard]] std::uint64_t contentHash() const noexcept;
 
   [[nodiscard]] std::string toString() const;

@@ -287,6 +287,34 @@ TEST(SimulationService, BypassCacheForcesResimulation) {
   EXPECT_EQ(service.stats().simulationsRun, 2U);
 }
 
+TEST(SimulationService, TraceFlagDoesNotSplitCacheIdentity) {
+  // Regression: collectTrace is observation-only, so trace-on and trace-off
+  // submissions of the same job must coalesce onto one simulation. The
+  // config hash used to include the flag, silently doubling the work.
+  sim::StrategyConfig traced;
+  traced.collectTrace = true;
+  EXPECT_EQ(sim::StrategyConfig{}.contentHash(), traced.contentHash());
+
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+  const auto bell = makeBell();
+
+  const auto plain = service.submit(spec(bell, 17));
+  const auto withTrace = service.submit(spec(bell, 17, traced));
+  service.start();
+
+  EXPECT_EQ(plain.wait().status, serve::JobStatus::Completed);
+  const serve::JobResult& r2 = withTrace.wait();
+  EXPECT_TRUE(r2.coalesced || r2.fromCache);
+  EXPECT_EQ(r2.classicalBits, plain.wait().classicalBits);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.simulationsRun, 1U);
+  EXPECT_EQ(stats.coalesced, 1U);
+}
+
 TEST(SimulationService, ConcurrentIdenticalSubmissionsSimulateOnce) {
   serve::ServiceConfig sc;
   sc.workers = 4;
@@ -351,6 +379,29 @@ TEST(ResultCache, ZeroCapacityDisablesCaching) {
   cache.insert(key(1), {{true}, {}});
   EXPECT_FALSE(cache.lookup(key(1)).has_value());
   EXPECT_EQ(cache.counters().entries, 0U);
+}
+
+TEST(ResultCache, CapacityIsFullyUsableWithNonDivisibleShardCount) {
+  // Regression: per-shard capacity used to be floor(capacity / shards),
+  // silently dropping the remainder (10/4 -> 8 usable slots).
+  serve::ResultCache cache(/*capacity=*/10, /*shards=*/4);
+  EXPECT_EQ(cache.effectiveCapacity(), 10U);
+
+  // Saturate every shard: far more distinct keys than capacity.
+  for (std::uint64_t n = 0; n < 1000; ++n) {
+    cache.insert(key(n), {{true}, {}});
+  }
+  EXPECT_EQ(cache.counters().entries, 10U);
+}
+
+TEST(ResultCache, EffectiveCapacityMatchesRequestedAcrossShardCounts) {
+  for (std::size_t capacity : {1U, 2U, 5U, 7U, 10U, 64U, 1000U}) {
+    for (std::size_t shards : {1U, 2U, 3U, 4U, 7U, 8U, 16U}) {
+      serve::ResultCache cache(capacity, shards);
+      EXPECT_EQ(cache.effectiveCapacity(), capacity)
+          << "capacity=" << capacity << " shards=" << shards;
+    }
+  }
 }
 
 TEST(ResultCache, FullKeyComparisonSurvivesDigestCollisions) {
