@@ -7,8 +7,14 @@
 ///
 /// Usage:
 ///   ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] [--cache <n>]
+///               [--block-cache <n>] [--pipeline on|off]
 ///               [--out <results.json>] [--stats <stats.json>]
 ///               [--trace-out <trace.json>] [--stats-dump <seconds>]
+///
+/// --block-cache enables the shared prebuilt-block cache (exported matrix
+/// DDs of DD-repeating blocks, shared across workers via cross-package
+/// migration). --pipeline overrides the manifest's per-job pipeline flag
+/// for every job.
 ///
 /// --trace-out records every package/simulator/serve span of the run and
 /// writes Chrome trace-event JSON (open in Perfetto or chrome://tracing).
@@ -29,6 +35,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,10 +53,12 @@ namespace {
 void usage() {
   std::printf(
       "usage: ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] "
-      "[--cache <n>] [--out <results.json>] [--stats <stats.json>] "
+      "[--cache <n>] [--block-cache <n>] [--pipeline on|off] "
+      "[--out <results.json>] [--stats <stats.json>] "
       "[--trace-out <trace.json>] [--stats-dump <seconds>]\n\n"
       "manifest lines: <qasm-path> [strategy=seq|k=<n>|maxsize=<n>|"
-      "adaptive[=<r>]] [dd-repeating] [detect-repetitions] [seed=<n>] "
+      "adaptive[=<r>]] [dd-repeating] [pipeline[=on|off]] "
+      "[pipeline-depth=<n>] [detect-repetitions] [seed=<n>] "
       "[repeat=<n>] [priority=high|normal|low] [deadline=<s>] "
       "[time-limit=<s>] [node-budget=<n>] [label=<text>]\n");
 }
@@ -153,6 +162,8 @@ int main(int argc, char** argv) {
   std::string statsPath;
   std::string tracePath;
   double statsDumpSeconds = 0.0;
+  // Tri-state: unset (follow the manifest), force on, force off.
+  std::optional<bool> pipelineOverride;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,6 +174,16 @@ int main(int argc, char** argv) {
       serviceConfig.queueCapacity = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--cache" && hasValue) {
       serviceConfig.cacheCapacity = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--block-cache" && hasValue) {
+      serviceConfig.blockCacheCapacity = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--pipeline" && hasValue) {
+      const std::string value = argv[++i];
+      if (value != "on" && value != "off") {
+        std::fprintf(stderr, "--pipeline: expected on|off, got '%s'\n",
+                     value.c_str());
+        return 1;
+      }
+      pipelineOverride = value == "on";
     } else if (arg == "--out" && hasValue) {
       outPath = argv[++i];
     } else if (arg == "--stats" && hasValue) {
@@ -250,6 +271,9 @@ int main(int argc, char** argv) {
         serve::JobSpec spec;
         spec.circuit = circuit;
         spec.config = entry.config;
+        if (pipelineOverride) {
+          spec.config.pipeline = *pipelineOverride;
+        }
         spec.seed = job.seed;
         spec.priority = entry.priority;
         spec.deadlineSeconds = entry.deadlineSeconds;

@@ -1,0 +1,96 @@
+/// \file migration.hpp
+/// \brief Cross-package DD migration: serialize a vector/matrix DD into a
+///        portable flat edge-list form and rebuild it inside another
+///        dd::Package.
+///
+/// A Package's node pointers and canonical weight pointers are only
+/// meaningful inside that package — its unique table, complex table and
+/// incarnation counters are private state. The FlatDD form removes every
+/// pointer: nodes become indices in children-before-parents order, weights
+/// become plain ComplexValue copies. Importing rebuilds the DD bottom-up
+/// through the destination's makeVNode/makeMNode and complex-table lookup,
+/// so the result is canonical *in the destination* — normalized weights,
+/// unique-table-deduplicated nodes, structure flags recomputed — and is
+/// bit-for-bit independent of the source package's history (GC epochs,
+/// incarnation stamps, chunk layout).
+///
+/// Two consumers in this codebase:
+///  * the pipelined block builder (sim/pipeline.hpp) hands combined gate
+///    blocks from its private builder package to the simulation package;
+///  * the serving layer's shared block cache migrates prebuilt DD-repeating
+///    blocks across worker packages instead of rebuilding them per worker.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dd/complex_value.hpp"
+#include "dd/node.hpp"
+
+namespace ddsim::dd {
+
+class Package;
+
+/// Child index of a flat edge that points at the terminal node.
+inline constexpr std::int32_t kFlatTerminal = -1;
+
+/// One edge of a flattened DD: the child's index into FlatDD::nodes
+/// (kFlatTerminal for the terminal) plus the plain-value weight.
+struct FlatEdge {
+  std::int32_t node = kFlatTerminal;
+  ComplexValue w{};
+
+  bool operator==(const FlatEdge&) const noexcept = default;
+};
+
+template <std::size_t Arity>
+struct FlatNode {
+  Qubit v = 0;
+  std::array<FlatEdge, Arity> children{};
+
+  bool operator==(const FlatNode&) const noexcept = default;
+};
+
+/// A pointer-free DD. `nodes` is topologically ordered children-before-
+/// parents (every child index is strictly smaller than its parent's index),
+/// which importDD validates and exploits for a single bottom-up pass.
+template <std::size_t Arity>
+struct FlatDD {
+  std::size_t numQubits = 0;
+  std::vector<FlatNode<Arity>> nodes;
+  FlatEdge root{};
+
+  /// Internal nodes plus the terminal — comparable to Package::size().
+  [[nodiscard]] std::size_t nodeCount() const noexcept {
+    return nodes.size() + 1;
+  }
+
+  bool operator==(const FlatDD&) const noexcept = default;
+};
+
+using FlatVectorDD = FlatDD<2>;
+using FlatMatrixDD = FlatDD<4>;
+
+/// Flatten the DD rooted at \p root. Read-only on \p src (no package state
+/// is mutated, no references are taken); the result stays valid after the
+/// source DD — or the whole source package — is gone.
+[[nodiscard]] FlatVectorDD exportDD(const Package& src, const VEdge& root);
+[[nodiscard]] FlatMatrixDD exportDD(const Package& src, const MEdge& root);
+
+/// Rebuild a flattened DD inside \p dst and return its (unrooted) root
+/// edge. The caller roots it with dst.incRef() like any other fresh edge.
+///
+/// Structural validation happens up front — child indices in bounds and
+/// children-before-parents, levels descending exactly one per edge,
+/// terminal children only with an exactly-zero weight or at level 0, the
+/// root level inside the destination's qubit range — and malformed input
+/// throws std::invalid_argument before any node is created. Node creation
+/// goes through the destination's resource checks, so a budgeted or
+/// fault-injected destination can throw dd::ResourceExhausted mid-import;
+/// partially built nodes are unrooted and reclaimed by the next collection.
+[[nodiscard]] VEdge importDD(Package& dst, const FlatVectorDD& flat);
+[[nodiscard]] MEdge importDD(Package& dst, const FlatMatrixDD& flat);
+
+}  // namespace ddsim::dd

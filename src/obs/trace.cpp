@@ -132,6 +132,12 @@ std::uint64_t TraceCollector::droppedCount() const {
   return n;
 }
 
+void nameCurrentThreadTrack(const char* name) {
+  if (TraceCollector* c = detail::activeCollector()) {
+    detail::trackFor(c)->name = name;
+  }
+}
+
 void ScopedSpan::begin(TraceCollector* c, const char* name,
                        const char* category, std::uint64_t id) noexcept {
   collector_ = c;

@@ -62,6 +62,9 @@ struct ThreadTrack {
   std::vector<TraceEvent> events;
   std::uint64_t dropped = 0;  ///< events beyond the per-thread cap
   std::uint64_t osThreadId = 0;
+  /// Human-readable track name (see nameCurrentThreadTrack). Empty tracks
+  /// export as "track-<tid>".
+  std::string name;
 
   void push(const TraceEvent& e);
 };
@@ -164,5 +167,12 @@ inline void traceInstant(const char* name, const char* category,
     c->instant(name, category, id);
   }
 }
+
+/// Name the calling thread's track on the active collector (no-op when
+/// tracing is disabled). The exporter emits the name as the Chrome trace
+/// thread_name metadata, so e.g. the pipeline's builder thread shows up as
+/// "sim.builder" instead of "track-3". Safe to call repeatedly; the latest
+/// name wins.
+void nameCurrentThreadTrack(const char* name);
 
 }  // namespace ddsim::obs

@@ -1,0 +1,60 @@
+#include "serve/block_cache.hpp"
+
+#include "dd/migration.hpp"
+
+namespace ddsim::serve {
+
+BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const dd::FlatMatrixDD> BlockCache::lookup(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  sharedNodes_.fetch_add(it->second->second->nodeCount(),
+                         std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void BlockCache::insert(std::uint64_t key,
+                        std::shared_ptr<const dd::FlatMatrixDD> block) {
+  if (capacity_ == 0 || !block) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: identical key implies identical content; keep the existing
+    // entry (shared with any in-flight importer) and just touch it.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(block));
+  index_[key] = lru_.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BlockCacheCounters BlockCache::counters() const {
+  BlockCacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.insertions = insertions_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.sharedNodes = sharedNodes_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    c.entries = lru_.size();
+  }
+  return c;
+}
+
+}  // namespace ddsim::serve

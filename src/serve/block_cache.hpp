@@ -1,0 +1,84 @@
+/// \file block_cache.hpp
+/// \brief Shared LRU cache of prebuilt (exported) matrix DDs for
+///        DD-repeating blocks.
+///
+/// When the service runs many jobs that share structure — e.g. Grover
+/// circuits with the same iteration body, or parameter sweeps over a fixed
+/// ansatz — each worker rebuilds the same combined block matrix in its own
+/// private package. The block cache amortizes that: the first worker to
+/// build a repeated block exports it to the portable dd::FlatMatrixDD form
+/// (PR 5 migration layer) and publishes it here; later workers (and later
+/// jobs) import it straight into their own package through the unique /
+/// complex tables instead of re-multiplying the gate sequence.
+///
+/// Safety: FlatMatrixDD is immutable plain data with no package pointers,
+/// so entries may be shared freely across worker threads and outlive every
+/// package. Keys are content hashes of the block body (see
+/// sim::CircuitSimulator's keying) — a collision costs a wrong *candidate*,
+/// but import validation plus the fact that keys hash the full canonical
+/// operation stream make a silently wrong block astronomically unlikely;
+/// the cache stores only the hash, mirroring the simulator's intra-run
+/// block cache.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include <unordered_map>
+
+#include "sim/block_cache.hpp"
+
+namespace ddsim::serve {
+
+/// Monotonic block-cache counters (snapshot via BlockCache::counters()).
+struct BlockCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;       ///< current live entries
+  std::uint64_t sharedNodes = 0; ///< flat nodes handed out via hits
+};
+
+/// Thread-safe LRU over exported matrix DDs, implementing the simulator's
+/// sim::SharedBlockCache extension point. A single mutex suffices: lookups
+/// copy a shared_ptr (cheap), and the expensive work (building/importing
+/// the DD) happens outside the lock in the workers.
+class BlockCache final : public sim::SharedBlockCache {
+ public:
+  /// \p capacity is the maximum number of cached blocks (0 disables the
+  /// cache: lookups miss, inserts drop).
+  explicit BlockCache(std::size_t capacity);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  std::shared_ptr<const dd::FlatMatrixDD> lookup(std::uint64_t key) override;
+  void insert(std::uint64_t key,
+              std::shared_ptr<const dd::FlatMatrixDD> block) override;
+
+  [[nodiscard]] BlockCacheCounters counters() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::uint64_t,
+                          std::shared_ptr<const dd::FlatMatrixDD>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> sharedNodes_{0};
+};
+
+}  // namespace ddsim::serve

@@ -128,6 +128,9 @@ bool JobHandle::cancel() const {
 SimulationService::SimulationService(ServiceConfig config)
     : config_(config),
       cache_(config.cacheCapacity, config.cacheShards),
+      blockCache_(config.blockCacheCapacity > 0
+                      ? std::make_shared<BlockCache>(config.blockCacheCapacity)
+                      : nullptr),
       started_(Clock::now()),
       paused_(config.startPaused) {
   std::size_t n = config_.workers;
@@ -309,6 +312,9 @@ void SimulationService::workerLoop(int workerId) {
       simulator.setCancelCheck([raw = rec.get()] {
         return raw->cancelRequested.load(std::memory_order_relaxed);
       });
+      if (blockCache_) {
+        simulator.setSharedBlockCache(blockCache_);
+      }
       sim::SimulationResult res = simulator.run();
       r.status = JobStatus::Completed;
       r.classicalBits = std::move(res.classicalBits);
@@ -526,6 +532,9 @@ ServiceStats SimulationService::stats() const {
   s.degradationPerJobHistogram = degradationPerJobHist_.snapshot();
   s.cacheBypassed = cacheBypassed_.load(std::memory_order_relaxed);
   s.cache = cache_.counters();
+  if (blockCache_) {
+    s.blockCache = blockCache_->counters();
+  }
   s.degradationEvents = degradationEvents_.load(std::memory_order_relaxed);
   s.pressureFlushes = pressureFlushes_.load(std::memory_order_relaxed);
   s.sequentialFallbackOps =
@@ -577,6 +586,12 @@ std::string ServiceStats::toJson() const {
      << ", \"evictions\": " << cache.evictions
      << ", \"entries\": " << cache.entries
      << ", \"bypassed\": " << cacheBypassed << "}";
+  os << ", \"block_cache\": {\"hits\": " << blockCache.hits
+     << ", \"misses\": " << blockCache.misses
+     << ", \"insertions\": " << blockCache.insertions
+     << ", \"evictions\": " << blockCache.evictions
+     << ", \"entries\": " << blockCache.entries
+     << ", \"shared_nodes\": " << blockCache.sharedNodes << "}";
   os << ", \"degradation\": {\"events\": " << degradationEvents
      << ", \"pressure_flushes\": " << pressureFlushes
      << ", \"sequential_fallback_ops\": " << sequentialFallbackOps

@@ -46,6 +46,7 @@
 
 #include "ir/circuit.hpp"
 #include "obs/metrics.hpp"
+#include "serve/block_cache.hpp"
 #include "serve/result_cache.hpp"
 #include "sim/stats.hpp"
 
@@ -150,6 +151,10 @@ struct ServiceConfig {
   /// Total result-cache entries (0 disables caching and coalescing).
   std::size_t cacheCapacity = 1024;
   std::size_t cacheShards = 8;
+  /// Entries in the shared prebuilt-block cache (exported matrix DDs of
+  /// DD-repeating blocks, shared across workers and jobs). 0 (the default)
+  /// disables it: each simulation builds its own blocks as before.
+  std::size_t blockCacheCapacity = 0;
   /// Construct with workers idle until start() — lets tests (and batch
   /// drivers that want strict priority order) enqueue everything first.
   bool startPaused = false;
@@ -201,6 +206,8 @@ struct ServiceStats {
   std::uint64_t cacheBypassed = 0;
 
   CacheCounters cache;
+  /// Shared prebuilt-block cache (all zeros when blockCacheCapacity == 0).
+  BlockCacheCounters blockCache;
 
   /// Degradation-ladder engagements summed across all jobs, per rung.
   std::uint64_t degradationEvents = 0;
@@ -257,6 +264,8 @@ class SimulationService {
 
   ServiceConfig config_;
   ResultCache cache_;
+  /// Shared across workers; null when blockCacheCapacity == 0.
+  std::shared_ptr<BlockCache> blockCache_;
   Clock::time_point started_;
 
   mutable std::mutex queueMutex_;

@@ -1,0 +1,43 @@
+/// \file block_cache.hpp
+/// \brief Interface for sharing prebuilt DD-repeating block matrices across
+///        simulations.
+///
+/// A DD-repeating compound block costs one expensive matrix construction
+/// per simulation, even though every worker in a batch builds the exact
+/// same matrix. Cross-package migration (dd/migration.hpp) makes the built
+/// block portable, so it can be stashed once in its flat form and imported
+/// into each worker's private package — canonically rebuilt, never sharing
+/// a pointer.
+///
+/// The interface lives in sim/ (the consumer) while the serving layer
+/// provides the LRU implementation, keeping sim/ free of a dependency on
+/// serve/. Implementations must be thread-safe: workers look up and insert
+/// concurrently. A lookup miss is always safe — the simulator simply builds
+/// the block itself (and inserts the result), so a cache may drop entries
+/// at any time.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dd/migration.hpp"
+
+namespace ddsim::sim {
+
+class SharedBlockCache {
+ public:
+  virtual ~SharedBlockCache() = default;
+
+  /// The flat block for \p key, or nullptr on a miss. Entries are
+  /// immutable and shared — the caller imports, never mutates.
+  [[nodiscard]] virtual std::shared_ptr<const dd::FlatMatrixDD> lookup(
+      std::uint64_t key) = 0;
+
+  /// Publish a freshly built block. Duplicate inserts for the same key are
+  /// expected under concurrency; either copy may win.
+  virtual void insert(std::uint64_t key,
+                      std::shared_ptr<const dd::FlatMatrixDD> block) = 0;
+};
+
+}  // namespace ddsim::sim

@@ -1,0 +1,276 @@
+#include "sim/pipeline.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "dd/package.hpp"
+#include "ir/operation.hpp"
+#include "obs/trace.hpp"
+#include "sim/build_dd.hpp"
+
+namespace ddsim::sim {
+
+// ------------------------------------------------------------- BlockQueue
+
+bool BlockQueue::push(PipelineBlock&& blk) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  notFull_.wait(lock,
+                [this] { return aborted_ || queue_.size() < capacity_; });
+  if (aborted_) {
+    return false;
+  }
+  queue_.push_back(std::move(blk));
+  notEmpty_.notify_one();
+  return true;
+}
+
+BlockQueue::PopStatus BlockQueue::popFor(PipelineBlock& out,
+                                         std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  notEmpty_.wait_for(lock, timeout,
+                     [this] { return closed_ || !queue_.empty(); });
+  if (!queue_.empty()) {
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    notFull_.notify_one();
+    return PopStatus::Ok;
+  }
+  return closed_ ? PopStatus::Drained : PopStatus::TimedOut;
+}
+
+void BlockQueue::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  notEmpty_.notify_all();
+}
+
+void BlockQueue::abort() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  queue_.clear();
+  notFull_.notify_all();
+  notEmpty_.notify_all();
+}
+
+std::size_t BlockQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+// ------------------------------------------------------------ BlockBuilder
+
+BlockBuilder::BlockBuilder(const std::vector<const ir::Operation*>& run,
+                           std::size_t numQubits, const StrategyConfig& config,
+                           std::size_t initialStateNodes,
+                           dd::FaultInjector* faultInjector,
+                           std::function<bool()> externalAbort)
+    : run_(run),
+      numQubits_(numQubits),
+      config_(config),
+      initialStateNodes_(initialStateNodes),
+      injector_(faultInjector),
+      externalAbort_(std::move(externalAbort)),
+      queue_(config.pipelineDepth),
+      thread_([this] { threadMain(); }) {}
+
+BlockBuilder::~BlockBuilder() { finish(); }
+
+BlockQueue::PopStatus BlockBuilder::next(PipelineBlock& out,
+                                         std::chrono::milliseconds timeout) {
+  return queue_.popFor(out, timeout);
+}
+
+void BlockBuilder::onBlockApplied(std::size_t stateNodes) {
+  const std::lock_guard<std::mutex> lock(fbMutex_);
+  fbSizes_.push_back(stateNodes);
+  fbCv_.notify_one();
+}
+
+void BlockBuilder::finish() {
+  if (joined_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  queue_.abort();
+  {
+    const std::lock_guard<std::mutex> lock(fbMutex_);
+    fbCv_.notify_all();
+  }
+  thread_.join();
+  joined_ = true;
+}
+
+bool BlockBuilder::waitStateFeedback(std::uint64_t blockIndex,
+                                     std::size_t& nodes) {
+  if (blockIndex == 0) {
+    nodes = initialStateNodes_;
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(fbMutex_);
+  fbCv_.wait(lock, [&] {
+    return stopRequested() || fbSizes_.size() >= blockIndex;
+  });
+  if (fbSizes_.size() >= blockIndex) {
+    nodes = fbSizes_[blockIndex - 1];
+    return true;
+  }
+  return false;
+}
+
+void BlockBuilder::threadMain() {
+  obs::nameCurrentThreadTrack("sim.builder");
+  try {
+    dd::Package pkg(numQubits_);
+    // Same budget as the main package: a block the serial engine could not
+    // have afforded must not be built ahead either.
+    if (config_.nodeBudget > 0 || config_.byteBudget > 0) {
+      pkg.governor().setBudget({config_.nodeBudget, config_.byteBudget,
+                                config_.softBudgetFraction});
+    }
+    if (injector_ != nullptr) {
+      pkg.setFaultInjector(injector_);
+    }
+    pkg.setAbortCheck([this] {
+      return stopRequested() || (externalAbort_ && externalAbort_());
+    });
+    try {
+      buildLoop(pkg);
+    } catch (const dd::ResourceExhausted&) {
+      // The builder package cannot afford the current block: bow out and
+      // let the main thread continue serially from its first operation.
+      // Blocks already pushed stay valid.
+      bowedOut_ = true;
+    } catch (const dd::ComputationAborted&) {
+      if (!stopRequested()) {
+        // External abort (time limit / cancellation). Bow out; the main
+        // thread notices the same condition through its own polls and
+        // unwinds with the proper exception.
+        bowedOut_ = true;
+      }
+    }
+    stats_.dd = pkg.stats();
+    stats_.cache = pkg.cacheStats();
+    // close() last: its mutex release orders every write above before the
+    // consumer's post-Drained reads.
+    queue_.close();
+  } catch (...) {
+    failure_ = std::current_exception();
+    queue_.close();
+  }
+}
+
+void BlockBuilder::buildLoop(dd::Package& pkg) {
+  // Per-run gate-DD memoization, mirroring the simulator's gateCache_: runs
+  // revisit the same ir::Operation objects (flattened compound
+  // repetitions), and rooting the cached edges keeps the corresponding
+  // multiply compute-table entries revalidatable across collections.
+  std::unordered_map<const ir::Operation*, dd::MEdge> gateCache;
+  const auto buildGate = [&](const ir::Operation& op) {
+    const auto it = gateCache.find(&op);
+    if (it != gateCache.end()) {
+      return it->second;
+    }
+    const dd::MEdge m = buildOperationDD(pkg, op);
+    pkg.incRef(m);
+    gateCache.emplace(&op, m);
+    return m;
+  };
+
+  std::size_t i = 0;
+  std::uint64_t blockIndex = 0;
+  while (i < run_.size()) {
+    if (stopRequested()) {
+      return;
+    }
+    resumeIndex_ = i;
+    const Timer blockTimer;
+    dd::MEdge acc{};
+    bool pending = false;
+    std::size_t count = 0;
+    std::uint64_t gates = 0;
+    std::uint64_t mxm = 0;
+    std::size_t adaptiveStateNodes = 0;
+    bool haveAdaptiveNodes = false;
+    {
+      const obs::ScopedSpan span("sim.pipeline.build", obs::cat::kSim,
+                                 blockIndex);
+      while (i < run_.size()) {
+        const dd::MEdge g = buildGate(*run_[i]);
+        if (!pending) {
+          acc = g;
+          pkg.incRef(acc);
+          pending = true;
+          count = 1;
+        } else {
+          // Same left-multiplication order as the serial accumulator:
+          // state' = g * (acc * v) = (g * acc) * v.
+          const dd::MEdge combined = pkg.multiply(g, acc);
+          ++mxm;
+          pkg.incRef(combined);
+          pkg.decRef(acc);
+          acc = combined;
+          ++count;
+        }
+        gates += run_[i]->flatGateCount();
+        ++i;
+        // Replicate the serial boundary decision exactly — identical block
+        // boundaries are what make the pipelined run bit-identical.
+        const std::size_t accSize = pkg.size(acc);
+        bool full = false;
+        switch (config_.schedule) {
+          case Schedule::KOperations:
+            full = count >= config_.k;
+            break;
+          case Schedule::MaxSize:
+            full = accSize > config_.maxSize;
+            break;
+          case Schedule::Adaptive:
+            // The serial loop compares against the state size after the
+            // previous flush; wait for exactly that feedback. This couples
+            // the builder one block behind the consumer — Adaptive
+            // pipelining overlaps less than KOperations/MaxSize, but stays
+            // deterministic.
+            if (!haveAdaptiveNodes) {
+              if (!waitStateFeedback(blockIndex, adaptiveStateNodes)) {
+                pkg.decRef(acc);
+                return;
+              }
+              haveAdaptiveNodes = true;
+            }
+            full = static_cast<double>(accSize) >
+                   config_.adaptiveRatio *
+                       static_cast<double>(adaptiveStateNodes);
+            break;
+          case Schedule::Sequential:
+            full = true;  // unreachable: the simulator never pipelines it
+            break;
+        }
+        if (full) {
+          break;
+        }
+      }
+    }
+
+    PipelineBlock blk;
+    blk.block = dd::exportDD(pkg, acc);
+    blk.firstOp = resumeIndex_;
+    blk.opCount = i - resumeIndex_;
+    blk.gateCount = gates;
+    blk.mxmCount = mxm;
+    blk.builderNodes = pkg.size(acc);
+    blk.buildSeconds = blockTimer.seconds();
+    pkg.decRef(acc);
+    pkg.maybeGarbageCollect();
+    stats_.buildSeconds += blk.buildSeconds;
+    obs::traceInstant("sim.pipeline.queue-depth", obs::cat::kSim,
+                      queue_.depth());
+    if (!queue_.push(std::move(blk))) {
+      return;  // consumer aborted the queue
+    }
+    ++stats_.blocksBuilt;
+    ++blockIndex;
+  }
+  resumeIndex_ = run_.size();
+}
+
+}  // namespace ddsim::sim

@@ -1,0 +1,205 @@
+/// \file pipeline.hpp
+/// \brief Pipelined block building: a dedicated builder thread combines the
+///        next block of gates in its own private dd::Package while the main
+///        thread applies the previous block to the state.
+///
+/// The paper separates simulation into two phases — combining operation
+/// matrices (MxM) and applying the product to the state (MxV) — that run
+/// serially on one thread, so combine wall time adds directly to apply wall
+/// time. Block construction only depends on the gate stream (and, for the
+/// Adaptive schedule, on the state *size*, not the state itself), so it can
+/// run ahead on a second thread. The two packages never share nodes: blocks
+/// cross the thread boundary as portable FlatMatrixDD values
+/// (dd/migration.hpp) through a bounded SPSC queue with backpressure.
+///
+/// Determinism contract: the builder replicates the serial engine's block
+/// boundaries exactly — KOperations counts gates, MaxSize measures its own
+/// accumulator (DD canonicity makes node counts package-independent), and
+/// Adaptive waits for the applied-state-size feedback of the previous block
+/// before deciding boundaries, which is precisely the information the
+/// serial loop uses. Identical boundaries mean identical floating-point
+/// groupings, so pipelined runs produce bit-identical states and
+/// measurement outcomes for the same seed as serial runs.
+///
+/// Failure protocol: if the builder's private package exhausts its resource
+/// budget (or a fault injector fires in it), the builder *bows out* — it
+/// records the run index the main thread must resume from, closes the
+/// queue, and exits. Blocks already handed over stay valid; the simulator
+/// drains them, then continues serially. Builder failure never fails the
+/// simulation.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dd/fault_injection.hpp"
+#include "dd/migration.hpp"
+#include "sim/stats.hpp"
+
+namespace ddsim::ir {
+class Operation;
+}  // namespace ddsim::ir
+
+namespace ddsim::sim {
+
+/// One combined block in portable form, plus the accounting the main thread
+/// folds into SimulationStats when it applies the block.
+struct PipelineBlock {
+  dd::FlatMatrixDD block;
+  /// Index of the block's first operation in the run (flattened gate list).
+  std::size_t firstOp = 0;
+  /// Operations combined into this block.
+  std::size_t opCount = 0;
+  /// Elementary gates those operations amount to.
+  std::uint64_t gateCount = 0;
+  /// MxM multiplications the builder spent combining them.
+  std::uint64_t mxmCount = 0;
+  /// Accumulator DD size in the builder package (== size after import, by
+  /// canonicity).
+  std::size_t builderNodes = 0;
+  /// Wall time the builder spent on this block — time the serial engine
+  /// would have added to the critical path.
+  double buildSeconds = 0.0;
+};
+
+/// Bounded single-producer/single-consumer handoff queue. The builder
+/// blocks in push() when the consumer is pipelineDepth blocks behind
+/// (backpressure); the consumer polls popFor() with a timeout so it can
+/// keep honouring cancellation and time limits while the builder works.
+class BlockQueue {
+ public:
+  explicit BlockQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  enum class PopStatus {
+    Ok,        ///< a block was dequeued
+    TimedOut,  ///< queue empty, producer still running
+    Drained,   ///< queue empty and closed — no block will ever arrive
+  };
+
+  /// Producer: enqueue, waiting while the queue is full. Returns false if
+  /// the consumer aborted the queue (the block is dropped).
+  bool push(PipelineBlock&& blk);
+  /// Consumer: dequeue, waiting up to \p timeout for a block.
+  PopStatus popFor(PipelineBlock& out, std::chrono::milliseconds timeout);
+  /// Producer: no more blocks will be pushed. Already-queued blocks remain
+  /// drainable; popFor returns Drained once they are gone.
+  void close();
+  /// Consumer: discard queued blocks and unblock the producer (its next
+  /// push fails). Used on early exit so the builder never deadlocks on a
+  /// full queue.
+  void abort();
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<PipelineBlock> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+/// Snapshot of the builder package's counters, merged into the simulation
+/// stats after the builder exits (the builder's MxM work would otherwise
+/// vanish from the dd/cache totals).
+struct BuilderStats {
+  dd::PackageStats dd;
+  dd::CacheStats cache;
+  std::uint64_t blocksBuilt = 0;
+  double buildSeconds = 0.0;
+};
+
+/// Owns the builder thread for one pipelined run (a maximal measurement-
+/// free stretch of unitary operations). The constructor starts the thread;
+/// the destructor stops and joins it, so a BlockBuilder on the stack can
+/// never leak a thread no matter how the consumer unwinds.
+class BlockBuilder {
+ public:
+  /// \p run must stay alive and unchanged until finish()/destruction.
+  /// \p externalAbort is polled from the builder thread (through the
+  /// builder package's abort check), so it must be thread-safe — an atomic
+  /// flag or a monotonic-clock comparison, like the cancellation hooks the
+  /// serving layer installs.
+  BlockBuilder(const std::vector<const ir::Operation*>& run,
+               std::size_t numQubits, const StrategyConfig& config,
+               std::size_t initialStateNodes, dd::FaultInjector* faultInjector,
+               std::function<bool()> externalAbort);
+  ~BlockBuilder();
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Consumer: fetch the next block (see BlockQueue::popFor).
+  BlockQueue::PopStatus next(PipelineBlock& out,
+                             std::chrono::milliseconds timeout);
+  /// Consumer: report the state DD size after applying a block, in block
+  /// order. Feeds the Adaptive schedule's boundary decisions; harmless (and
+  /// skippable) for the other schedules.
+  void onBlockApplied(std::size_t stateNodes);
+  /// Stop the builder and join its thread (idempotent; also run by the
+  /// destructor). Queued-but-unapplied blocks are discarded.
+  void finish();
+
+  /// The following accessors are valid once popFor returned Drained or
+  /// finish() was called.
+  [[nodiscard]] bool bowedOut() const noexcept { return bowedOut_; }
+  /// First run index *not* covered by a pushed block — where the serial
+  /// fallback resumes after a bow-out.
+  [[nodiscard]] std::size_t resumeIndex() const noexcept {
+    return resumeIndex_;
+  }
+  /// Unexpected builder-thread exception (not ResourceExhausted /
+  /// ComputationAborted, which bow out instead); rethrow in the consumer.
+  [[nodiscard]] std::exception_ptr failure() const noexcept {
+    return failure_;
+  }
+  [[nodiscard]] const BuilderStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t queueDepth() const { return queue_.depth(); }
+
+ private:
+  void threadMain();
+  void buildLoop(dd::Package& pkg);
+  /// Adaptive feedback: state size after block \p blockIndex - 1 (the
+  /// initial state size for block 0). False if stopped before it arrived.
+  bool waitStateFeedback(std::uint64_t blockIndex, std::size_t& nodes);
+  [[nodiscard]] bool stopRequested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  const std::vector<const ir::Operation*>& run_;
+  std::size_t numQubits_;
+  StrategyConfig config_;
+  std::size_t initialStateNodes_;
+  dd::FaultInjector* injector_;
+  std::function<bool()> externalAbort_;
+
+  BlockQueue queue_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex fbMutex_;
+  std::condition_variable fbCv_;
+  std::vector<std::size_t> fbSizes_;
+
+  // Written by the builder thread before it closes the queue (or before
+  // join); read by the consumer after Drained/finish(). The queue mutex
+  // (respectively the join) orders these accesses.
+  bool bowedOut_ = false;
+  std::size_t resumeIndex_ = 0;
+  std::exception_ptr failure_;
+  BuilderStats stats_;
+
+  std::thread thread_;
+  bool joined_ = false;
+};
+
+}  // namespace ddsim::sim

@@ -6,14 +6,75 @@
 #include <stdexcept>
 
 #include "dd/approximation.hpp"
+#include "dd/migration.hpp"
+#include "ir/hash.hpp"
 #include "obs/trace.hpp"
 #include "sim/build_dd.hpp"
+#include "sim/pipeline.hpp"
 
 namespace ddsim::sim {
 
 using dd::MEdge;
 using dd::VEdge;
 using ir::OpKind;
+
+namespace {
+
+/// Shorter runs are not worth a builder thread + private package.
+constexpr std::size_t kMinPipelineRun = 8;
+
+/// True if the operation tree contains only Standard/Oracle gates (possibly
+/// nested in compounds) — i.e. it can be flattened into a pipelineable gate
+/// stream with no measurement, reset or classical control inside.
+bool isPureUnitaryTree(const ir::Operation& op) {
+  switch (op.kind()) {
+    case OpKind::Standard:
+    case OpKind::Oracle:
+      return true;
+    case OpKind::Compound: {
+      const auto& c = static_cast<const ir::CompoundOperation&>(op);
+      for (const auto& inner : c.body()) {
+        if (!isPureUnitaryTree(*inner)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Flatten a pure-unitary operation tree into the gate order the serial
+/// engine would stream it in (compound bodies repeated in place).
+void appendFlattened(const ir::Operation& op,
+                     std::vector<const ir::Operation*>& out) {
+  if (op.kind() == OpKind::Compound) {
+    const auto& c = static_cast<const ir::CompoundOperation&>(op);
+    for (std::size_t rep = 0; rep < c.repetitions(); ++rep) {
+      for (const auto& inner : c.body()) {
+        appendFlattened(*inner, out);
+      }
+    }
+    return;
+  }
+  out.push_back(&op);
+}
+
+/// Cache key of a DD-repeating block: the block's *body* content (not its
+/// repetition count — a block repeated 5x and 50x is the same matrix) mixed
+/// with the qubit count the matrix is built over.
+std::uint64_t blockCacheKey(const ir::CompoundOperation& comp,
+                            std::size_t numQubits) {
+  std::uint64_t key = ir::hashCombine(ir::kHashSeed, 0x424c4b43ULL);  // "BLKC"
+  key = ir::hashCombine(key, numQubits);
+  for (const auto& op : comp.body()) {
+    key = ir::contentHash(key, *op);
+  }
+  return key;
+}
+
+}  // namespace
 
 CircuitSimulator::CircuitSimulator(const ir::Circuit& circuit,
                                    StrategyConfig config, std::uint64_t seed)
@@ -65,7 +126,7 @@ SimulationResult CircuitSimulator::run() {
   lastStateSize_ = pkg_->size(state_);
 
   try {
-    processOps(circuit_.ops());
+    processCircuit();
     flush();
   } catch (const dd::ComputationAborted&) {
     // Disambiguate who tripped the shared abort poll: an active
@@ -96,50 +157,222 @@ void CircuitSimulator::recordStep(StepKind kind, std::size_t matrixNodes,
       {trace_.steps.size(), kind, lastStateSize_, matrixNodes, seconds});
 }
 
+void CircuitSimulator::processCircuit() {
+  if (!config_.pipeline || config_.schedule == Schedule::Sequential) {
+    processOps(circuit_.ops());
+    return;
+  }
+  const auto& ops = circuit_.ops();
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (!pipelineDisabled_ && sequentialCooldown_ == 0) {
+      std::vector<const ir::Operation*> run;
+      const std::size_t end = collectRun(ops, i, run);
+      if (run.size() >= kMinPipelineRun) {
+        runPipelined(run);
+        i = end;
+        continue;
+      }
+      if (end > i) {
+        // A run too short to pay for a builder thread: serial path.
+        for (std::size_t j = i; j < end; ++j) {
+          processOp(*ops[j]);
+        }
+        i = end;
+        continue;
+      }
+    }
+    processOp(*ops[i]);
+    ++i;
+  }
+}
+
 void CircuitSimulator::processOps(
     const std::vector<std::unique_ptr<ir::Operation>>& ops) {
   for (const auto& op : ops) {
-    switch (op->kind()) {
+    processOp(*op);
+  }
+}
+
+void CircuitSimulator::processOp(const ir::Operation& op) {
+  switch (op.kind()) {
+    case OpKind::Standard:
+    case OpKind::Oracle:
+      handleUnitary(op);
+      break;
+    case OpKind::ClassicControlled: {
+      const auto& c = static_cast<const ir::ClassicControlledOperation&>(op);
+      // Any measurement defining this bit flushed the pipeline, so the
+      // classical value is final by the time we get here.
+      if (clbits_[c.clbit()] == c.expectedValue()) {
+        handleUnitary(c.op());
+      }
+      break;
+    }
+    case OpKind::Measure: {
+      flush();
+      const auto& m = static_cast<const ir::MeasureOperation&>(op);
+      const obs::ScopedSpan span("sim.measure", obs::cat::kSim);
+      const Timer t;
+      clbits_[m.clbit()] =
+          pkg_->measureOneCollapsing(state_, m.qubit(), rng_) != 0;
+      lastStateSize_ = pkg_->size(state_);
+      recordStep(StepKind::Measure, 0, t.seconds());
+      afterStep();
+      break;
+    }
+    case OpKind::Reset: {
+      flush();
+      const auto& r = static_cast<const ir::ResetOperation&>(op);
+      if (pkg_->measureOneCollapsing(state_, r.qubit(), rng_) != 0) {
+        applyToState(pkg_->makeGateDD(ir::gateMatrix(ir::GateType::X), r.qubit()));
+      }
+      afterStep();
+      break;
+    }
+    case OpKind::Barrier:
+      flush();
+      break;
+    case OpKind::Compound:
+      handleCompound(static_cast<const ir::CompoundOperation&>(op));
+      break;
+  }
+}
+
+std::size_t CircuitSimulator::collectRun(
+    const std::vector<std::unique_ptr<ir::Operation>>& ops, std::size_t begin,
+    std::vector<const ir::Operation*>& out) {
+  std::size_t i = begin;
+  for (; i < ops.size(); ++i) {
+    const ir::Operation& op = *ops[i];
+    switch (op.kind()) {
       case OpKind::Standard:
       case OpKind::Oracle:
-        handleUnitary(*op);
+        out.push_back(&op);
         break;
       case OpKind::ClassicControlled: {
-        const auto& c = static_cast<const ir::ClassicControlledOperation&>(*op);
-        // Any measurement defining this bit flushed the pipeline, so the
-        // classical value is final by the time we get here.
+        // Resolvable at collection time: every operation before `begin` has
+        // executed, and runs never span measurements, so the controlling
+        // bit cannot change while this run is in flight.
+        const auto& c = static_cast<const ir::ClassicControlledOperation&>(op);
         if (clbits_[c.clbit()] == c.expectedValue()) {
-          handleUnitary(c.op());
+          out.push_back(&c.op());
         }
         break;
       }
-      case OpKind::Measure: {
-        flush();
-        const auto& m = static_cast<const ir::MeasureOperation&>(*op);
-        const obs::ScopedSpan span("sim.measure", obs::cat::kSim);
-        const Timer t;
-        clbits_[m.clbit()] =
-            pkg_->measureOneCollapsing(state_, m.qubit(), rng_) != 0;
-        lastStateSize_ = pkg_->size(state_);
-        recordStep(StepKind::Measure, 0, t.seconds());
-        afterStep();
-        break;
-      }
-      case OpKind::Reset: {
-        flush();
-        const auto& r = static_cast<const ir::ResetOperation&>(*op);
-        if (pkg_->measureOneCollapsing(state_, r.qubit(), rng_) != 0) {
-          applyToState(pkg_->makeGateDD(ir::gateMatrix(ir::GateType::X), r.qubit()));
-        }
-        afterStep();
-        break;
-      }
-      case OpKind::Barrier:
-        flush();
-        break;
       case OpKind::Compound:
-        handleCompound(static_cast<const ir::CompoundOperation&>(*op));
+        // DD-repeating blocks keep their own (cacheable) build-once path;
+        // impure bodies contain flush points. Both end the run.
+        if (config_.reuseRepeatedBlocks || !isPureUnitaryTree(op)) {
+          return i;
+        }
+        appendFlattened(op, out);
         break;
+      default:
+        return i;  // Measure / Reset / Barrier
+    }
+  }
+  return i;
+}
+
+void CircuitSimulator::runPipelined(
+    const std::vector<const ir::Operation*>& run) {
+  // Runs start at a flush boundary by construction (the preceding operation
+  // either flushed or does not exist); keep the invariant explicit.
+  flush();
+  obs::traceInstant("sim.pipeline.start", obs::cat::kSim, run.size());
+  BlockBuilder builder(
+      run, circuit_.numQubits(), config_, lastStateSize_, builderInjector_,
+      [this] {
+        return (cancelCheck_ && cancelCheck_()) ||
+               (config_.timeLimitSeconds > 0.0 &&
+                runTimer_.seconds() > config_.timeLimitSeconds);
+      });
+  bool pressureBreak = false;
+  std::size_t next = 0;  // first run index not yet covered by an applied block
+  std::uint64_t blockIndex = 0;
+  while (true) {
+    PipelineBlock blk;
+    const auto status = builder.next(blk, std::chrono::milliseconds(20));
+    if (status == BlockQueue::PopStatus::TimedOut) {
+      // Builder-bound: keep honouring cancellation and the time limit
+      // while we wait (afterStep throws if either tripped).
+      ++stats_.pipelineStalls;
+      afterStep();
+      continue;
+    }
+    if (status == BlockQueue::PopStatus::Drained) {
+      break;
+    }
+    obs::traceInstant("sim.pipeline.queue-depth", obs::cat::kSim,
+                      builder.queueDepth());
+    MEdge m{};
+    {
+      const obs::ScopedSpan span("sim.pipeline.import", obs::cat::kSim,
+                                 blockIndex);
+      try {
+        m = dd::importDD(*pkg_, blk.block);
+      } catch (const dd::ResourceExhausted&) {
+        obs::traceInstant("sim.rung.collect-retry", obs::cat::kSim);
+        pkg_->emergencyCollect();
+        ++stats_.degradationEvents;
+        m = dd::importDD(*pkg_, blk.block);
+        ++stats_.resourceRecoveries;
+      }
+    }
+    stats_.migratedNodes += blk.block.nodeCount();
+    stats_.mxmCount += blk.mxmCount;
+    stats_.builderBuildSeconds += blk.buildSeconds;
+    stats_.peakMatrixNodes =
+        std::max(stats_.peakMatrixNodes, blk.builderNodes);
+    recordStep(StepKind::CombineMatrix, blk.builderNodes, blk.buildSeconds);
+    pkg_->incRef(m);
+    try {
+      applyToState(m);
+    } catch (...) {
+      pkg_->decRef(m);
+      throw;
+    }
+    pkg_->decRef(m);
+    stats_.appliedGates += blk.gateCount;
+    ++stats_.pipelinedBlocks;
+    next = blk.firstOp + blk.opCount;
+    ++blockIndex;
+    builder.onBlockApplied(lastStateSize_);
+    afterStep();
+    if (pressureObserved()) {
+      // Degradation rung: the *main* package is under pressure. Stop the
+      // builder (discarding prebuilt blocks), and fall back to the serial
+      // path — which has the whole ladder — for the rest of the run.
+      obs::traceInstant("sim.rung.pipeline-drain", obs::cat::kSim);
+      pressureBreak = true;
+      break;
+    }
+  }
+  builder.finish();
+  if (const std::exception_ptr f = builder.failure()) {
+    std::rethrow_exception(f);
+  }
+  std::size_t resume = run.size();
+  bool degrade = false;
+  if (pressureBreak) {
+    degrade = true;
+    resume = next;
+  } else if (builder.bowedOut()) {
+    // The builder's private package could not afford a block (or an abort
+    // poll fired in it). Anything it did hand over has been applied;
+    // continue serially from the first uncovered operation.
+    obs::traceInstant("sim.rung.pipeline-bow-out", obs::cat::kSim);
+    ++stats_.pipelineBowOuts;
+    degrade = true;
+    resume = builder.resumeIndex();
+  }
+  if (degrade) {
+    ++stats_.degradationEvents;
+    pipelineDisabled_ = true;
+    enterCooldown();
+    for (std::size_t j = resume; j < run.size(); ++j) {
+      handleUnitary(*run[j]);
     }
   }
 }
@@ -162,19 +395,44 @@ void CircuitSimulator::handleCompound(const ir::CompoundOperation& comp) {
   // matrix-matrix multiplication is needed (paper Section IV-B).
   flush();
   MEdge block{};
-  try {
-    block = buildBlockDD(comp.body());
-  } catch (const dd::ResourceExhausted&) {
-    // The block matrix does not fit the budget. Reclaim and degrade
-    // DD-repeating to plain repetition: stream the block's gates through
-    // the normal combining logic instead.
-    pkg_->emergencyCollect();
-    ++stats_.degradationEvents;
-    ++stats_.resourceRecoveries;
-    for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
-      processOps(comp.body());
+  bool imported = false;
+  std::uint64_t cacheKey = 0;
+  if (blockCache_) {
+    // Shared block cache: another simulation may already have built this
+    // block matrix — import its flat form instead of rebuilding.
+    cacheKey = blockCacheKey(comp, circuit_.numQubits());
+    if (const auto flat = blockCache_->lookup(cacheKey)) {
+      try {
+        block = dd::importDD(*pkg_, *flat);
+        stats_.migratedNodes += flat->nodeCount();
+        imported = true;
+      } catch (const dd::ResourceExhausted&) {
+        // Cannot afford the import right now; reclaim and fall through to
+        // the regular build, which has its own degradation path.
+        pkg_->emergencyCollect();
+        ++stats_.degradationEvents;
+      }
     }
-    return;
+  }
+  if (!imported) {
+    try {
+      block = buildBlockDD(comp.body());
+    } catch (const dd::ResourceExhausted&) {
+      // The block matrix does not fit the budget. Reclaim and degrade
+      // DD-repeating to plain repetition: stream the block's gates through
+      // the normal combining logic instead.
+      pkg_->emergencyCollect();
+      ++stats_.degradationEvents;
+      ++stats_.resourceRecoveries;
+      for (std::size_t rep = 0; rep < comp.repetitions(); ++rep) {
+        processOps(comp.body());
+      }
+      return;
+    }
+    if (blockCache_) {
+      blockCache_->insert(cacheKey, std::make_shared<dd::FlatMatrixDD>(
+                                        dd::exportDD(*pkg_, block)));
+    }
   }
   pkg_->incRef(block);
   stats_.peakMatrixNodes = std::max(stats_.peakMatrixNodes, pkg_->size(block));

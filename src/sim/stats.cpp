@@ -41,6 +41,10 @@ void StrategyConfig::validate() const {
     throw std::invalid_argument(
         "StrategyConfig: softBudgetFraction must be in (0, 1]");
   }
+  if (pipelineDepth < 1 || pipelineDepth > 1024) {
+    throw std::invalid_argument(
+        "StrategyConfig: pipelineDepth must be in [1, 1024]");
+  }
 }
 
 std::uint64_t StrategyConfig::contentHash() const noexcept {
@@ -55,6 +59,9 @@ std::uint64_t StrategyConfig::contentHash() const noexcept {
   // collectTrace is deliberately excluded: it only toggles step-trace
   // recording and never changes the simulation outcome, so trace-on and
   // trace-off submissions must coalesce to the same cache entry.
+  // pipeline / pipelineDepth are likewise excluded: the pipelined engine is
+  // required to produce bit-identical measurement outcomes for the same
+  // seed, so pipelined and serial submissions must share a cache entry.
   h = hashDouble(h, timeLimitSeconds);
   h = hashDouble(h, approximateFidelity);
   h = hashCombine(h, approximateThreshold);
@@ -77,6 +84,9 @@ std::string StrategyConfig::toString() const {
   }
   if (reuseRepeatedBlocks) {
     ss << "+DD-repeating";
+  }
+  if (pipeline) {
+    ss << "+pipeline(depth=" << pipelineDepth << ")";
   }
   if (nodeBudget > 0 || byteBudget > 0) {
     ss << "+budget(nodes=" << nodeBudget << ",bytes=" << byteBudget << ")";
@@ -105,6 +115,13 @@ std::string SimulationStats::toString() const {
      << " identitySkipRate=" << dd.identitySkipRate()
      << " mulCacheHitRate=" << cache.mulHitRate()
      << " gcRetentionRate=" << cache.gcRetentionRate();
+  if (pipelinedBlocks > 0 || pipelineBowOuts > 0) {
+    ss << " pipelinedBlocks=" << pipelinedBlocks
+       << " pipelineStalls=" << pipelineStalls
+       << " pipelineBowOuts=" << pipelineBowOuts
+       << " migratedNodes=" << migratedNodes
+       << " builderBuildSeconds=" << builderBuildSeconds;
+  }
   if (degradationEvents > 0) {
     ss << " degradationEvents=" << degradationEvents
        << " pressureFlushes=" << pressureFlushes

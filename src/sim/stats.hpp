@@ -76,6 +76,19 @@ struct StrategyConfig {
   /// After a pressure event the simulator stays in sequential (MxV-only)
   /// mode for this many operations before re-enabling combination.
   std::size_t degradeCooldownOps = 16;
+  /// Pipelined block building: a dedicated builder thread combines the
+  /// *next* block of gates (per the configured schedule) in its own private
+  /// dd::Package while the main thread applies the *previous* block to the
+  /// state, handing blocks over through a bounded queue via cross-package DD
+  /// migration (dd/migration.hpp). Deterministic: measurement outcomes are
+  /// bit-identical to the serial path for the same seed. No effect under
+  /// Schedule::Sequential (there is nothing to combine ahead).
+  bool pipeline = false;
+  /// Capacity of the builder-to-main handoff queue (how many blocks the
+  /// builder may run ahead). Also the feedback lag of the Adaptive schedule
+  /// under pipelining: block i is sized against the state size after block
+  /// i - pipelineDepth. In [1, 1024].
+  std::size_t pipelineDepth = 2;
 
   [[nodiscard]] static StrategyConfig sequential() { return {}; }
   [[nodiscard]] static StrategyConfig kOperations(std::size_t k) {
@@ -170,6 +183,21 @@ struct SimulationStats {
   /// Hard-rung ResourceExhausted throws the ladder absorbed (emergency
   /// collection + retry succeeded).
   std::uint64_t resourceRecoveries = 0;
+  /// Blocks built by the pipeline's builder thread and applied to the state.
+  std::uint64_t pipelinedBlocks = 0;
+  /// Times the main thread waited on an empty handoff queue (the builder
+  /// was the bottleneck at that moment).
+  std::uint64_t pipelineStalls = 0;
+  /// Times the builder thread bowed out (resource pressure / failure in its
+  /// private package) and the run continued on the serial path.
+  std::uint64_t pipelineBowOuts = 0;
+  /// DD nodes rebuilt in the main package by cross-package imports
+  /// (pipeline handoffs and shared-block-cache hits).
+  std::uint64_t migratedNodes = 0;
+  /// Wall time the builder thread spent constructing blocks — time the
+  /// serial path would have added to the critical path. The overlap
+  /// potential of a run is builderBuildSeconds / wallSeconds.
+  double builderBuildSeconds = 0.0;
   /// Snapshot of the DD package counters at the end of the run.
   dd::PackageStats dd;
   /// Snapshot of the memoization-layer counters at the end of the run

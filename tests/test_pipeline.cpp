@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "algo/grover.hpp"
+#include "algo/qft.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::sim {
+namespace {
+
+/// A measured circuit that exercises long unitary runs, mid-circuit
+/// measurement, and classically controlled gates.
+ir::Circuit measuredCircuit(std::uint64_t seed) {
+  ir::Circuit circuit = test::randomCircuit(5, 60, seed);
+  ir::Circuit full(5, 5, "measured_" + std::to_string(seed));
+  full.appendCircuit(circuit);
+  full.measure(0, 0);
+  full.classicControlled(ir::GateType::X, 2, {}, {}, 0, true);
+  full.appendCircuit(test::randomCircuit(5, 40, seed + 1));
+  full.measureAll();
+  return full;
+}
+
+StrategyConfig withPipeline(StrategyConfig config, std::size_t depth = 2) {
+  config.pipeline = true;
+  config.pipelineDepth = depth;
+  return config;
+}
+
+std::vector<StrategyConfig> combiningSchedules() {
+  return {StrategyConfig::kOperations(4), StrategyConfig::kOperations(16),
+          StrategyConfig::maxSizeStrategy(64),
+          StrategyConfig::maxSizeStrategy(1024),
+          StrategyConfig::adaptive(0.25), StrategyConfig::adaptive(1.0)};
+}
+
+TEST(Pipeline, MatchesSerialSeedForSeedAcrossSchedules) {
+  for (const std::uint64_t seed : {1ULL, 42ULL}) {
+    const auto circuit = measuredCircuit(seed);
+    for (const StrategyConfig& serial : combiningSchedules()) {
+      const auto serialResult = simulate(circuit, serial, seed);
+      const auto piped = simulate(circuit, withPipeline(serial), seed);
+      EXPECT_EQ(piped.classicalBits, serialResult.classicalBits)
+          << serial.toString() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Pipeline, MatchesSerialAmplitudes) {
+  // Measurement-free circuit: compare the full state, not just outcomes.
+  const auto circuit = test::randomCircuit(6, 80, 9);
+  for (const StrategyConfig& serial : combiningSchedules()) {
+    CircuitSimulator serialSim(circuit, serial);
+    const auto serialState =
+        serialSim.package().getVector(serialSim.run().finalState);
+
+    CircuitSimulator pipedSim(circuit, withPipeline(serial));
+    const auto pipedResult = pipedSim.run();
+    const auto pipedState = pipedSim.package().getVector(pipedResult.finalState);
+
+    // Identical block boundaries mean identical multiplication groupings;
+    // only complex-table tolerance snapping (<= 1e-13 per weight) may
+    // differ between the packages.
+    test::expectAmplitudesNear(pipedState, serialState, 1e-12);
+    EXPECT_GT(pipedResult.stats.pipelinedBlocks, 0U) << serial.toString();
+    EXPECT_EQ(pipedResult.stats.pipelineBowOuts, 0U);
+  }
+}
+
+TEST(Pipeline, GroverMatchesSerial) {
+  const auto circuit =
+      algo::makeGroverCircuit(7, 0x2a, {.iterations = 4, .measure = true});
+  const StrategyConfig serial = StrategyConfig::kOperations(8);
+  for (const std::uint64_t seed : {3ULL, 1234ULL}) {
+    const auto serialResult = simulate(circuit, serial, seed);
+    const auto piped = simulate(circuit, withPipeline(serial, 4), seed);
+    EXPECT_EQ(piped.classicalBits, serialResult.classicalBits);
+    EXPECT_GT(piped.stats.pipelinedBlocks, 0U);
+  }
+}
+
+TEST(Pipeline, SequentialScheduleIgnoresPipelineFlag) {
+  const auto circuit = test::randomCircuit(5, 40, 2);
+  auto config = withPipeline(StrategyConfig::sequential());
+  const auto result = simulate(circuit, config, 7);
+  EXPECT_EQ(result.stats.pipelinedBlocks, 0U);
+}
+
+TEST(Pipeline, StatsAccountBuilderWork) {
+  const auto circuit = test::randomCircuit(6, 120, 13);
+  const auto config = withPipeline(StrategyConfig::kOperations(8));
+  const auto result = simulate(circuit, config, 1);
+  EXPECT_GT(result.stats.pipelinedBlocks, 0U);
+  EXPECT_GT(result.stats.migratedNodes, 0U);
+  EXPECT_GT(result.stats.mxmCount, 0U);
+  EXPECT_GE(result.stats.builderBuildSeconds, 0.0);
+}
+
+TEST(Pipeline, CancellationDrainsCleanly) {
+  const auto circuit = test::randomCircuit(8, 400, 5);
+  CircuitSimulator sim(circuit, withPipeline(StrategyConfig::kOperations(4)));
+  // Thread-safe hook (also polled by the builder thread): cancel after a
+  // handful of polls.
+  auto polls = std::make_shared<std::atomic<std::uint64_t>>(0);
+  sim.setCancelCheck([polls] { return polls->fetch_add(1) > 64; });
+  try {
+    (void)sim.run();
+    FAIL() << "expected SimulationCancelled";
+  } catch (const SimulationCancelled& e) {
+    EXPECT_GE(e.partial().elapsedSeconds, 0.0);
+  }
+  // If the builder thread leaked, the simulator's destructor (and TSan)
+  // would catch it after this scope.
+}
+
+TEST(Pipeline, TimeoutDrainsCleanly) {
+  // Big enough that the time limit trips mid-run.
+  const auto circuit = test::randomCircuit(10, 2000, 8);
+  auto config = withPipeline(StrategyConfig::maxSizeStrategy(4096));
+  config.timeLimitSeconds = 0.05;
+  CircuitSimulator sim(circuit, config);
+  try {
+    (void)sim.run();
+    // Fast machines may legitimately finish; nothing to assert then.
+  } catch (const SimulationTimeout& e) {
+    EXPECT_GE(e.partial().elapsedSeconds, 0.0);
+    EXPECT_EQ(e.limitSeconds(), 0.05);
+  }
+}
+
+TEST(Pipeline, BuilderFaultInjectionBowsOutAndFallsBack) {
+  const auto circuit = test::randomCircuit(6, 100, 21);
+  const StrategyConfig serial = StrategyConfig::kOperations(4);
+  const auto serialResult = simulate(circuit, serial, 11);
+
+  dd::FaultInjector injector;
+  injector.configure({.failAllocationAfter = 200});
+  CircuitSimulator sim(circuit, withPipeline(serial), 11);
+  sim.setBuilderFaultInjector(&injector);
+  const auto result = sim.run();
+  // The builder bowed out (its package hits the injected allocation
+  // failure) and the run completed serially with identical results.
+  EXPECT_GE(result.stats.pipelineBowOuts, 1U);
+  EXPECT_GT(injector.injectedAllocFailures(), 0U);
+  EXPECT_EQ(result.classicalBits, serialResult.classicalBits);
+}
+
+TEST(Pipeline, MainPackagePressureFallsBackWithoutFailing) {
+  const auto circuit = test::randomCircuit(8, 300, 4);
+  auto config = withPipeline(StrategyConfig::maxSizeStrategy(4096));
+  config.nodeBudget = 4000;
+  try {
+    const auto result = simulate(circuit, config, 2);
+    // Degraded but completed: the drain rung must have fired at most once
+    // and the pipeline stayed off afterwards.
+    EXPECT_GE(result.stats.degradationEvents, 0U);
+  } catch (const ResourceExhausted& e) {
+    // Acceptable under a tight budget — but it must carry progress and not
+    // leak the builder.
+    EXPECT_GE(e.partial().elapsedSeconds, 0.0);
+  }
+}
+
+TEST(Pipeline, ContentHashIgnoresPipelineKnobs) {
+  // Pipelining must not change the serve-layer cache key: pipelined and
+  // serial runs produce identical outcomes, so they must coalesce (same
+  // guarantee collectTrace has).
+  const StrategyConfig serial = StrategyConfig::kOperations(4);
+  EXPECT_EQ(serial.contentHash(), withPipeline(serial).contentHash());
+  EXPECT_EQ(withPipeline(serial, 2).contentHash(),
+            withPipeline(serial, 8).contentHash());
+  // ... while outcome-relevant knobs still change it.
+  EXPECT_NE(serial.contentHash(), StrategyConfig::kOperations(5).contentHash());
+}
+
+TEST(Pipeline, ValidateRejectsBadDepth) {
+  auto config = withPipeline(StrategyConfig::kOperations(4), 0);
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.pipelineDepth = 1025;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.pipelineDepth = 1;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_NE(config.toString().find("+pipeline(depth=1)"), std::string::npos);
+}
+
+/// Toy SharedBlockCache: enough to prove the simulator's lookup/insert
+/// protocol; the production LRU lives in serve/.
+class MapBlockCache final : public SharedBlockCache {
+ public:
+  std::shared_ptr<const dd::FlatMatrixDD> lookup(std::uint64_t key) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      return nullptr;
+    }
+    ++hits_;
+    return it->second;
+  }
+  void insert(std::uint64_t key,
+              std::shared_ptr<const dd::FlatMatrixDD> block) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_[key] = std::move(block);
+  }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const dd::FlatMatrixDD>>
+      map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+TEST(Pipeline, SharedBlockCacheReusesPrebuiltBlocks) {
+  // A DD-repeating circuit: the Grover iteration body is the cacheable unit.
+  ir::Circuit circuit(5, 5, "grover_repeating");
+  circuit.h(0); circuit.h(1); circuit.h(2); circuit.h(3); circuit.h(4);
+  circuit.appendRepeated(algo::makeGroverIteration(5, 7), 4,
+                         "grover-iteration");
+  circuit.measureAll();
+
+  StrategyConfig config = StrategyConfig::kOperations(4);
+  config.reuseRepeatedBlocks = true;
+
+  const auto uncached = simulate(circuit, config, 99);
+
+  const auto cache = std::make_shared<MapBlockCache>();
+  CircuitSimulator first(circuit, config, 99);
+  first.setSharedBlockCache(cache);
+  const auto firstResult = first.run();
+  EXPECT_EQ(cache->hits(), 0U);  // built and published
+  EXPECT_EQ(firstResult.classicalBits, uncached.classicalBits);
+
+  CircuitSimulator second(circuit, config, 99);
+  second.setSharedBlockCache(cache);
+  const auto secondResult = second.run();
+  EXPECT_GT(cache->hits(), 0U);  // imported instead of rebuilt
+  EXPECT_GT(secondResult.stats.migratedNodes, 0U);
+  EXPECT_EQ(secondResult.classicalBits, uncached.classicalBits);
+}
+
+}  // namespace
+}  // namespace ddsim::sim

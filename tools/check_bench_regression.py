@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json artifacts.
+
+Compares a freshly produced bench JSON against a committed baseline
+(benchmarks/baselines/). Raw wall-clock is machine-dependent, so the gate
+is *ratio-based*: for every configuration row `<instance>/<config>` the
+speedup relative to that instance's `<instance>/sequential` row is computed
+within the same file, and the gate fails when the current speedup falls
+more than --threshold (default 15%) below the baseline's speedup for the
+same row.
+
+Rows are skipped (never failed) when:
+  * either run timed out (`timed_out` / `partial_result`) — timeouts are
+    capacity signals, not regressions measurable by ratio;
+  * the sequential reference or the row itself ran under --min-ms in either
+    file — sub-50ms cells are noise-dominated;
+  * the row only exists on one side (new configurations are allowed).
+
+Exit code 0 = no regression, 1 = at least one regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in data.get("results", []):
+        rows[row["name"]] = row
+    if not rows:
+        print(f"error: {path} has no results", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def sequential_name(name):
+    instance = name.split("/", 1)[0]
+    return f"{instance}/sequential"
+
+
+def usable(row, min_ms):
+    return (
+        row is not None
+        and not row.get("timed_out", False)
+        and not row.get("partial_result", False)
+        and row.get("wall_ms", 0.0) >= min_ms
+    )
+
+
+def speedup(rows, name, min_ms):
+    """Speedup of row `name` vs its instance's sequential row, or None when
+    either side is missing/timed-out/too-fast-to-measure."""
+    row = rows.get(name)
+    seq = rows.get(sequential_name(name))
+    if not usable(row, min_ms) or not usable(seq, min_ms):
+        return None
+    return seq["wall_ms"] / row["wall_ms"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum allowed relative speedup drop (default 0.15)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=50.0,
+        help="skip rows whose wall time is below this in either file",
+    )
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    curr = load_rows(args.current)
+
+    regressions = []
+    checked = 0
+    for name in sorted(base):
+        if name.endswith("/sequential"):
+            continue
+        base_speedup = speedup(base, name, args.min_ms)
+        curr_speedup = speedup(curr, name, args.min_ms)
+        if base_speedup is None or curr_speedup is None:
+            continue
+        checked += 1
+        floor = base_speedup * (1.0 - args.threshold)
+        status = "ok"
+        if curr_speedup < floor:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(
+            f"{status:>10}  {name:<40} baseline {base_speedup:6.2f}x"
+            f"  current {curr_speedup:6.2f}x  (floor {floor:.2f}x)"
+        )
+
+    print(f"\nchecked {checked} rows, {len(regressions)} regression(s)")
+    if regressions:
+        for name in regressions:
+            print(f"  regressed: {name}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print(
+            "warning: no comparable rows (all skipped) — treating as pass",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
