@@ -22,6 +22,10 @@ int main() {
   // on its own thread (PR 5). Kept to the mid-range k values where the
   // MxM accumulation is substantial enough to overlap.
   const std::vector<std::size_t> pipedKs = {8, 32};
+  // Parallel-kernel variants: same schedule with two kernel workers inside
+  // the main package (task-parallel multiply/add recursion). Measurement
+  // outcomes stay identical to serial; only wall time changes.
+  const std::vector<std::size_t> parKs = {8, 32};
   const auto instances = bench::figureBenchmarks();
 
   std::printf("Fig. 8 — speed-up of strategy k-operations vs. sequential DD "
@@ -34,6 +38,9 @@ int main() {
   for (const std::size_t k : pipedKs) {
     std::printf("  k=%zu+p ", k);
   }
+  for (const std::size_t k : parKs) {
+    std::printf("  k=%zu+t ", k);
+  }
   std::printf("\n");
   bench::printRule();
 
@@ -44,6 +51,7 @@ int main() {
 
   std::vector<double> sums(ks.size(), 0.0);
   std::vector<double> pipedSums(pipedKs.size(), 0.0);
+  std::vector<double> parSums(parKs.size(), 0.0);
   std::vector<bench::BenchRecord> records;
   for (const auto& inst : instances) {
     const ir::Circuit circuit = inst.make();
@@ -83,6 +91,21 @@ int main() {
         std::printf("  %7.2f", speedup);
       }
     }
+    for (std::size_t i = 0; i < parKs.size(); ++i) {
+      sim::StrategyConfig config = sim::StrategyConfig::kOperations(parKs[i]);
+      config.threads = 2;
+      sim::SimulationStats s;
+      const double t = bench::timedRun(circuit, config, cap, &s);
+      records.push_back(bench::makeRecord(
+          inst.name + "/k=" + std::to_string(parKs[i]) + "+par", t, s));
+      if (std::isinf(t)) {
+        std::printf("  %7s", "t/o");
+      } else {
+        const double speedup = tSeq / t;
+        parSums[i] += speedup;
+        std::printf("  %7.2f", speedup);
+      }
+    }
     std::printf("\n");
     std::fflush(stdout);
   }
@@ -96,6 +119,10 @@ int main() {
   for (std::size_t i = 0; i < pipedKs.size(); ++i) {
     std::printf("  %7.2f",
                 pipedSums[i] / static_cast<double>(instances.size()));
+  }
+  for (std::size_t i = 0; i < parKs.size(); ++i) {
+    std::printf("  %7.2f",
+                parSums[i] / static_cast<double>(instances.size()));
   }
   std::printf("\n");
   return 0;

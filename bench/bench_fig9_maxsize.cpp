@@ -20,6 +20,8 @@ int main() {
   // Pipelined variants (PR 5): builder thread accumulates the next block
   // while the main thread applies the previous one.
   const std::vector<std::size_t> pipedSizes = {256, 1024};
+  // Parallel-kernel variants: two kernel workers inside the main package.
+  const std::vector<std::size_t> parSizes = {256, 1024};
   const auto instances = bench::figureBenchmarks();
 
   std::printf("Fig. 9 — speed-up of strategy max-size vs. sequential DD "
@@ -32,6 +34,9 @@ int main() {
   for (const std::size_t s : pipedSizes) {
     std::printf(" s=%zu+p ", s);
   }
+  for (const std::size_t s : parSizes) {
+    std::printf(" s=%zu+t ", s);
+  }
   std::printf("\n");
   bench::printRule(100);
 
@@ -39,6 +44,7 @@ int main() {
 
   std::vector<double> sums(sizes.size(), 0.0);
   std::vector<double> pipedSums(pipedSizes.size(), 0.0);
+  std::vector<double> parSums(parSizes.size(), 0.0);
   std::vector<bench::BenchRecord> records;
   for (const auto& inst : instances) {
     const ir::Circuit circuit = inst.make();
@@ -80,6 +86,23 @@ int main() {
         std::printf(" %7.2f", speedup);
       }
     }
+    for (std::size_t i = 0; i < parSizes.size(); ++i) {
+      sim::StrategyConfig config =
+          sim::StrategyConfig::maxSizeStrategy(parSizes[i]);
+      config.threads = 2;
+      sim::SimulationStats s;
+      const double t = bench::timedRun(circuit, config, cap, &s);
+      records.push_back(bench::makeRecord(
+          inst.name + "/s_max=" + std::to_string(parSizes[i]) + "+par", t,
+          s));
+      if (std::isinf(t)) {
+        std::printf(" %7s", "t/o");
+      } else {
+        const double speedup = tSeq / t;
+        parSums[i] += speedup;
+        std::printf(" %7.2f", speedup);
+      }
+    }
     std::printf("\n");
     std::fflush(stdout);
   }
@@ -93,6 +116,10 @@ int main() {
   for (std::size_t i = 0; i < pipedSizes.size(); ++i) {
     std::printf(" %7.2f",
                 pipedSums[i] / static_cast<double>(instances.size()));
+  }
+  for (std::size_t i = 0; i < parSizes.size(); ++i) {
+    std::printf(" %7.2f",
+                parSums[i] / static_cast<double>(instances.size()));
   }
   std::printf("\n");
   return 0;

@@ -7,14 +7,15 @@
 ///
 /// Usage:
 ///   ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] [--cache <n>]
-///               [--block-cache <n>] [--pipeline on|off]
+///               [--block-cache <n>] [--pipeline on|off] [--threads <n>]
 ///               [--out <results.json>] [--stats <stats.json>]
 ///               [--trace-out <trace.json>] [--stats-dump <seconds>]
 ///
 /// --block-cache enables the shared prebuilt-block cache (exported matrix
 /// DDs of DD-repeating blocks, shared across workers via cross-package
 /// migration). --pipeline overrides the manifest's per-job pipeline flag
-/// for every job.
+/// for every job; --threads likewise overrides the per-job kernel worker
+/// count (careful with oversubscription: workers x threads cores in play).
 ///
 /// --trace-out records every package/simulator/serve span of the run and
 /// writes Chrome trace-event JSON (open in Perfetto or chrome://tracing).
@@ -54,11 +55,12 @@ void usage() {
   std::printf(
       "usage: ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] "
       "[--cache <n>] [--block-cache <n>] [--pipeline on|off] "
+      "[--threads <n>] "
       "[--out <results.json>] [--stats <stats.json>] "
       "[--trace-out <trace.json>] [--stats-dump <seconds>]\n\n"
       "manifest lines: <qasm-path> [strategy=seq|k=<n>|maxsize=<n>|"
       "adaptive[=<r>]] [dd-repeating] [pipeline[=on|off]] "
-      "[pipeline-depth=<n>] [detect-repetitions] [seed=<n>] "
+      "[pipeline-depth=<n>] [threads=<n>] [detect-repetitions] [seed=<n>] "
       "[repeat=<n>] [priority=high|normal|low] [deadline=<s>] "
       "[time-limit=<s>] [node-budget=<n>] [label=<text>]\n");
 }
@@ -164,6 +166,8 @@ int main(int argc, char** argv) {
   double statsDumpSeconds = 0.0;
   // Tri-state: unset (follow the manifest), force on, force off.
   std::optional<bool> pipelineOverride;
+  // Unset: follow the manifest's per-job threads= option.
+  std::optional<std::size_t> threadsOverride;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -184,6 +188,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       pipelineOverride = value == "on";
+    } else if (arg == "--threads" && hasValue) {
+      threadsOverride = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--out" && hasValue) {
       outPath = argv[++i];
     } else if (arg == "--stats" && hasValue) {
@@ -273,6 +279,9 @@ int main(int argc, char** argv) {
         spec.config = entry.config;
         if (pipelineOverride) {
           spec.config.pipeline = *pipelineOverride;
+        }
+        if (threadsOverride) {
+          spec.config.threads = *threadsOverride;
         }
         spec.seed = job.seed;
         spec.priority = entry.priority;

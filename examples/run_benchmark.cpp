@@ -8,6 +8,7 @@
 ///                 [--strategy seq|k=<n>|maxsize=<n>|adaptive[=<ratio>]]
 ///                 [--dd-repeating] [--detect-repetitions] [--optimize]
 ///                 [--pipeline [on|off]] [--pipeline-depth <n>]
+///                 [--threads <n>]
 ///                 [--shots <n>]
 ///                 [--trace <file.csv>] [--trace-out <trace.json>]
 ///                 [--seed <n>]
@@ -45,7 +46,7 @@ void usage() {
       "usage: run_benchmark <name|file.qasm> [--strategy "
       "seq|k=<n>|maxsize=<n>|adaptive[=<r>]] [--dd-repeating] "
       "[--detect-repetitions] [--pipeline [on|off]] [--pipeline-depth <n>] "
-      "[--shots <n>] [--trace <csv>] "
+      "[--threads <n>] [--shots <n>] [--trace <csv>] "
       "[--trace-out <json>] [--seed <n>]\n\n"
       "example benchmark names:\n");
   for (const auto& name : ddsim::algo::benchmarkExamples()) {
@@ -88,10 +89,12 @@ int main(int argc, char** argv) {
       const bool reuse = config.reuseRepeatedBlocks;
       const bool pipeline = config.pipeline;
       const std::size_t pipelineDepth = config.pipelineDepth;
+      const std::size_t threads = config.threads;
       config = *parsed;
       config.reuseRepeatedBlocks = reuse;
       config.pipeline = pipeline;
       config.pipelineDepth = pipelineDepth;
+      config.threads = threads;
     } else if (arg == "--dd-repeating") {
       config.reuseRepeatedBlocks = true;
     } else if (arg == "--pipeline") {
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--pipeline-depth" && i + 1 < argc) {
       config.pipelineDepth = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.threads = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--detect-repetitions") {
       detectReps = true;
     } else if (arg == "--optimize") {
@@ -198,10 +203,11 @@ int main(int argc, char** argv) {
   if (result.stats.pipelinedBlocks > 0 || result.stats.pipelineBowOuts > 0) {
     std::printf(
         "pipeline   : %llu blocks, %llu stalls, %llu bow-outs, "
-        "%llu migrated nodes, %.3f s builder time\n",
+        "%llu serial-fallback ops, %llu migrated nodes, %.3f s builder time\n",
         static_cast<unsigned long long>(result.stats.pipelinedBlocks),
         static_cast<unsigned long long>(result.stats.pipelineStalls),
         static_cast<unsigned long long>(result.stats.pipelineBowOuts),
+        static_cast<unsigned long long>(result.stats.serialFallbackOps),
         static_cast<unsigned long long>(result.stats.migratedNodes),
         result.stats.builderBuildSeconds);
   }

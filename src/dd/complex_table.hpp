@@ -17,12 +17,26 @@
 /// live node, pinned as a root weight (incRef/decRef — used by
 /// Package::incRef for the top weight of rooted edges), or equal to the
 /// 0/1 constants survive; everything else is recycled through a free list.
+///
+/// Concurrency: the grid is split into a fixed number of shards (cell key
+/// modulo shard count), each owning its own bucket map and mutex. A lookup
+/// probes the home cell under its shard lock, then each candidate neighbour
+/// cell under *its* shard lock; only on a complete miss does it lock every
+/// involved shard (deduplicated, in index order — no deadlock) and re-probe
+/// before inserting, so two threads racing to canonicalize values within
+/// tolerance of each other are forced through overlapping lock sets and one
+/// of them finds the other's entry. Entry allocation nests a dedicated
+/// allocator mutex inside the shard locks. Serial mode takes no locks.
+/// incRef/decRef/garbageCollect/size are quiescent-point-only operations.
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -40,6 +54,9 @@ class ComplexTable {
 
   ComplexTable(const ComplexTable&) = delete;
   ComplexTable& operator=(const ComplexTable&) = delete;
+
+  /// Toggle shard locking. Only flip at quiescent points.
+  void setConcurrent(bool on) noexcept { concurrent_ = on; }
 
   /// Canonical pointer for the given value. Returns the shared zero/one
   /// entries for values within tolerance of 0 and 1 respectively.
@@ -76,13 +93,24 @@ class ComplexTable {
   }
 
   /// Number of live canonical entries (the two constants included).
+  /// Quiescent points only.
   [[nodiscard]] std::size_t size() const noexcept {
     return entries_.size() - freeList_.size() + 2;
   }
 
   /// Lookup statistics (for instrumentation and tests).
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Times a concurrent probe found a shard lock already held.
+  [[nodiscard]] std::size_t lockWaits() const noexcept {
+    return lockWaits_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kShards = 64;
 
  private:
   struct Entry {
@@ -90,6 +118,12 @@ class ComplexTable {
     std::uint32_t rootRef = 0;
     /// Incarnation counter for this entry address (see incarnation()).
     std::uint64_t id = 0;
+  };
+
+  /// One slice of the cell grid: cells whose key maps here by modulo.
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<CWeight>> buckets;
   };
 
   static const Entry* asEntry(CWeight w) noexcept {
@@ -100,6 +134,15 @@ class ComplexTable {
 
   [[nodiscard]] std::int64_t cellOf(double x) const noexcept;
   static std::uint64_t cellKey(std::int64_t cr, std::int64_t ci) noexcept;
+  static std::size_t shardOf(std::uint64_t key) noexcept {
+    return static_cast<std::size_t>(key) & (kShards - 1);
+  }
+
+  /// Find v in cell \p key (shard already locked by the caller when
+  /// concurrent).
+  CWeight probeCell(std::uint64_t key, const ComplexValue& v) const;
+  /// Allocate (or recycle) an entry for v and link it into cell \p key.
+  CWeight insertEntry(std::uint64_t key, const ComplexValue& v);
 
   double tol_;
   double cell_;  ///< grid cell size (2 * tolerance)
@@ -107,9 +150,12 @@ class ComplexTable {
   ComplexValue one_{1.0, 0.0};
   std::deque<Entry> entries_;  ///< deque: stable addresses
   std::vector<Entry*> freeList_;
-  std::unordered_map<std::uint64_t, std::vector<CWeight>> buckets_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::array<Shard, kShards> shards_;
+  std::mutex allocMutex_;  ///< guards entries_/freeList_ (nested in shards)
+  bool concurrent_ = false;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> lockWaits_{0};
 };
 
 }  // namespace ddsim::dd

@@ -23,6 +23,13 @@
 ///    sound even when the memory manager recycles a freed node into a new
 ///    one at the same address, because recycling changes the incarnation.
 ///
+/// Concurrency: in concurrent mode each set is guarded by one of a fixed
+/// pool of stripe mutexes (set index modulo pool size); insert and lookup
+/// take the stripe lock for the duration of the probe, so entries are never
+/// torn. The generation counter stays a plain integer — it only changes at
+/// quiescent points (GC, clear), never while parallel operations are in
+/// flight. Serial mode takes no locks.
+///
 /// Counter semantics (see also CacheStats): `hits()` counts lookups served
 /// from the table (including revalidated stale entries), `misses()` counts
 /// every unsuccessful lookup — including lookups that are never followed by
@@ -31,8 +38,11 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -44,6 +54,25 @@ inline void hashMix(std::uint64_t& h, const void* p) noexcept {
   h *= 0x100000001b3ULL;
   h ^= h >> 32;
 }
+
+/// Stripe-mutex pool shared by the compute-table templates. try_lock-first
+/// so contention is observable (lockWaits) without a timing probe.
+template <std::size_t N>
+class StripeLocks {
+ public:
+  std::mutex& acquire(std::size_t index,
+                      std::atomic<std::uint64_t>& waits) noexcept {
+    std::mutex& m = locks_[index & (N - 1)];
+    if (!m.try_lock()) {
+      waits.fetch_add(1, std::memory_order_relaxed);
+      m.lock();
+    }
+    return m;
+  }
+
+ private:
+  std::array<std::mutex, N> locks_;
+};
 }  // namespace detail
 
 /// Aggregate hit/miss/retention counters of one table, exposed to
@@ -55,6 +84,8 @@ struct ComputeTableCounters {
   std::uint64_t retained = 0;
   /// Stale entries whose operands/result died in a GC.
   std::uint64_t staleDropped = 0;
+  /// Concurrent probes that found their stripe lock already held.
+  std::uint64_t lockWaits = 0;
 };
 
 /// Cache for binary DD operations. Keys are two edges (node and weight are
@@ -71,6 +102,7 @@ class ComputeTable {
  public:
   static constexpr std::size_t kWays = 4;
   static constexpr std::size_t kNumSets = NumEntries / kWays;
+  static constexpr std::size_t kStripes = 64;
 
   struct Entry {
     LEdge a{};
@@ -85,9 +117,79 @@ class ComputeTable {
 
   ComputeTable() : table_(NumEntries) {}
 
+  /// Toggle striped locking. Only flip at quiescent points.
+  void setConcurrent(bool on) noexcept { concurrent_ = on; }
+
   void insert(const LEdge& a, const REdge& b, const Result& r,
               std::uint64_t stamp) noexcept {
-    Entry* set = &table_[setIndex(a, b) * kWays];
+    const std::size_t set = setIndex(a, b);
+    if (!concurrent_) {
+      insertIn(set, a, b, r, stamp);
+      return;
+    }
+    std::mutex& m = stripes_.acquire(set, lockWaits_);
+    const std::lock_guard<std::mutex> lock(m, std::adopt_lock);
+    insertIn(set, a, b, r, stamp);
+  }
+
+  /// On a hit the cached result is copied into \p out and true is returned
+  /// (returning a pointer would dangle once the stripe lock is released).
+  /// \p revalidate is only invoked for key-matching entries from an older
+  /// generation; it must return true iff the entry's stamp still matches
+  /// the current incarnations of everything it references.
+  template <typename Revalidate>
+  bool lookup(const LEdge& a, const REdge& b, Result& out,
+              Revalidate&& revalidate) noexcept {
+    const std::size_t set = setIndex(a, b);
+    if (!concurrent_) {
+      return lookupIn(set, a, b, out, revalidate);
+    }
+    std::mutex& m = stripes_.acquire(set, lockWaits_);
+    const std::lock_guard<std::mutex> lock(m, std::adopt_lock);
+    return lookupIn(set, a, b, out, revalidate);
+  }
+
+  /// O(1) whole-table invalidation: entries become stale and individually
+  /// eligible for revalidation on their next lookup. Quiescent points only.
+  void newGeneration() noexcept { ++gen_; }
+
+  /// Hard reset (tests / explicit cache flush): discards every entry with
+  /// no chance of revalidation. Quiescent points only.
+  void clear() noexcept {
+    for (auto& entry : table_) {
+      entry.gen = 0;
+    }
+    gen_ = 1;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ComputeTableCounters counters() const noexcept {
+    return ComputeTableCounters{
+        hits_.load(std::memory_order_relaxed),
+        misses_.load(std::memory_order_relaxed),
+        retained_.load(std::memory_order_relaxed),
+        staleDropped_.load(std::memory_order_relaxed),
+        lockWaits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static std::size_t setIndex(const LEdge& a, const REdge& b) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    detail::hashMix(h, a.p);
+    detail::hashMix(h, a.w);
+    detail::hashMix(h, b.p);
+    detail::hashMix(h, b.w);
+    return static_cast<std::size_t>(h) & (kNumSets - 1);
+  }
+
+  void insertIn(std::size_t setIdx, const LEdge& a, const REdge& b,
+                const Result& r, std::uint64_t stamp) noexcept {
+    Entry* set = &table_[setIdx * kWays];
     Entry* victim = nullptr;
     for (std::size_t w = 0; w < kWays; ++w) {
       Entry& e = set[w];
@@ -106,81 +208,58 @@ class ComputeTable {
       }
     }
     if (victim == nullptr) {
-      victim = &set[roundRobin_++ & (kWays - 1)];
+      victim =
+          &set[roundRobin_.fetch_add(1, std::memory_order_relaxed) &
+               (kWays - 1)];
     }
     *victim = Entry{a, b, r, stamp, gen_};
   }
 
-  /// Returns nullptr on miss; a pointer to the cached result on hit.
-  /// \p revalidate is only invoked for key-matching entries from an older
-  /// generation; it must return true iff the entry's stamp still matches
-  /// the current incarnations of everything it references.
   template <typename Revalidate>
-  const Result* lookup(const LEdge& a, const REdge& b,
-                       Revalidate&& revalidate) noexcept {
-    Entry* set = &table_[setIndex(a, b) * kWays];
+  bool lookupIn(std::size_t setIdx, const LEdge& a, const REdge& b,
+                Result& out, Revalidate&& revalidate) noexcept {
+    Entry* set = &table_[setIdx * kWays];
     for (std::size_t w = 0; w < kWays; ++w) {
       Entry& e = set[w];
       if (e.a == a && e.b == b && e.gen != 0) [[likely]] {
         if (e.gen == gen_) [[likely]] {
-          ++counters_.hits;
-          return &e.result;
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          out = e.result;
+          return true;
         }
         if (revalidate(e)) {
           e.gen = gen_;
-          ++counters_.retained;
-          ++counters_.hits;
-          return &e.result;
+          retained_.fetch_add(1, std::memory_order_relaxed);
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          out = e.result;
+          return true;
         }
         e.gen = 0;
-        ++counters_.staleDropped;
-        ++counters_.misses;
-        return nullptr;
+        staleDropped_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
       }
     }
-    ++counters_.misses;
-    return nullptr;
-  }
-
-  /// O(1) whole-table invalidation: entries become stale and individually
-  /// eligible for revalidation on their next lookup.
-  void newGeneration() noexcept { ++gen_; }
-
-  /// Hard reset (tests / explicit cache flush): discards every entry with
-  /// no chance of revalidation.
-  void clear() noexcept {
-    for (auto& entry : table_) {
-      entry.gen = 0;
-    }
-    gen_ = 1;
-  }
-
-  [[nodiscard]] std::uint64_t hits() const noexcept { return counters_.hits; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return counters_.misses; }
-  [[nodiscard]] const ComputeTableCounters& counters() const noexcept {
-    return counters_;
-  }
-
- private:
-  static std::size_t setIndex(const LEdge& a, const REdge& b) noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    detail::hashMix(h, a.p);
-    detail::hashMix(h, a.w);
-    detail::hashMix(h, b.p);
-    detail::hashMix(h, b.w);
-    return static_cast<std::size_t>(h) & (kNumSets - 1);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
   // Heap storage: a Package aggregates several of these tables, and stack
   // allocation of multi-megabyte members would overflow the stack.
   std::vector<Entry> table_;
   std::uint64_t gen_ = 1;
-  std::uint32_t roundRobin_ = 0;
-  ComputeTableCounters counters_;
+  std::atomic<std::uint32_t> roundRobin_{0};
+  bool concurrent_ = false;
+  detail::StripeLocks<kStripes> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> retained_{0};
+  std::atomic<std::uint64_t> staleDropped_{0};
+  std::atomic<std::uint64_t> lockWaits_{0};
 };
 
 /// Cache for unary DD operations (conjugate-transpose, norm, ...). Same
-/// associativity and generation-tag protocol as ComputeTable.
+/// associativity, generation-tag, and striping protocol as ComputeTable.
 template <typename ArgEdge, typename Result, std::size_t NumEntries = (1U << 15)>
 class UnaryComputeTable {
   static_assert((NumEntries & (NumEntries - 1)) == 0,
@@ -189,6 +268,7 @@ class UnaryComputeTable {
  public:
   static constexpr std::size_t kWays = 4;
   static constexpr std::size_t kNumSets = NumEntries / kWays;
+  static constexpr std::size_t kStripes = 64;
 
   struct Entry {
     ArgEdge a{};
@@ -199,8 +279,66 @@ class UnaryComputeTable {
 
   UnaryComputeTable() : table_(NumEntries) {}
 
+  /// Toggle striped locking. Only flip at quiescent points.
+  void setConcurrent(bool on) noexcept { concurrent_ = on; }
+
   void insert(const ArgEdge& a, const Result& r, std::uint64_t stamp) noexcept {
-    Entry* set = &table_[setIndex(a) * kWays];
+    const std::size_t set = setIndex(a);
+    if (!concurrent_) {
+      insertIn(set, a, r, stamp);
+      return;
+    }
+    std::mutex& m = stripes_.acquire(set, lockWaits_);
+    const std::lock_guard<std::mutex> lock(m, std::adopt_lock);
+    insertIn(set, a, r, stamp);
+  }
+
+  template <typename Revalidate>
+  bool lookup(const ArgEdge& a, Result& out, Revalidate&& revalidate) noexcept {
+    const std::size_t set = setIndex(a);
+    if (!concurrent_) {
+      return lookupIn(set, a, out, revalidate);
+    }
+    std::mutex& m = stripes_.acquire(set, lockWaits_);
+    const std::lock_guard<std::mutex> lock(m, std::adopt_lock);
+    return lookupIn(set, a, out, revalidate);
+  }
+
+  void newGeneration() noexcept { ++gen_; }
+
+  void clear() noexcept {
+    for (auto& entry : table_) {
+      entry.gen = 0;
+    }
+    gen_ = 1;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ComputeTableCounters counters() const noexcept {
+    return ComputeTableCounters{
+        hits_.load(std::memory_order_relaxed),
+        misses_.load(std::memory_order_relaxed),
+        retained_.load(std::memory_order_relaxed),
+        staleDropped_.load(std::memory_order_relaxed),
+        lockWaits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static std::size_t setIndex(const ArgEdge& a) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    detail::hashMix(h, a.p);
+    detail::hashMix(h, a.w);
+    return static_cast<std::size_t>(h) & (kNumSets - 1);
+  }
+
+  void insertIn(std::size_t setIdx, const ArgEdge& a, const Result& r,
+                std::uint64_t stamp) noexcept {
+    Entry* set = &table_[setIdx * kWays];
     Entry* victim = nullptr;
     for (std::size_t w = 0; w < kWays; ++w) {
       Entry& e = set[w];
@@ -216,64 +354,52 @@ class UnaryComputeTable {
       }
     }
     if (victim == nullptr) {
-      victim = &set[roundRobin_++ & (kWays - 1)];
+      victim =
+          &set[roundRobin_.fetch_add(1, std::memory_order_relaxed) &
+               (kWays - 1)];
     }
     *victim = Entry{a, r, stamp, gen_};
   }
 
   template <typename Revalidate>
-  const Result* lookup(const ArgEdge& a, Revalidate&& revalidate) noexcept {
-    Entry* set = &table_[setIndex(a) * kWays];
+  bool lookupIn(std::size_t setIdx, const ArgEdge& a, Result& out,
+                Revalidate&& revalidate) noexcept {
+    Entry* set = &table_[setIdx * kWays];
     for (std::size_t w = 0; w < kWays; ++w) {
       Entry& e = set[w];
       if (e.a == a && e.gen != 0) [[likely]] {
         if (e.gen == gen_) [[likely]] {
-          ++counters_.hits;
-          return &e.result;
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          out = e.result;
+          return true;
         }
         if (revalidate(e)) {
           e.gen = gen_;
-          ++counters_.retained;
-          ++counters_.hits;
-          return &e.result;
+          retained_.fetch_add(1, std::memory_order_relaxed);
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          out = e.result;
+          return true;
         }
         e.gen = 0;
-        ++counters_.staleDropped;
-        ++counters_.misses;
-        return nullptr;
+        staleDropped_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
       }
     }
-    ++counters_.misses;
-    return nullptr;
-  }
-
-  void newGeneration() noexcept { ++gen_; }
-
-  void clear() noexcept {
-    for (auto& entry : table_) {
-      entry.gen = 0;
-    }
-    gen_ = 1;
-  }
-
-  [[nodiscard]] std::uint64_t hits() const noexcept { return counters_.hits; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return counters_.misses; }
-  [[nodiscard]] const ComputeTableCounters& counters() const noexcept {
-    return counters_;
-  }
-
- private:
-  static std::size_t setIndex(const ArgEdge& a) noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    detail::hashMix(h, a.p);
-    detail::hashMix(h, a.w);
-    return static_cast<std::size_t>(h) & (kNumSets - 1);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
   std::vector<Entry> table_;
   std::uint64_t gen_ = 1;
-  std::uint32_t roundRobin_ = 0;
-  ComputeTableCounters counters_;
+  std::atomic<std::uint32_t> roundRobin_{0};
+  bool concurrent_ = false;
+  detail::StripeLocks<kStripes> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> retained_{0};
+  std::atomic<std::uint64_t> staleDropped_{0};
+  std::atomic<std::uint64_t> lockWaits_{0};
 };
 
 }  // namespace ddsim::dd

@@ -8,9 +8,16 @@
 /// trip the abort check during top-level operation K, force a garbage
 /// collection at GC-poll S. It is compiled in unconditionally; an
 /// uninstalled injector costs one null-pointer check on the affected paths.
+///
+/// One injector may be shared between packages on different threads (the
+/// pipeline tests install the same injector into the main and the builder
+/// packages, and parallel kernels poll it from worker threads), so every
+/// counter is a relaxed atomic. configure()/disarm() remain
+/// quiescent-point-only operations.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace ddsim::dd {
@@ -40,13 +47,14 @@ class FaultInjector {
 
   /// Called by the package on every node request. True => fail this one.
   [[nodiscard]] bool onNodeRequest() noexcept {
-    ++nodeRequests_;
+    const std::uint64_t count =
+        nodeRequests_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (cfg_.failAllocationAfter == 0) {
       return false;
     }
-    const bool fail = nodeRequests_ > cfg_.failAllocationAfter;
+    const bool fail = count > cfg_.failAllocationAfter;
     if (fail) {
-      ++injectedAllocFailures_;
+      injectedAllocFailures_.fetch_add(1, std::memory_order_relaxed);
     }
     return fail;
   }
@@ -56,7 +64,7 @@ class FaultInjector {
     const bool fire =
         cfg_.abortAtOperation != 0 && opIndex == cfg_.abortAtOperation;
     if (fire) {
-      ++injectedAborts_;
+      injectedAborts_.fetch_add(1, std::memory_order_relaxed);
     }
     return fire;
   }
@@ -64,35 +72,36 @@ class FaultInjector {
   /// Called from maybeGarbageCollect(). True => collect now regardless of
   /// the adaptive threshold.
   [[nodiscard]] bool onGcPoll() noexcept {
-    ++gcPolls_;
-    const bool fire = cfg_.forceGcAtPoll != 0 && gcPolls_ == cfg_.forceGcAtPoll;
+    const std::uint64_t polls =
+        gcPolls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool fire = cfg_.forceGcAtPoll != 0 && polls == cfg_.forceGcAtPoll;
     if (fire) {
-      ++injectedGcs_;
+      injectedGcs_.fetch_add(1, std::memory_order_relaxed);
     }
     return fire;
   }
 
   // Observed-event counters for test assertions.
   [[nodiscard]] std::uint64_t nodeRequests() const noexcept {
-    return nodeRequests_;
+    return nodeRequests_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t injectedAllocFailures() const noexcept {
-    return injectedAllocFailures_;
+    return injectedAllocFailures_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t injectedAborts() const noexcept {
-    return injectedAborts_;
+    return injectedAborts_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t injectedGcs() const noexcept {
-    return injectedGcs_;
+    return injectedGcs_.load(std::memory_order_relaxed);
   }
 
  private:
   Config cfg_;
-  std::uint64_t nodeRequests_ = 0;
-  std::uint64_t gcPolls_ = 0;
-  std::uint64_t injectedAllocFailures_ = 0;
-  std::uint64_t injectedAborts_ = 0;
-  std::uint64_t injectedGcs_ = 0;
+  std::atomic<std::uint64_t> nodeRequests_{0};
+  std::atomic<std::uint64_t> gcPolls_{0};
+  std::atomic<std::uint64_t> injectedAllocFailures_{0};
+  std::atomic<std::uint64_t> injectedAborts_{0};
+  std::atomic<std::uint64_t> injectedGcs_{0};
 };
 
 }  // namespace ddsim::dd

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <string>
 #include <vector>
@@ -26,6 +28,11 @@
 
 namespace ddsim::dd {
 
+/// Concurrency: in concurrent mode (Package::setWorkers > 1) one mutex
+/// serializes get()/free() — correctness-first; the parallel engine's
+/// speedup comes from builder fan-out and coarse quadrant tasks, not from a
+/// lock-free allocator. The byte/occupancy accessors read atomics so the
+/// resource governor can poll them from any thread without the lock.
 template <typename NodeT>
 class MemoryManager {
  public:
@@ -35,16 +42,41 @@ class MemoryManager {
   MemoryManager(const MemoryManager&) = delete;
   MemoryManager& operator=(const MemoryManager&) = delete;
 
+  /// Toggle the allocator lock. Only flip at quiescent points.
+  void setConcurrent(bool on) noexcept { concurrent_ = on; }
+
   /// Obtain a fresh (default-initialized) node. The incarnation counter
   /// NodeT::id is preserved across recycling: together with the bump in
   /// free() it counts how often this address has been reclaimed, which is
   /// what lets stale compute-table entries detect pointer reuse.
   /// Throws ResourceExhausted when chunk growth hits std::bad_alloc.
   NodeT* get() {
+    if (concurrent_) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      return getLocked();
+    }
+    return getLocked();
+  }
+
+  /// Return a node to the free list. The caller must guarantee that no live
+  /// DD references it anymore. Bumping the incarnation here (not on reuse)
+  /// immediately invalidates any cached reference to the old node, even
+  /// while the node still sits on the free list.
+  void free(NodeT* n) noexcept {
+    if (concurrent_) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      freeLocked(n);
+      return;
+    }
+    freeLocked(n);
+  }
+
+ private:
+  NodeT* getLocked() {
     if (free_ != nullptr) {
       NodeT* n = free_;
       free_ = n->next;
-      --freeCount_;
+      freeCount_.fetch_sub(1, std::memory_order_relaxed);
       const auto incarnation = n->id;
       *n = NodeT{};
       n->id = incarnation;
@@ -57,13 +89,15 @@ class MemoryManager {
         throw ResourceExhausted(
             "chunk allocation", inUse(), /*nodeBudget=*/0, bytesAllocated(),
             "std::bad_alloc growing a " + std::to_string(chunkSize_) +
-                "-node chunk; " + std::to_string(allocated_) +
-                " nodes carved, " + std::to_string(freeCount_) + " free");
+                "-node chunk; " + std::to_string(allocated()) +
+                " nodes carved, " + std::to_string(freeListSize()) + " free");
       }
+      chunkBytes_.fetch_add(chunkSize_ * sizeof(NodeT),
+                            std::memory_order_relaxed);
       chunkCapacity_ = chunkSize_;
       used_ = 0;
     }
-    ++allocated_;
+    allocated_.fetch_add(1, std::memory_order_relaxed);
     NodeT* n = &chunks_.back()[used_++];
     // Fresh carves start at the release epoch: every id in use stays above
     // any id that ever lived in a released chunk, so a new chunk landing on
@@ -72,17 +106,14 @@ class MemoryManager {
     return n;
   }
 
-  /// Return a node to the free list. The caller must guarantee that no live
-  /// DD references it anymore. Bumping the incarnation here (not on reuse)
-  /// immediately invalidates any cached reference to the old node, even
-  /// while the node still sits on the free list.
-  void free(NodeT* n) noexcept {
+  void freeLocked(NodeT* n) noexcept {
     ++n->id;
     n->next = free_;
     free_ = n;
-    ++freeCount_;
+    freeCount_.fetch_add(1, std::memory_order_relaxed);
   }
 
+ public:
   /// Return chunks whose nodes are all on the free list to the OS. The
   /// caller must first drop every raw pointer into freed nodes (stale
   /// compute-table entries!) — Package::emergencyCollect clears the compute
@@ -168,20 +199,28 @@ class MemoryManager {
       chunkCapacity_ = 0;
       used_ = 0;
     }
-    return releasedChunks * chunkSize_ * sizeof(NodeT);
+    const std::size_t releasedBytes = releasedChunks * chunkSize_ *
+                                      sizeof(NodeT);
+    chunkBytes_.fetch_sub(releasedBytes, std::memory_order_relaxed);
+    return releasedBytes;
   }
 
   /// Nodes carved out of current chunks minus released ones.
-  [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
   /// Nodes currently sitting on the free list.
-  [[nodiscard]] std::size_t freeListSize() const noexcept { return freeCount_; }
+  [[nodiscard]] std::size_t freeListSize() const noexcept {
+    return freeCount_.load(std::memory_order_relaxed);
+  }
   /// Nodes currently in use (allocated minus free-listed).
   [[nodiscard]] std::size_t inUse() const noexcept {
-    return allocated_ - freeCount_;
+    return allocated() - freeListSize();
   }
-  /// Bytes currently held in chunks (what a byte budget governs).
+  /// Bytes currently held in chunks (what a byte budget governs). Atomic so
+  /// the governor may poll it while another thread is allocating.
   [[nodiscard]] std::size_t bytesAllocated() const noexcept {
-    return chunks_.size() * chunkSize_ * sizeof(NodeT);
+    return chunkBytes_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -190,8 +229,11 @@ class MemoryManager {
   std::size_t chunkCapacity_ = 0;
   std::size_t used_ = 0;
   NodeT* free_ = nullptr;
-  std::size_t allocated_ = 0;
-  std::size_t freeCount_ = 0;
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> freeCount_{0};
+  std::atomic<std::size_t> chunkBytes_{0};
+  std::mutex mutex_;
+  bool concurrent_ = false;
   /// One past the largest incarnation id that ever lived in a released
   /// chunk; fresh carves start here (see get()).
   std::uint64_t idEpoch_ = 0;

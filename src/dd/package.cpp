@@ -63,9 +63,12 @@ CacheStats Package::cacheStats() const noexcept {
   cs.mulMVRetained = mulMVTable_.counters().retained;
   cs.mulMMRetained = mulMMTable_.counters().retained;
   cs.addRetained = addVTable_.counters().retained + addMTable_.counters().retained;
+  cs.uniqueTableLockWaits = vUnique_.lockWaits() + mUnique_.lockWaits();
+  cs.complexTableLockWaits = ctab_.lockWaits();
   const auto accumulate = [&cs](const ComputeTableCounters& c) {
     cs.cacheRetained += c.retained;
     cs.cacheStaleDropped += c.staleDropped;
+    cs.computeTableLockWaits += c.lockWaits;
   };
   accumulate(addVTable_.counters());
   accumulate(addMTable_.counters());
@@ -78,6 +81,52 @@ CacheStats Package::cacheStats() const noexcept {
   accumulate(normTable_.counters());
   accumulate(traceTable_.counters());
   return cs;
+}
+
+// ------------------------------------------------- intra-package workers
+
+void Package::setWorkers(std::size_t n) {
+  const std::size_t target = n == 0 ? 1 : n;
+  if (target == workers()) {
+    return;
+  }
+  pool_.reset();
+  const bool concurrent = target > 1;
+  if (concurrent) {
+    pool_ = std::make_unique<TaskPool>(target - 1);
+  }
+  ctab_.setConcurrent(concurrent);
+  vMem_.setConcurrent(concurrent);
+  mMem_.setConcurrent(concurrent);
+  vUnique_.setConcurrent(concurrent);
+  mUnique_.setConcurrent(concurrent);
+  addVTable_.setConcurrent(concurrent);
+  addMTable_.setConcurrent(concurrent);
+  mulMVTable_.setConcurrent(concurrent);
+  mulMMTable_.setConcurrent(concurrent);
+  kronMTable_.setConcurrent(concurrent);
+  kronVTable_.setConcurrent(concurrent);
+  transposeTable_.setConcurrent(concurrent);
+  innerTable_.setConcurrent(concurrent);
+  normTable_.setConcurrent(concurrent);
+  traceTable_.setConcurrent(concurrent);
+}
+
+std::size_t Package::spawnBudget(Qubit top) const noexcept {
+  // Small sub-DDs stay serial: below ~6 levels a subproblem is cheaper than
+  // the enqueue/steal round-trip it would pay for.
+  constexpr Qubit kMinParallelVar = 6;
+  if (pool_ == nullptr || top < kMinParallelVar) {
+    return 0;
+  }
+  // ceil(log2(workers)) + 1 levels of 2/4-way forks keeps every worker fed
+  // without flooding the queues with tiny tasks.
+  const std::size_t w = workers();
+  std::size_t depth = 1;
+  while ((std::size_t{1} << depth) < w) {
+    ++depth;
+  }
+  return depth + 1;
 }
 
 // --------------------------------------------------------------- ref counts
@@ -247,8 +296,7 @@ VEdge Package::makeVNode(Qubit v, std::array<VEdge, 2> children) {
   candidate->v = v;
   candidate->e = children;
   VNode* node = vUnique_.lookup(candidate);
-  stats_.peakLiveNodes = std::max(
-      stats_.peakLiveNodes, vUnique_.liveCount() + mUnique_.liveCount());
+  stats_.peakLiveNodes.maxWith(vUnique_.liveCount() + mUnique_.liveCount());
   return {node, top};
 }
 
@@ -307,8 +355,7 @@ MEdge Package::makeMNode(Qubit v, std::array<MEdge, 4> children) {
     }
   }
   MNode* node = mUnique_.lookup(candidate);
-  stats_.peakLiveNodes = std::max(
-      stats_.peakLiveNodes, vUnique_.liveCount() + mUnique_.liveCount());
+  stats_.peakLiveNodes.maxWith(vUnique_.liveCount() + mUnique_.liveCount());
   return {node, top};
 }
 
@@ -573,15 +620,17 @@ MEdge Package::makeSmallMatrixFromDense(std::span<const ComplexValue> rowMajor) 
 VEdge Package::add(const VEdge& a, const VEdge& b) {
   const OpGuard guard(*this, "add(vector)");
   const obs::ScopedSpan span("dd.add.v", obs::cat::kDd);
-  return addRec(a, b);
+  const Qubit top = a.p->isTerminal() ? Qubit{0} : a.p->v;
+  return addRec(a, b, spawnBudget(top));
 }
 MEdge Package::add(const MEdge& a, const MEdge& b) {
   const OpGuard guard(*this, "add(matrix)");
   const obs::ScopedSpan span("dd.add.m", obs::cat::kDd);
-  return addRec(a, b);
+  const Qubit top = a.p->isTerminal() ? Qubit{0} : a.p->v;
+  return addRec(a, b, spawnBudget(top));
 }
 
-VEdge Package::addRec(const VEdge& a, const VEdge& b) {
+VEdge Package::addRec(const VEdge& a, const VEdge& b, std::size_t spawn) {
   ++stats_.recursiveAddCalls;
   pollAbort();
   if (a.w->exactlyZero()) {
@@ -601,14 +650,14 @@ VEdge Package::addRec(const VEdge& a, const VEdge& b) {
                        ? a
                        : b;
   const VEdge& y = (&x == &a) ? b : a;
-  if (const CachedVEdge* cached = addVTable_.lookup(x, y, revalidator())) {
-    return rehydrate(*cached);
+  if (CachedVEdge cached; addVTable_.lookup(x, y, cached, revalidator())) {
+    return rehydrate(cached);
   }
 
   assert(!x.p->isTerminal() && x.p->v == y.p->v);
   const Qubit var = x.p->v;
   std::array<VEdge, 2> r;
-  for (std::size_t i = 0; i < 2; ++i) {
+  const auto child = [&](std::size_t i, std::size_t sub) {
     VEdge xe = x.p->e[i];
     if (!xe.w->exactlyZero()) {
       xe.w = clookup(*x.w * *xe.w);
@@ -617,7 +666,14 @@ VEdge Package::addRec(const VEdge& a, const VEdge& b) {
     if (!ye.w->exactlyZero()) {
       ye.w = clookup(*y.w * *ye.w);
     }
-    r[i] = addRec(xe, ye);
+    r[i] = addRec(xe, ye, sub);
+  };
+  if (spawn > 0 && pool_ != nullptr) {
+    forkJoin(2, [&](std::size_t i) { child(i, spawn - 1); });
+  } else {
+    for (std::size_t i = 0; i < 2; ++i) {
+      child(i, 0);
+    }
   }
   VEdge result = makeVNode(var, r);
   const CachedVEdge cached{result.p, *result.w};
@@ -625,7 +681,7 @@ VEdge Package::addRec(const VEdge& a, const VEdge& b) {
   return result;
 }
 
-MEdge Package::addRec(const MEdge& a, const MEdge& b) {
+MEdge Package::addRec(const MEdge& a, const MEdge& b, std::size_t spawn) {
   ++stats_.recursiveAddCalls;
   pollAbort();
   if (a.w->exactlyZero()) {
@@ -644,14 +700,14 @@ MEdge Package::addRec(const MEdge& a, const MEdge& b) {
                        ? a
                        : b;
   const MEdge& y = (&x == &a) ? b : a;
-  if (const CachedMEdge* cached = addMTable_.lookup(x, y, revalidator())) {
-    return rehydrate(*cached);
+  if (CachedMEdge cached; addMTable_.lookup(x, y, cached, revalidator())) {
+    return rehydrate(cached);
   }
 
   assert(!x.p->isTerminal() && x.p->v == y.p->v);
   const Qubit var = x.p->v;
   std::array<MEdge, 4> r;
-  for (std::size_t i = 0; i < 4; ++i) {
+  const auto child = [&](std::size_t i, std::size_t sub) {
     MEdge xe = x.p->e[i];
     if (!xe.w->exactlyZero()) {
       xe.w = clookup(*x.w * *xe.w);
@@ -660,7 +716,14 @@ MEdge Package::addRec(const MEdge& a, const MEdge& b) {
     if (!ye.w->exactlyZero()) {
       ye.w = clookup(*y.w * *ye.w);
     }
-    r[i] = addRec(xe, ye);
+    r[i] = addRec(xe, ye, sub);
+  };
+  if (spawn > 0 && pool_ != nullptr) {
+    forkJoin(4, [&](std::size_t i) { child(i, spawn - 1); });
+  } else {
+    for (std::size_t i = 0; i < 4; ++i) {
+      child(i, 0);
+    }
   }
   MEdge result = makeMNode(var, r);
   const CachedMEdge cached{result.p, *result.w};
@@ -684,7 +747,9 @@ VEdge Package::multiply(const MEdge& m, const VEdge& v) {
     const CWeight w = clookup(*m.w * *v.w);
     return w->exactlyZero() ? vZero() : VEdge{v.p, w};
   }
-  VEdge r = m.p->isTerminal() ? vOneTerminal() : mulNodesMV(m.p, v.p);
+  VEdge r = m.p->isTerminal()
+                ? vOneTerminal()
+                : mulNodesMV(m.p, v.p, spawnBudget(m.p->v));
   if (r.w->exactlyZero()) {
     return vZero();
   }
@@ -696,7 +761,7 @@ VEdge Package::multiply(const MEdge& m, const VEdge& v) {
 // intermediate vectors which are then added (Fig. 4). Weights of the operand
 // edges are factored out by the caller, so the cache is keyed on node pairs
 // and a cached product is reusable under any scalar prefactor.
-VEdge Package::mulNodesMV(MNode* a, VNode* b) {
+VEdge Package::mulNodesMV(MNode* a, VNode* b, std::size_t spawn) {
   ++stats_.recursiveMulVCalls;
   pollAbort();
   assert(!a->isTerminal() && a->v == b->v);
@@ -709,13 +774,13 @@ VEdge Package::mulNodesMV(MNode* a, VNode* b) {
   }
   const MEdge ka{a, cone()};
   const VEdge kb{b, cone()};
-  if (const CachedVEdge* cached = mulMVTable_.lookup(ka, kb, revalidator())) {
-    return rehydrate(*cached);
+  if (CachedVEdge cached; mulMVTable_.lookup(ka, kb, cached, revalidator())) {
+    return rehydrate(cached);
   }
 
   const Qubit var = a->v;
   std::array<VEdge, 2> r;
-  for (std::size_t i = 0; i < 2; ++i) {
+  const auto half = [&](std::size_t i, std::size_t sub) {
     VEdge sum = vZero();
     for (std::size_t k = 0; k < 2; ++k) {
       const MEdge& me = a->e[2 * i + k];
@@ -731,14 +796,20 @@ VEdge Package::mulNodesMV(MNode* a, VNode* b) {
         ++stats_.identitySkipsMV;
         prod = {ve.p, clookup(*me.w * *ve.w)};
       } else {
-        const VEdge sub = mulNodesMV(me.p, ve.p);
-        prod = sub.w->exactlyZero()
+        const VEdge subProd = mulNodesMV(me.p, ve.p, sub);
+        prod = subProd.w->exactlyZero()
                    ? vZero()
-                   : VEdge{sub.p, clookup(*me.w * *ve.w * *sub.w)};
+                   : VEdge{subProd.p, clookup(*me.w * *ve.w * *subProd.w)};
       }
-      sum = sum.w->exactlyZero() ? prod : addRec(sum, prod);
+      sum = sum.w->exactlyZero() ? prod : addRec(sum, prod, sub);
     }
     r[i] = sum;
+  };
+  if (spawn > 0 && pool_ != nullptr) {
+    forkJoin(2, [&](std::size_t i) { half(i, spawn - 1); });
+  } else {
+    half(0, 0);
+    half(1, 0);
   }
   VEdge result = makeVNode(var, r);
   const CachedVEdge cached{result.p, *result.w};
@@ -764,7 +835,9 @@ MEdge Package::multiply(const MEdge& a, const MEdge& b) {
     const CWeight w = clookup(*a.w * *b.w);
     return w->exactlyZero() ? mZero() : MEdge{a.p, w};
   }
-  MEdge r = a.p->isTerminal() ? mOneTerminal() : mulNodesMM(a.p, b.p);
+  MEdge r = a.p->isTerminal()
+                ? mOneTerminal()
+                : mulNodesMM(a.p, b.p, spawnBudget(a.p->v));
   if (r.w->exactlyZero()) {
     return mZero();
   }
@@ -772,7 +845,7 @@ MEdge Package::multiply(const MEdge& a, const MEdge& b) {
   return w->exactlyZero() ? mZero() : MEdge{r.p, w};
 }
 
-MEdge Package::mulNodesMM(MNode* a, MNode* b) {
+MEdge Package::mulNodesMM(MNode* a, MNode* b, std::size_t spawn) {
   ++stats_.recursiveMulMCalls;
   pollAbort();
   assert(!a->isTerminal() && a->v == b->v);
@@ -787,13 +860,14 @@ MEdge Package::mulNodesMM(MNode* a, MNode* b) {
   }
   const MEdge ka{a, cone()};
   const MEdge kb{b, cone()};
-  if (const CachedMEdge* cached = mulMMTable_.lookup(ka, kb, revalidator())) {
-    return rehydrate(*cached);
+  if (CachedMEdge cached; mulMMTable_.lookup(ka, kb, cached, revalidator())) {
+    return rehydrate(cached);
   }
 
   const Qubit var = a->v;
   // Product of one quadrant pair (operand weights folded into the result).
-  const auto mulEdges = [this](const MEdge& ae, const MEdge& be) -> MEdge {
+  const auto mulEdges = [this](const MEdge& ae, const MEdge& be,
+                               std::size_t sub) -> MEdge {
     if (ae.w->exactlyZero() || be.w->exactlyZero()) {
       return mZero();
     }
@@ -809,10 +883,10 @@ MEdge Package::mulNodesMM(MNode* a, MNode* b) {
       ++stats_.identitySkipsMM;
       return {ae.p, clookup(*ae.w * *be.w)};
     }
-    const MEdge sub = mulNodesMM(ae.p, be.p);
-    return sub.w->exactlyZero()
+    const MEdge subProd = mulNodesMM(ae.p, be.p, sub);
+    return subProd.w->exactlyZero()
                ? mZero()
-               : MEdge{sub.p, clookup(*ae.w * *be.w * *sub.w)};
+               : MEdge{subProd.p, clookup(*ae.w * *be.w * *subProd.w)};
   };
 
   std::array<MEdge, 4> r;
@@ -820,22 +894,36 @@ MEdge Package::mulNodesMM(MNode* a, MNode* b) {
     // diag·diag stays diagonal: both off-diagonal quadrants (and every
     // cross term of the diagonal ones) vanish structurally.
     ++stats_.diagonalFastPathsMM;
-    r[0] = mulEdges(a->e[0], b->e[0]);
     r[1] = mZero();
     r[2] = mZero();
-    r[3] = mulEdges(a->e[3], b->e[3]);
+    if (spawn > 0 && pool_ != nullptr) {
+      forkJoin(2, [&](std::size_t t) {
+        const std::size_t i = t == 0 ? 0 : 3;
+        r[i] = mulEdges(a->e[i], b->e[i], spawn - 1);
+      });
+    } else {
+      r[0] = mulEdges(a->e[0], b->e[0], 0);
+      r[3] = mulEdges(a->e[3], b->e[3], 0);
+    }
   } else {
-    for (std::size_t i = 0; i < 2; ++i) {
-      for (std::size_t j = 0; j < 2; ++j) {
-        MEdge sum = mZero();
-        for (std::size_t k = 0; k < 2; ++k) {
-          const MEdge prod = mulEdges(a->e[2 * i + k], b->e[2 * k + j]);
-          if (prod.w->exactlyZero()) {
-            continue;
-          }
-          sum = sum.w->exactlyZero() ? prod : addRec(sum, prod);
+    const auto quadrant = [&](std::size_t i, std::size_t j, std::size_t sub) {
+      MEdge sum = mZero();
+      for (std::size_t k = 0; k < 2; ++k) {
+        const MEdge prod = mulEdges(a->e[2 * i + k], b->e[2 * k + j], sub);
+        if (prod.w->exactlyZero()) {
+          continue;
         }
-        r[2 * i + j] = sum;
+        sum = sum.w->exactlyZero() ? prod : addRec(sum, prod, sub);
+      }
+      r[2 * i + j] = sum;
+    };
+    if (spawn > 0 && pool_ != nullptr) {
+      forkJoin(4, [&](std::size_t t) { quadrant(t >> 1U, t & 1U, spawn - 1); });
+    } else {
+      for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+          quadrant(i, j, 0);
+        }
       }
     }
   }
@@ -865,8 +953,8 @@ MEdge Package::kronRec(const MEdge& a, const MEdge& b) {
   if (a.p->isTerminal()) {
     return {b.p, clookup(*a.w * *b.w)};
   }
-  if (const CachedMEdge* cached = kronMTable_.lookup(a, b, revalidator())) {
-    return rehydrate(*cached);
+  if (CachedMEdge cached; kronMTable_.lookup(a, b, cached, revalidator())) {
+    return rehydrate(cached);
   }
   const Qubit shift = b.p->isTerminal() ? 0 : b.p->v + 1;
   // kronRec consumes full edges, so the children's weights are folded in by
@@ -890,8 +978,8 @@ VEdge Package::kronRec(const VEdge& a, const VEdge& b) {
   if (a.p->isTerminal()) {
     return {b.p, clookup(*a.w * *b.w)};
   }
-  if (const CachedVEdge* cached = kronVTable_.lookup(a, b, revalidator())) {
-    return rehydrate(*cached);
+  if (CachedVEdge cached; kronVTable_.lookup(a, b, cached, revalidator())) {
+    return rehydrate(cached);
   }
   const Qubit shift = b.p->isTerminal() ? 0 : b.p->v + 1;
   std::array<VEdge, 2> children;
@@ -924,8 +1012,8 @@ MEdge Package::transposeRec(const MEdge& m) {
   if (m.p->isIdentity()) {
     return m;
   }
-  if (const CachedMEdge* cached = transposeTable_.lookup(m, unaryRevalidator())) {
-    return rehydrate(*cached);
+  if (CachedMEdge cached; transposeTable_.lookup(m, cached, unaryRevalidator())) {
+    return rehydrate(cached);
   }
   std::array<MEdge, 4> children;
   for (std::size_t i = 0; i < 2; ++i) {
@@ -963,8 +1051,8 @@ ComplexValue Package::innerProductRec(VNode* a, VNode* b) {
   }
   const VEdge ka{a, cone()};
   const VEdge kb{b, cone()};
-  if (const CVal* cached = innerTable_.lookup(ka, kb, revalidator())) {
-    return cached->v;
+  if (CVal cached; innerTable_.lookup(ka, kb, cached, revalidator())) {
+    return cached.v;
   }
   ComplexValue sum{0.0, 0.0};
   for (std::size_t i = 0; i < 2; ++i) {
@@ -1006,8 +1094,8 @@ ComplexValue Package::traceNode(MNode* p) {
     return {std::ldexp(1.0, p->v + 1), 0.0};
   }
   const MEdge key{p, cone()};
-  if (const CVal* cached = traceTable_.lookup(key, unaryRevalidator())) {
-    return cached->v;
+  if (CVal cached; traceTable_.lookup(key, cached, unaryRevalidator())) {
+    return cached.v;
   }
   ComplexValue sum{0.0, 0.0};
   for (const std::size_t i : {0UL, 3UL}) {  // diagonal quadrants
@@ -1035,8 +1123,8 @@ double Package::normNode(VNode* p) {
     return 1.0;
   }
   const VEdge key{p, cone()};
-  if (const DVal* cached = normTable_.lookup(key, unaryRevalidator())) {
-    return cached->d;
+  if (DVal cached; normTable_.lookup(key, cached, unaryRevalidator())) {
+    return cached.d;
   }
   double sum = 0.0;
   for (const auto& e : p->e) {

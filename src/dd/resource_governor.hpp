@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -112,7 +113,7 @@ class ResourceGovernor {
     budget_ = budget;
     softNodes_ = scaled(budget.maxLiveNodes, budget.softFraction);
     softBytes_ = scaled(budget.maxBytes, budget.softFraction);
-    signaled_ = false;
+    signaled_.store(false, std::memory_order_relaxed);
   }
 
   void setPressureCallback(PressureCallback cb) { onPressure_ = std::move(cb); }
@@ -135,13 +136,15 @@ class ResourceGovernor {
 
   /// Record the current pressure level; fires the callback on a rising edge
   /// (None -> Soft/Hard) and re-arms once the pressure has receded.
+  /// Thread-safe: worker threads observe from inside parallel kernels, and
+  /// the atomic exchange guarantees exactly one caller wins each rising
+  /// edge (the callback itself must be thread-safe — it only sets flags).
   void observe(ResourcePressure level, std::size_t liveNodes) {
     if (level == ResourcePressure::None) {
-      signaled_ = false;
+      signaled_.store(false, std::memory_order_relaxed);
       return;
     }
-    if (!signaled_) {
-      signaled_ = true;
+    if (!signaled_.exchange(true, std::memory_order_acq_rel)) {
       if (onPressure_) {
         onPressure_(level, liveNodes);
       }
@@ -158,7 +161,7 @@ class ResourceGovernor {
   ResourceBudget budget_;
   std::size_t softNodes_ = 0;
   std::size_t softBytes_ = 0;
-  bool signaled_ = false;
+  std::atomic<bool> signaled_{false};
   PressureCallback onPressure_;
 };
 

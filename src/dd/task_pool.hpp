@@ -1,0 +1,101 @@
+/// \file task_pool.hpp
+/// \brief Small fork-join work-stealing task pool for intra-package
+///        parallelism (quadrant-parallel multiply / add recursion).
+///
+/// Design goals, in order: correctness under TSan, bounded memory, and low
+/// overhead for the *serial* path (a Package without workers never touches
+/// the pool). The pool is deliberately simple — a handful of workers, one
+/// mutex-protected deque per worker, stealing from the front of sibling
+/// deques — because DD recursion spawns O(4^cutoff) coarse tasks, not
+/// millions of fine-grained ones; scheduler sophistication would be noise.
+///
+/// Fork-join protocol: callers group tasks into a TaskGroup, submit() each
+/// task, then wait() on the group. The waiting thread *helps execute* queued
+/// tasks while it waits, so nested fork-join (a task that itself forks a
+/// group) can never deadlock on pool capacity. The first exception thrown by
+/// any task in a group is captured and rethrown from wait() — this is how
+/// ResourceExhausted / ComputationAborted propagate out of parallel
+/// sub-multiplies exactly as they do from serial recursion.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddsim::dd {
+
+class TaskPool {
+ public:
+  /// Join handle for one fork-join region. Not reusable while tasks are in
+  /// flight; reusable (pending back at zero) after wait() returns.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class TaskPool;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::exception_ptr exception_;  // first failure, guarded by mutex_
+  };
+
+  /// Spawns \p workers threads (>= 1). Total parallelism available to a
+  /// fork-join region is workers + 1: the waiting thread helps.
+  explicit TaskPool(std::size_t workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueue \p fn under \p group. The task runs on a worker thread or
+  /// inline in a wait()-ing thread, whichever claims it first.
+  void submit(TaskGroup& group, std::function<void()> fn);
+
+  /// Block until every task submitted under \p group has finished, helping
+  /// to execute queued tasks (from any group — helping strangers is what
+  /// prevents nested-join deadlock) while waiting. Rethrows the group's
+  /// first captured exception, if any.
+  void wait(TaskGroup& group);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void workerMain(std::size_t index);
+  /// Claim one task: own queue back first (for workers), then steal from
+  /// sibling fronts. Returns false when every queue is empty.
+  bool tryRunOne(std::size_t homeIndex);
+  void execute(Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex idleMutex_;
+  std::condition_variable idleCv_;
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> nextQueue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ddsim::dd

@@ -5,11 +5,24 @@
 /// Section II-B): before a new node becomes part of a DD it is looked up
 /// here; if a structurally identical node already exists, the existing node
 /// is reused and the candidate is recycled.
+///
+/// Concurrency: in concurrent mode (Package::setWorkers > 1) lookups are
+/// serialized per *stripe* — a fixed pool of mutexes indexed by a hash of
+/// (variable, bucket) — so threads canonicalizing unrelated nodes almost
+/// never contend, while two threads racing to insert the *same* node are
+/// forced through the same stripe and the loser finds the winner's node on
+/// its re-walk under the lock. The lock covers the walk *and* the insert,
+/// which is what preserves canonicity. Garbage collection and forEach stay
+/// unlocked: the package only runs them at quiescent points (no parallel
+/// operation in flight). Serial mode takes no locks at all.
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "dd/memory_manager.hpp"
@@ -21,11 +34,15 @@ template <typename NodeT>
 class UniqueTable {
  public:
   static constexpr std::size_t kBucketsPerVar = 1U << 15;
+  static constexpr std::size_t kStripes = 64;
 
   explicit UniqueTable(MemoryManager<NodeT>& mm) : mm_(&mm) {}
 
   UniqueTable(const UniqueTable&) = delete;
   UniqueTable& operator=(const UniqueTable&) = delete;
+
+  /// Toggle striped locking. Only flip at quiescent points.
+  void setConcurrent(bool on) noexcept { concurrent_ = on; }
 
   /// Make room for variables 0..n-1.
   void resize(std::size_t numVars) {
@@ -44,26 +61,28 @@ class UniqueTable {
   NodeT* lookup(NodeT* candidate) {
     assert(candidate->v >= 0 &&
            static_cast<std::size_t>(candidate->v) < tables_.size());
-    auto& buckets = tables_[static_cast<std::size_t>(candidate->v)];
+    const auto var = static_cast<std::size_t>(candidate->v);
+    auto& buckets = tables_[var];
     const std::size_t idx = hashNode(*candidate) & (kBucketsPerVar - 1);
-    for (NodeT* n = buckets[idx]; n != nullptr; n = n->next) {
-      if (sameChildren(*n, *candidate)) {
-        ++hits_;
-        mm_->free(candidate);
-        return n;
-      }
+    if (!concurrent_) {
+      return lookupIn(buckets, idx, candidate);
     }
-    ++misses_;
-    candidate->next = buckets[idx];
-    buckets[idx] = candidate;
-    ++liveCount_;
-    return candidate;
+    auto& m = stripes_[stripeOf(var, idx)];
+    if (!m.try_lock()) {
+      lockWaits_.fetch_add(1, std::memory_order_relaxed);
+      m.lock();
+    }
+    const std::lock_guard<std::mutex> lock(m, std::adopt_lock);
+    // Lock order: stripe, then (inside MemoryManager::free on a hit or via
+    // the caller's MemoryManager::get before entry) the allocator mutex.
+    return lookupIn(buckets, idx, candidate);
   }
 
   /// Sweep: remove and recycle every node with a zero reference count.
   /// Returns the number of collected nodes. The caller must ensure that
   /// nothing outside ref-counted roots points at unreferenced nodes (i.e.
-  /// compute tables are flushed right after).
+  /// compute tables are flushed right after) and that no concurrent lookups
+  /// are in flight (quiescent point).
   std::size_t garbageCollect() {
     std::size_t collected = 0;
     for (auto& buckets : tables_) {
@@ -81,21 +100,33 @@ class UniqueTable {
         }
       }
     }
-    liveCount_ -= collected;
+    liveCount_.fetch_sub(collected, std::memory_order_relaxed);
     return collected;
   }
 
   /// Nodes currently stored across all variables.
-  [[nodiscard]] std::size_t liveCount() const noexcept { return liveCount_; }
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t liveCount() const noexcept {
+    return liveCount_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Times a concurrent lookup found its stripe already held (contention
+  /// signal surfaced through CacheStats).
+  [[nodiscard]] std::size_t lockWaits() const noexcept {
+    return lockWaits_.load(std::memory_order_relaxed);
+  }
   /// Bytes held by the bucket arrays (fixed overhead counted against a
   /// byte budget alongside the node chunks).
   [[nodiscard]] std::size_t bucketBytes() const noexcept {
     return tables_.size() * kBucketsPerVar * sizeof(NodeT*);
   }
 
-  /// Visit every stored node (used by tests and diagnostics).
+  /// Visit every stored node (used by tests and diagnostics). Quiescent
+  /// points only.
   template <typename F>
   void forEach(F&& f) const {
     for (const auto& buckets : tables_) {
@@ -108,11 +139,36 @@ class UniqueTable {
   }
 
  private:
+  static std::size_t stripeOf(std::size_t var, std::size_t bucket) noexcept {
+    // Spread adjacent buckets of the same variable over distinct stripes and
+    // decorrelate variables from each other.
+    return (bucket ^ (var * 0x9E3779B9U)) & (kStripes - 1);
+  }
+
+  NodeT* lookupIn(std::vector<NodeT*>& buckets, std::size_t idx,
+                  NodeT* candidate) {
+    for (NodeT* n = buckets[idx]; n != nullptr; n = n->next) {
+      if (sameChildren(*n, *candidate)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        mm_->free(candidate);
+        return n;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    candidate->next = buckets[idx];
+    buckets[idx] = candidate;
+    liveCount_.fetch_add(1, std::memory_order_relaxed);
+    return candidate;
+  }
+
   MemoryManager<NodeT>* mm_;
   std::vector<std::vector<NodeT*>> tables_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t liveCount_ = 0;
+  std::array<std::mutex, kStripes> stripes_;
+  bool concurrent_ = false;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> liveCount_{0};
+  std::atomic<std::size_t> lockWaits_{0};
 };
 
 }  // namespace ddsim::dd

@@ -132,9 +132,9 @@ std::uint64_t TraceCollector::droppedCount() const {
   return n;
 }
 
-void nameCurrentThreadTrack(const char* name) {
+void nameCurrentThreadTrack(std::string name) {
   if (TraceCollector* c = detail::activeCollector()) {
-    detail::trackFor(c)->name = name;
+    detail::trackFor(c)->name = std::move(name);
   }
 }
 

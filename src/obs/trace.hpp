@@ -170,9 +170,10 @@ inline void traceInstant(const char* name, const char* category,
 
 /// Name the calling thread's track on the active collector (no-op when
 /// tracing is disabled). The exporter emits the name as the Chrome trace
-/// thread_name metadata, so e.g. the pipeline's builder thread shows up as
-/// "sim.builder" instead of "track-3". Safe to call repeatedly; the latest
-/// name wins.
-void nameCurrentThreadTrack(const char* name);
+/// thread_name metadata, so e.g. the pipeline's builder threads show up as
+/// "sim.builder.0" … "sim.builder.N" instead of "track-3". Takes ownership
+/// of a std::string so dynamically numbered tracks (one per builder) need
+/// no static storage. Safe to call repeatedly; the latest name wins.
+void nameCurrentThreadTrack(std::string name);
 
 }  // namespace ddsim::obs

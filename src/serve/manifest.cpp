@@ -106,6 +106,7 @@ std::vector<ManifestEntry> parseManifest(std::istream& in) {
         entry.config.approximateFidelity = base.approximateFidelity;
         entry.config.pipeline = base.pipeline;
         entry.config.pipelineDepth = base.pipelineDepth;
+        entry.config.threads = base.threads;
       } else if (key == "dd-repeating") {
         entry.ddRepeating = true;
         entry.config.reuseRepeatedBlocks = true;
@@ -120,6 +121,8 @@ std::vector<ManifestEntry> parseManifest(std::istream& in) {
         }
       } else if (key == "pipeline-depth") {
         entry.config.pipelineDepth = parseUint(value, "pipeline-depth", lineNo);
+      } else if (key == "threads") {
+        entry.config.threads = parseUint(value, "threads", lineNo);
       } else if (key == "detect-repetitions") {
         entry.detectRepetitions = true;
       } else if (key == "seed") {

@@ -435,6 +435,14 @@ void SimulationService::accumulate(const JobResult& result) {
                                     std::memory_order_relaxed);
   resourceRecoveries_.fetch_add(result.stats.resourceRecoveries,
                                 std::memory_order_relaxed);
+  pipelinedBlocks_.fetch_add(result.stats.pipelinedBlocks,
+                             std::memory_order_relaxed);
+  pipelineStalls_.fetch_add(result.stats.pipelineStalls,
+                            std::memory_order_relaxed);
+  pipelineBowOuts_.fetch_add(result.stats.pipelineBowOuts,
+                             std::memory_order_relaxed);
+  pipelineSerialFallbackOps_.fetch_add(result.stats.serialFallbackOps,
+                                       std::memory_order_relaxed);
 }
 
 void SimulationService::shutdown(bool drain) {
@@ -542,6 +550,11 @@ ServiceStats SimulationService::stats() const {
   s.pressureApproximations =
       pressureApproximations_.load(std::memory_order_relaxed);
   s.resourceRecoveries = resourceRecoveries_.load(std::memory_order_relaxed);
+  s.pipelinedBlocks = pipelinedBlocks_.load(std::memory_order_relaxed);
+  s.pipelineStalls = pipelineStalls_.load(std::memory_order_relaxed);
+  s.pipelineBowOuts = pipelineBowOuts_.load(std::memory_order_relaxed);
+  s.pipelineSerialFallbackOps =
+      pipelineSerialFallbackOps_.load(std::memory_order_relaxed);
   s.perWorkerJobs.reserve(perWorkerJobs_.size());
   for (const auto& counter : perWorkerJobs_) {
     s.perWorkerJobs.push_back(counter->load(std::memory_order_relaxed));
@@ -597,6 +610,10 @@ std::string ServiceStats::toJson() const {
      << ", \"sequential_fallback_ops\": " << sequentialFallbackOps
      << ", \"pressure_approximations\": " << pressureApproximations
      << ", \"resource_recoveries\": " << resourceRecoveries << "}";
+  os << ", \"pipeline\": {\"blocks\": " << pipelinedBlocks
+     << ", \"stalls\": " << pipelineStalls
+     << ", \"bow_outs\": " << pipelineBowOuts
+     << ", \"serial_fallback_ops\": " << pipelineSerialFallbackOps << "}";
   os << ", \"per_worker_jobs\": [";
   for (std::size_t i = 0; i < perWorkerJobs.size(); ++i) {
     os << (i > 0 ? ", " : "") << perWorkerJobs[i];

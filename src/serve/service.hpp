@@ -216,6 +216,15 @@ struct ServiceStats {
   std::uint64_t pressureApproximations = 0;
   std::uint64_t resourceRecoveries = 0;
 
+  /// Pipelined-engine accounting summed across all jobs. Serial-fallback
+  /// ops (replayed after a builder bow-out or main-package pressure break)
+  /// are counted separately from pipelined blocks so degraded runs are
+  /// distinguishable from healthy pipelined runs in the JSON.
+  std::uint64_t pipelinedBlocks = 0;
+  std::uint64_t pipelineStalls = 0;
+  std::uint64_t pipelineBowOuts = 0;
+  std::uint64_t pipelineSerialFallbackOps = 0;
+
   std::vector<std::uint64_t> perWorkerJobs;
 
   /// Stable flat JSON object (keys documented in DESIGN.md).
@@ -308,6 +317,10 @@ class SimulationService {
   std::atomic<std::uint64_t> sequentialFallbackOps_{0};
   std::atomic<std::uint64_t> pressureApproximations_{0};
   std::atomic<std::uint64_t> resourceRecoveries_{0};
+  std::atomic<std::uint64_t> pipelinedBlocks_{0};
+  std::atomic<std::uint64_t> pipelineStalls_{0};
+  std::atomic<std::uint64_t> pipelineBowOuts_{0};
+  std::atomic<std::uint64_t> pipelineSerialFallbackOps_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> perWorkerJobs_;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/pipeline.hpp"
 
+#include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -9,52 +11,109 @@
 #include "sim/build_dd.hpp"
 
 namespace ddsim::sim {
+namespace {
 
-// ------------------------------------------------------------- BlockQueue
+void mergeInto(dd::PackageStats& into, const dd::PackageStats& from) {
+  into.matrixVectorMultiplications += from.matrixVectorMultiplications;
+  into.matrixMatrixMultiplications += from.matrixMatrixMultiplications;
+  into.recursiveMulVCalls += from.recursiveMulVCalls;
+  into.recursiveMulMCalls += from.recursiveMulMCalls;
+  into.recursiveAddCalls += from.recursiveAddCalls;
+  into.identitySkipsMV += from.identitySkipsMV;
+  into.identitySkipsMM += from.identitySkipsMM;
+  into.diagonalFastPathsMM += from.diagonalFastPathsMM;
+  into.garbageCollections += from.garbageCollections;
+  into.nodesCollected += from.nodesCollected;
+  into.peakLiveNodes = std::max<std::uint64_t>(into.peakLiveNodes,
+                                               from.peakLiveNodes);
+  into.emergencyCollections += from.emergencyCollections;
+  into.bytesReleased += from.bytesReleased;
+}
 
-bool BlockQueue::push(PipelineBlock&& blk) {
+void mergeInto(dd::CacheStats& into, const dd::CacheStats& from) {
+  into.mulMVHits += from.mulMVHits;
+  into.mulMVMisses += from.mulMVMisses;
+  into.mulMMHits += from.mulMMHits;
+  into.mulMMMisses += from.mulMMMisses;
+  into.addHits += from.addHits;
+  into.addMisses += from.addMisses;
+  into.uniqueTableHits += from.uniqueTableHits;
+  into.uniqueTableMisses += from.uniqueTableMisses;
+  into.complexTableHits += from.complexTableHits;
+  into.complexTableMisses += from.complexTableMisses;
+  into.mulMVRetained += from.mulMVRetained;
+  into.mulMMRetained += from.mulMMRetained;
+  into.addRetained += from.addRetained;
+  into.cacheRetained += from.cacheRetained;
+  into.cacheStaleDropped += from.cacheStaleDropped;
+  into.uniqueTableLockWaits += from.uniqueTableLockWaits;
+  into.complexTableLockWaits += from.complexTableLockWaits;
+  into.computeTableLockWaits += from.computeTableLockWaits;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- ReorderBuffer
+
+bool ReorderBuffer::push(std::uint64_t seq, PipelineBlock&& blk) {
   std::unique_lock<std::mutex> lock(mutex_);
-  notFull_.wait(lock,
-                [this] { return aborted_ || queue_.size() < capacity_; });
+  // A push is admissible once the block is inside the consumer's window.
+  // The lowest outstanding sequence always satisfies seq < popNext_ +
+  // capacity_ once everything below it was consumed, so producers can
+  // never deadlock here (capacity_ >= 1).
+  mayPush_.wait(lock, [&] {
+    return aborted_ || seq >= limit_ || seq < popNext_ + capacity_;
+  });
   if (aborted_) {
     return false;
   }
-  queue_.push_back(std::move(blk));
-  notEmpty_.notify_one();
+  if (seq >= limit_ || seq < popNext_) {
+    return true;  // truncated while building: drop; the claim loop ends
+  }
+  ready_.emplace(seq, std::move(blk));
+  mayPop_.notify_one();
   return true;
 }
 
-BlockQueue::PopStatus BlockQueue::popFor(PipelineBlock& out,
-                                         std::chrono::milliseconds timeout) {
+ReorderBuffer::PopStatus ReorderBuffer::popFor(
+    PipelineBlock& out, std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
-  notEmpty_.wait_for(lock, timeout,
-                     [this] { return closed_ || !queue_.empty(); });
-  if (!queue_.empty()) {
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    notFull_.notify_one();
+  mayPop_.wait_for(lock, timeout, [&] {
+    return aborted_ || popNext_ >= limit_ || ready_.count(popNext_) != 0;
+  });
+  const auto it = ready_.find(popNext_);
+  if (it != ready_.end()) {
+    out = std::move(it->second);
+    ready_.erase(it);
+    ++popNext_;
+    mayPush_.notify_all();
     return PopStatus::Ok;
   }
-  return closed_ ? PopStatus::Drained : PopStatus::TimedOut;
+  return popNext_ >= limit_ ? PopStatus::Drained : PopStatus::TimedOut;
 }
 
-void BlockQueue::close() {
+void ReorderBuffer::truncate(std::uint64_t limit) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  closed_ = true;
-  notEmpty_.notify_all();
+  if (limit >= limit_) {
+    return;
+  }
+  limit_ = limit;
+  ready_.erase(ready_.lower_bound(limit_), ready_.end());
+  mayPush_.notify_all();
+  mayPop_.notify_all();
 }
 
-void BlockQueue::abort() {
+void ReorderBuffer::abort() {
   const std::lock_guard<std::mutex> lock(mutex_);
   aborted_ = true;
-  queue_.clear();
-  notFull_.notify_all();
-  notEmpty_.notify_all();
+  ready_.clear();
+  mayPush_.notify_all();
+  mayPop_.notify_all();
 }
 
-std::size_t BlockQueue::depth() const {
+std::size_t ReorderBuffer::depth() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return ready_.size();
 }
 
 // ------------------------------------------------------------ BlockBuilder
@@ -70,20 +129,26 @@ BlockBuilder::BlockBuilder(const std::vector<const ir::Operation*>& run,
       initialStateNodes_(initialStateNodes),
       injector_(faultInjector),
       externalAbort_(std::move(externalAbort)),
-      queue_(config.pipelineDepth),
-      thread_([this] { threadMain(); }) {}
+      buffer_(config.pipelineDepth),
+      resumeIndex_(run.size()) {
+  const std::size_t builders = std::min(config.pipelineDepth, kMaxBuilders);
+  threads_.reserve(builders);
+  for (std::size_t t = 0; t < builders; ++t) {
+    threads_.emplace_back([this, t] { threadMain(t); });
+  }
+}
 
 BlockBuilder::~BlockBuilder() { finish(); }
 
-BlockQueue::PopStatus BlockBuilder::next(PipelineBlock& out,
-                                         std::chrono::milliseconds timeout) {
-  return queue_.popFor(out, timeout);
+ReorderBuffer::PopStatus BlockBuilder::next(PipelineBlock& out,
+                                            std::chrono::milliseconds timeout) {
+  return buffer_.popFor(out, timeout);
 }
 
 void BlockBuilder::onBlockApplied(std::size_t stateNodes) {
-  const std::lock_guard<std::mutex> lock(fbMutex_);
+  const std::lock_guard<std::mutex> lock(schedMutex_);
   fbSizes_.push_back(stateNodes);
-  fbCv_.notify_one();
+  schedCv_.notify_all();
 }
 
 void BlockBuilder::finish() {
@@ -91,38 +156,121 @@ void BlockBuilder::finish() {
     return;
   }
   stop_.store(true, std::memory_order_relaxed);
-  queue_.abort();
+  buffer_.abort();
   {
-    const std::lock_guard<std::mutex> lock(fbMutex_);
-    fbCv_.notify_all();
+    const std::lock_guard<std::mutex> lock(schedMutex_);
+    schedCv_.notify_all();
   }
-  thread_.join();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
   joined_ = true;
 }
 
-bool BlockBuilder::waitStateFeedback(std::uint64_t blockIndex,
-                                     std::size_t& nodes) {
-  if (blockIndex == 0) {
+bool BlockBuilder::claimNext(std::uint64_t& seq, std::size_t& start) {
+  std::unique_lock<std::mutex> lock(schedMutex_);
+  for (;;) {
+    if (stopRequested()) {
+      return false;
+    }
+    const std::uint64_t bound = std::min(endSeq_, failSeq_);
+    if (nextSeq_ >= bound) {
+      return false;
+    }
+    const std::uint64_t s = nextSeq_;
+    if (config_.schedule == Schedule::KOperations) {
+      // Static boundaries: block s covers [s*k, s*k + k). Every builder can
+      // claim a different future block immediately — this is the true
+      // N-deep fan-out.
+      const std::size_t st = static_cast<std::size_t>(s) * config_.k;
+      if (st >= run_.size()) {
+        endSeq_ = std::min(endSeq_, s);
+        schedCv_.notify_all();
+        continue;  // re-evaluates to nextSeq_ >= bound
+      }
+      ++nextSeq_;
+      seq = s;
+      start = st;
+      return true;
+    }
+    // Dynamic boundaries (MaxSize/Adaptive): block s's start is block s-1's
+    // published end. Builders relay — claim waits for the frontier.
+    if (starts_.size() > s) {
+      ++nextSeq_;
+      seq = s;
+      start = starts_[s];
+      return true;
+    }
+    schedCv_.wait(lock);
+  }
+}
+
+void BlockBuilder::publishBoundary(std::uint64_t seq, std::size_t end) {
+  std::uint64_t limit;
+  {
+    const std::lock_guard<std::mutex> lock(schedMutex_);
+    if (end >= run_.size()) {
+      endSeq_ = std::min(endSeq_, seq + 1);
+    } else if (config_.schedule != Schedule::KOperations) {
+      // Dynamic schedules complete in sequence order (block seq+1 cannot
+      // start before this publish), so push_back stays contiguous.
+      if (starts_.size() == seq + 1) {
+        starts_.push_back(end);
+      }
+    }
+    limit = std::min(endSeq_, failSeq_);
+    schedCv_.notify_all();
+  }
+  buffer_.truncate(limit);
+}
+
+void BlockBuilder::reportFailure(std::uint64_t seq, std::size_t start,
+                                 bool bowOut) {
+  std::uint64_t limit;
+  {
+    const std::lock_guard<std::mutex> lock(schedMutex_);
+    if (seq < failSeq_) {
+      failSeq_ = seq;
+      resumeIndex_ = start;
+      failSeqAtomic_.store(failSeq_, std::memory_order_relaxed);
+    }
+    if (bowOut) {
+      bowedOut_ = true;
+    }
+    limit = std::min(endSeq_, failSeq_);
+    schedCv_.notify_all();
+  }
+  buffer_.truncate(limit);
+}
+
+bool BlockBuilder::waitStateFeedback(std::uint64_t seq, std::size_t& nodes) {
+  if (seq == 0) {
     nodes = initialStateNodes_;
     return true;
   }
-  std::unique_lock<std::mutex> lock(fbMutex_);
-  fbCv_.wait(lock, [&] {
-    return stopRequested() || fbSizes_.size() >= blockIndex;
+  std::unique_lock<std::mutex> lock(schedMutex_);
+  schedCv_.wait(lock, [&] {
+    return stopRequested() || fbSizes_.size() >= seq ||
+           std::min(endSeq_, failSeq_) <= seq;
   });
-  if (fbSizes_.size() >= blockIndex) {
-    nodes = fbSizes_[blockIndex - 1];
+  if (fbSizes_.size() >= seq) {
+    nodes = fbSizes_[seq - 1];
     return true;
   }
   return false;
 }
 
-void BlockBuilder::threadMain() {
-  obs::nameCurrentThreadTrack("sim.builder");
+void BlockBuilder::threadMain(std::size_t builderId) {
+  // One trace track per builder so overlapping block spans stay legible.
+  obs::nameCurrentThreadTrack("sim.builder." + std::to_string(builderId));
+  std::uint64_t blocksBuilt = 0;
+  double buildSeconds = 0.0;
   try {
     dd::Package pkg(numQubits_);
     // Same budget as the main package: a block the serial engine could not
-    // have afforded must not be built ahead either.
+    // have afforded must not be built ahead either. Builder kernels stay
+    // single-threaded — fan-out parallelism comes from the builder count,
+    // and N builders x M kernel workers would oversubscribe the host.
     if (config_.nodeBudget > 0 || config_.byteBudget > 0) {
       pkg.governor().setBudget({config_.nodeBudget, config_.byteBudget,
                                 config_.softBudgetFraction});
@@ -133,144 +281,180 @@ void BlockBuilder::threadMain() {
     pkg.setAbortCheck([this] {
       return stopRequested() || (externalAbort_ && externalAbort_());
     });
-    try {
-      buildLoop(pkg);
-    } catch (const dd::ResourceExhausted&) {
-      // The builder package cannot afford the current block: bow out and
-      // let the main thread continue serially from its first operation.
-      // Blocks already pushed stay valid.
-      bowedOut_ = true;
-    } catch (const dd::ComputationAborted&) {
-      if (!stopRequested()) {
-        // External abort (time limit / cancellation). Bow out; the main
-        // thread notices the same condition through its own polls and
-        // unwinds with the proper exception.
-        bowedOut_ = true;
+    buildLoop(pkg, blocksBuilt, buildSeconds);
+    const std::lock_guard<std::mutex> lock(schedMutex_);
+    mergeInto(stats_.dd, pkg.stats());
+    mergeInto(stats_.cache, pkg.cacheStats());
+    stats_.blocksBuilt += blocksBuilt;
+    stats_.buildSeconds += buildSeconds;
+  } catch (...) {
+    // Package construction/teardown failure — not a per-block condition.
+    {
+      const std::lock_guard<std::mutex> lock(schedMutex_);
+      if (failure_ == nullptr) {
+        failure_ = std::current_exception();
       }
     }
-    stats_.dd = pkg.stats();
-    stats_.cache = pkg.cacheStats();
-    // close() last: its mutex release orders every write above before the
-    // consumer's post-Drained reads.
-    queue_.close();
-  } catch (...) {
-    failure_ = std::current_exception();
-    queue_.close();
+    reportFailure(0, 0, false);
   }
 }
 
-void BlockBuilder::buildLoop(dd::Package& pkg) {
+void BlockBuilder::buildLoop(dd::Package& pkg, std::uint64_t& blocksBuilt,
+                             double& buildSeconds) {
   // Per-run gate-DD memoization, mirroring the simulator's gateCache_: runs
   // revisit the same ir::Operation objects (flattened compound
   // repetitions), and rooting the cached edges keeps the corresponding
   // multiply compute-table entries revalidatable across collections.
   std::unordered_map<const ir::Operation*, dd::MEdge> gateCache;
-  const auto buildGate = [&](const ir::Operation& op) {
-    const auto it = gateCache.find(&op);
-    if (it != gateCache.end()) {
-      return it->second;
-    }
-    const dd::MEdge m = buildOperationDD(pkg, op);
-    pkg.incRef(m);
-    gateCache.emplace(&op, m);
-    return m;
-  };
+  const std::function<dd::MEdge(const ir::Operation&)> buildGate =
+      [&](const ir::Operation& op) {
+        const auto it = gateCache.find(&op);
+        if (it != gateCache.end()) {
+          return it->second;
+        }
+        const dd::MEdge m = buildOperationDD(pkg, op);
+        pkg.incRef(m);
+        gateCache.emplace(&op, m);
+        return m;
+      };
 
-  std::size_t i = 0;
-  std::uint64_t blockIndex = 0;
-  while (i < run_.size()) {
-    if (stopRequested()) {
+  std::uint64_t seq = 0;
+  std::size_t start = 0;
+  while (claimNext(seq, start)) {
+    try {
+      if (!buildBlock(pkg, buildGate, seq, start, blocksBuilt, buildSeconds)) {
+        return;
+      }
+    } catch (const dd::ResourceExhausted&) {
+      // This builder's package cannot afford block `seq`: bow out. Blocks
+      // below it (possibly from other builders) stay valid; the main
+      // thread drains them and continues serially from this block's start.
+      reportFailure(seq, start, true);
       return;
-    }
-    resumeIndex_ = i;
-    const Timer blockTimer;
-    dd::MEdge acc{};
-    bool pending = false;
-    std::size_t count = 0;
-    std::uint64_t gates = 0;
-    std::uint64_t mxm = 0;
-    std::size_t adaptiveStateNodes = 0;
-    bool haveAdaptiveNodes = false;
-    {
-      const obs::ScopedSpan span("sim.pipeline.build", obs::cat::kSim,
-                                 blockIndex);
-      while (i < run_.size()) {
-        const dd::MEdge g = buildGate(*run_[i]);
-        if (!pending) {
-          acc = g;
-          pkg.incRef(acc);
-          pending = true;
-          count = 1;
-        } else {
-          // Same left-multiplication order as the serial accumulator:
-          // state' = g * (acc * v) = (g * acc) * v.
-          const dd::MEdge combined = pkg.multiply(g, acc);
-          ++mxm;
-          pkg.incRef(combined);
-          pkg.decRef(acc);
-          acc = combined;
-          ++count;
-        }
-        gates += run_[i]->flatGateCount();
-        ++i;
-        // Replicate the serial boundary decision exactly — identical block
-        // boundaries are what make the pipelined run bit-identical.
-        const std::size_t accSize = pkg.size(acc);
-        bool full = false;
-        switch (config_.schedule) {
-          case Schedule::KOperations:
-            full = count >= config_.k;
-            break;
-          case Schedule::MaxSize:
-            full = accSize > config_.maxSize;
-            break;
-          case Schedule::Adaptive:
-            // The serial loop compares against the state size after the
-            // previous flush; wait for exactly that feedback. This couples
-            // the builder one block behind the consumer — Adaptive
-            // pipelining overlaps less than KOperations/MaxSize, but stays
-            // deterministic.
-            if (!haveAdaptiveNodes) {
-              if (!waitStateFeedback(blockIndex, adaptiveStateNodes)) {
-                pkg.decRef(acc);
-                return;
-              }
-              haveAdaptiveNodes = true;
-            }
-            full = static_cast<double>(accSize) >
-                   config_.adaptiveRatio *
-                       static_cast<double>(adaptiveStateNodes);
-            break;
-          case Schedule::Sequential:
-            full = true;  // unreachable: the simulator never pipelines it
-            break;
-        }
-        if (full) {
-          break;
+    } catch (const dd::ComputationAborted&) {
+      if (!stopRequested()) {
+        // External abort (time limit / cancellation). Bow out; the main
+        // thread notices the same condition through its own polls and
+        // unwinds with the proper exception.
+        reportFailure(seq, start, true);
+      }
+      return;
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(schedMutex_);
+        if (failure_ == nullptr) {
+          failure_ = std::current_exception();
         }
       }
+      reportFailure(seq, start, false);
+      return;
     }
-
-    PipelineBlock blk;
-    blk.block = dd::exportDD(pkg, acc);
-    blk.firstOp = resumeIndex_;
-    blk.opCount = i - resumeIndex_;
-    blk.gateCount = gates;
-    blk.mxmCount = mxm;
-    blk.builderNodes = pkg.size(acc);
-    blk.buildSeconds = blockTimer.seconds();
-    pkg.decRef(acc);
-    pkg.maybeGarbageCollect();
-    stats_.buildSeconds += blk.buildSeconds;
-    obs::traceInstant("sim.pipeline.queue-depth", obs::cat::kSim,
-                      queue_.depth());
-    if (!queue_.push(std::move(blk))) {
-      return;  // consumer aborted the queue
-    }
-    ++stats_.blocksBuilt;
-    ++blockIndex;
   }
-  resumeIndex_ = run_.size();
+}
+
+bool BlockBuilder::buildBlock(
+    dd::Package& pkg,
+    const std::function<dd::MEdge(const ir::Operation&)>& gate,
+    std::uint64_t seq, std::size_t start, std::uint64_t& blocksBuilt,
+    double& buildSeconds) {
+  const Timer blockTimer;
+  dd::MEdge acc{};
+  bool pending = false;
+  std::size_t count = 0;
+  std::uint64_t gates = 0;
+  std::uint64_t mxm = 0;
+  std::size_t adaptiveStateNodes = 0;
+  bool haveAdaptiveNodes = false;
+  std::size_t i = start;
+  {
+    const obs::ScopedSpan span("sim.pipeline.build", obs::cat::kSim, seq);
+    while (i < run_.size()) {
+      if (stopRequested() ||
+          failSeqAtomic_.load(std::memory_order_relaxed) <= seq) {
+        // Stopped, or a lower block failed: this block will never be
+        // consumed — abandon it instead of finishing dead work.
+        if (pending) {
+          pkg.decRef(acc);
+        }
+        return false;
+      }
+      const dd::MEdge g = gate(*run_[i]);
+      if (!pending) {
+        acc = g;
+        pkg.incRef(acc);
+        pending = true;
+        count = 1;
+      } else {
+        // Same left-multiplication order as the serial accumulator:
+        // state' = g * (acc * v) = (g * acc) * v.
+        const dd::MEdge combined = pkg.multiply(g, acc);
+        ++mxm;
+        pkg.incRef(combined);
+        pkg.decRef(acc);
+        acc = combined;
+        ++count;
+      }
+      gates += run_[i]->flatGateCount();
+      ++i;
+      // Replicate the serial boundary decision exactly — identical block
+      // boundaries are what make the pipelined run bit-identical.
+      const std::size_t accSize = pkg.size(acc);
+      bool full = false;
+      switch (config_.schedule) {
+        case Schedule::KOperations:
+          full = count >= config_.k;
+          break;
+        case Schedule::MaxSize:
+          full = accSize > config_.maxSize;
+          break;
+        case Schedule::Adaptive:
+          // The serial loop compares against the state size after the
+          // previous flush; wait for exactly that feedback. This couples
+          // block seq one step behind the consumer — Adaptive pipelining
+          // overlaps less than KOperations/MaxSize, but stays
+          // deterministic.
+          if (!haveAdaptiveNodes) {
+            if (!waitStateFeedback(seq, adaptiveStateNodes)) {
+              pkg.decRef(acc);
+              return false;
+            }
+            haveAdaptiveNodes = true;
+          }
+          full = static_cast<double>(accSize) >
+                 config_.adaptiveRatio * static_cast<double>(adaptiveStateNodes);
+          break;
+        case Schedule::Sequential:
+          full = true;  // unreachable: the simulator never pipelines it
+          break;
+      }
+      if (full) {
+        break;
+      }
+    }
+  }
+
+  // Publish before the export/push so the next block's claim (and its
+  // builder) can proceed while this thread serializes the handoff.
+  publishBoundary(seq, i);
+
+  PipelineBlock blk;
+  blk.block = dd::exportDD(pkg, acc);
+  blk.firstOp = start;
+  blk.opCount = i - start;
+  blk.gateCount = gates;
+  blk.mxmCount = mxm;
+  blk.builderNodes = pkg.size(acc);
+  blk.buildSeconds = blockTimer.seconds();
+  pkg.decRef(acc);
+  pkg.maybeGarbageCollect();
+  buildSeconds += blk.buildSeconds;
+  obs::traceInstant("sim.pipeline.queue-depth", obs::cat::kSim,
+                    buffer_.depth());
+  if (!buffer_.push(seq, std::move(blk))) {
+    return false;  // consumer aborted the buffer
+  }
+  ++blocksBuilt;
+  return true;
 }
 
 }  // namespace ddsim::sim

@@ -1,32 +1,47 @@
 /// \file pipeline.hpp
-/// \brief Pipelined block building: a dedicated builder thread combines the
-///        next block of gates in its own private dd::Package while the main
-///        thread applies the previous block to the state.
+/// \brief Pipelined block building: up to pipelineDepth builder threads
+///        combine future blocks of gates in private dd::Packages while the
+///        main thread applies finished blocks to the state, in order.
 ///
 /// The paper separates simulation into two phases — combining operation
 /// matrices (MxM) and applying the product to the state (MxV) — that run
 /// serially on one thread, so combine wall time adds directly to apply wall
 /// time. Block construction only depends on the gate stream (and, for the
 /// Adaptive schedule, on the state *size*, not the state itself), so it can
-/// run ahead on a second thread. The two packages never share nodes: blocks
-/// cross the thread boundary as portable FlatMatrixDD values
-/// (dd/migration.hpp) through a bounded SPSC queue with backpressure.
+/// run ahead on other threads. Packages never share nodes: blocks cross the
+/// thread boundary as portable FlatMatrixDD values (dd/migration.hpp)
+/// through an ordered reorder buffer with backpressure.
 ///
-/// Determinism contract: the builder replicates the serial engine's block
+/// Fan-out: builders claim block sequence numbers from a shared scheduler.
+/// With the KOperations schedule, block boundaries are static (block s
+/// covers ops [s*k, (s+1)*k)), so N builders construct N different future
+/// blocks concurrently. With MaxSize/Adaptive, block s+1's first operation
+/// is only known once block s is fully combined, so builders form a relay:
+/// one combines the frontier block while another overlaps the export /
+/// handoff of the previous one. The consumer always receives blocks in
+/// sequence order regardless of completion order.
+///
+/// Determinism contract: builders replicate the serial engine's block
 /// boundaries exactly — KOperations counts gates, MaxSize measures its own
 /// accumulator (DD canonicity makes node counts package-independent), and
 /// Adaptive waits for the applied-state-size feedback of the previous block
 /// before deciding boundaries, which is precisely the information the
 /// serial loop uses. Identical boundaries mean identical floating-point
 /// groupings, so pipelined runs produce bit-identical states and
-/// measurement outcomes for the same seed as serial runs.
+/// measurement outcomes for the same seed as serial runs, at any
+/// pipelineDepth. (Builder packages are private and single-threaded; the
+/// `threads` knob parallelizes the *main* package's kernels and carries its
+/// own, weaker last-ulp guarantee — see dd::Package::setWorkers.)
 ///
-/// Failure protocol: if the builder's private package exhausts its resource
+/// Failure protocol: if a builder's private package exhausts its resource
 /// budget (or a fault injector fires in it), the builder *bows out* — it
-/// records the run index the main thread must resume from, closes the
-/// queue, and exits. Blocks already handed over stay valid; the simulator
-/// drains them, then continues serially. Builder failure never fails the
-/// simulation.
+/// reports the failed block's sequence number and first operation index to
+/// the scheduler and exits. The scheduler truncates the stream at the
+/// lowest failed sequence: blocks below it stay valid and are drained by
+/// the simulator, blocks at/above it are discarded (other builders abandon
+/// them mid-build via a cheap per-gate poll), and resumeIndex() names the
+/// operation the serial fallback resumes from. Builder failure never fails
+/// the simulation.
 
 #pragma once
 
@@ -34,9 +49,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -71,47 +87,59 @@ struct PipelineBlock {
   double buildSeconds = 0.0;
 };
 
-/// Bounded single-producer/single-consumer handoff queue. The builder
-/// blocks in push() when the consumer is pipelineDepth blocks behind
+/// Bounded multi-producer/single-consumer *ordered* handoff buffer.
+/// Producers push blocks tagged with their sequence number in any
+/// completion order; the consumer only ever pops the next sequence number,
+/// so blocks are re-serialized into stream order. A producer blocks in
+/// push() when its sequence is more than `capacity` ahead of the consumer
 /// (backpressure); the consumer polls popFor() with a timeout so it can
-/// keep honouring cancellation and time limits while the builder works.
-class BlockQueue {
+/// keep honouring cancellation and time limits while builders work.
+///
+/// truncate(limit) declares that no sequence >= limit will ever be
+/// consumed: queued blocks at/above it are discarded, pushes for them
+/// return immediately, and popFor reports Drained once the consumer has
+/// popped everything below. Producers call it when the end of the run (or
+/// the lowest failed block) becomes known; limits only ever shrink.
+class ReorderBuffer {
  public:
-  explicit BlockQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit ReorderBuffer(std::size_t capacity) : capacity_(capacity) {}
 
   enum class PopStatus {
-    Ok,        ///< a block was dequeued
-    TimedOut,  ///< queue empty, producer still running
-    Drained,   ///< queue empty and closed — no block will ever arrive
+    Ok,        ///< the next in-order block was dequeued
+    TimedOut,  ///< next block not ready, producers still running
+    Drained,   ///< every block below the truncation limit was consumed
   };
 
-  /// Producer: enqueue, waiting while the queue is full. Returns false if
-  /// the consumer aborted the queue (the block is dropped).
-  bool push(PipelineBlock&& blk);
-  /// Consumer: dequeue, waiting up to \p timeout for a block.
+  /// Producer: enqueue block \p seq, waiting while it is outside the
+  /// consumer's backpressure window. Returns false if the consumer aborted
+  /// the buffer (the block is dropped and the producer should exit); blocks
+  /// at/above the truncation limit are silently dropped with true.
+  bool push(std::uint64_t seq, PipelineBlock&& blk);
+  /// Consumer: dequeue the next in-order block, waiting up to \p timeout.
   PopStatus popFor(PipelineBlock& out, std::chrono::milliseconds timeout);
-  /// Producer: no more blocks will be pushed. Already-queued blocks remain
-  /// drainable; popFor returns Drained once they are gone.
-  void close();
-  /// Consumer: discard queued blocks and unblock the producer (its next
-  /// push fails). Used on early exit so the builder never deadlocks on a
-  /// full queue.
+  /// Producer side: no sequence >= \p limit will ever arrive (min-combines
+  /// with previous limits).
+  void truncate(std::uint64_t limit);
+  /// Consumer: discard queued blocks and unblock every producer (their next
+  /// push fails). Used on early exit so builders never deadlock on a full
+  /// buffer.
   void abort();
   [[nodiscard]] std::size_t depth() const;
 
  private:
   mutable std::mutex mutex_;
-  std::condition_variable notFull_;
-  std::condition_variable notEmpty_;
-  std::deque<PipelineBlock> queue_;
+  std::condition_variable mayPush_;
+  std::condition_variable mayPop_;
+  std::map<std::uint64_t, PipelineBlock> ready_;
   std::size_t capacity_;
-  bool closed_ = false;
+  std::uint64_t popNext_ = 0;
+  std::uint64_t limit_ = std::numeric_limits<std::uint64_t>::max();
   bool aborted_ = false;
 };
 
-/// Snapshot of the builder package's counters, merged into the simulation
-/// stats after the builder exits (the builder's MxM work would otherwise
-/// vanish from the dd/cache totals).
+/// Builder-package counters, summed across all builder threads and merged
+/// into the simulation stats after the builders exit (their MxM work would
+/// otherwise vanish from the dd/cache totals).
 struct BuilderStats {
   dd::PackageStats dd;
   dd::CacheStats cache;
@@ -119,15 +147,21 @@ struct BuilderStats {
   double buildSeconds = 0.0;
 };
 
-/// Owns the builder thread for one pipelined run (a maximal measurement-
-/// free stretch of unitary operations). The constructor starts the thread;
-/// the destructor stops and joins it, so a BlockBuilder on the stack can
-/// never leak a thread no matter how the consumer unwinds.
+/// Owns the builder threads for one pipelined run (a maximal measurement-
+/// free stretch of unitary operations). The constructor starts
+/// min(config.pipelineDepth, kMaxBuilders) threads; the destructor stops
+/// and joins them, so a BlockBuilder on the stack can never leak a thread
+/// no matter how the consumer unwinds.
 class BlockBuilder {
  public:
+  /// Builder threads beyond this count cannot help: the reorder window is
+  /// at most pipelineDepth blocks and each builder owns a full private
+  /// package, so the fan-out is capped to bound memory.
+  static constexpr std::size_t kMaxBuilders = 8;
+
   /// \p run must stay alive and unchanged until finish()/destruction.
-  /// \p externalAbort is polled from the builder thread (through the
-  /// builder package's abort check), so it must be thread-safe — an atomic
+  /// \p externalAbort is polled from the builder threads (through the
+  /// builder packages' abort checks), so it must be thread-safe — an atomic
   /// flag or a monotonic-clock comparison, like the cancellation hooks the
   /// serving layer installs.
   BlockBuilder(const std::vector<const ir::Operation*>& run,
@@ -139,22 +173,22 @@ class BlockBuilder {
   BlockBuilder(const BlockBuilder&) = delete;
   BlockBuilder& operator=(const BlockBuilder&) = delete;
 
-  /// Consumer: fetch the next block (see BlockQueue::popFor).
-  BlockQueue::PopStatus next(PipelineBlock& out,
-                             std::chrono::milliseconds timeout);
+  /// Consumer: fetch the next in-order block (see ReorderBuffer::popFor).
+  ReorderBuffer::PopStatus next(PipelineBlock& out,
+                                std::chrono::milliseconds timeout);
   /// Consumer: report the state DD size after applying a block, in block
   /// order. Feeds the Adaptive schedule's boundary decisions; harmless (and
   /// skippable) for the other schedules.
   void onBlockApplied(std::size_t stateNodes);
-  /// Stop the builder and join its thread (idempotent; also run by the
+  /// Stop the builders and join their threads (idempotent; also run by the
   /// destructor). Queued-but-unapplied blocks are discarded.
   void finish();
 
   /// The following accessors are valid once popFor returned Drained or
   /// finish() was called.
   [[nodiscard]] bool bowedOut() const noexcept { return bowedOut_; }
-  /// First run index *not* covered by a pushed block — where the serial
-  /// fallback resumes after a bow-out.
+  /// First run index *not* covered by a delivered block — where the serial
+  /// fallback resumes after a bow-out (run size on a clean finish).
   [[nodiscard]] std::size_t resumeIndex() const noexcept {
     return resumeIndex_;
   }
@@ -164,14 +198,38 @@ class BlockBuilder {
     return failure_;
   }
   [[nodiscard]] const BuilderStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t queueDepth() const { return queue_.depth(); }
+  [[nodiscard]] std::size_t queueDepth() const { return buffer_.depth(); }
+  [[nodiscard]] std::size_t builderCount() const noexcept {
+    return threads_.size();
+  }
 
  private:
-  void threadMain();
-  void buildLoop(dd::Package& pkg);
-  /// Adaptive feedback: state size after block \p blockIndex - 1 (the
-  /// initial state size for block 0). False if stopped before it arrived.
-  bool waitStateFeedback(std::uint64_t blockIndex, std::size_t& nodes);
+  void threadMain(std::size_t builderId);
+  void buildLoop(dd::Package& pkg, std::uint64_t& blocksBuilt,
+                 double& buildSeconds);
+  /// Claim the next block sequence number and its first operation index.
+  /// KOperations boundaries are static (start = seq * k), so claims return
+  /// immediately; MaxSize/Adaptive claims wait until the previous block's
+  /// end was published. Returns false when the run is exhausted, a lower
+  /// block failed, or the builder was stopped.
+  bool claimNext(std::uint64_t& seq, std::size_t& start);
+  /// Build block \p seq starting at \p start and push it. Returns false if
+  /// the builder should exit (stop, abandonment, aborted buffer). Throws
+  /// dd::ResourceExhausted / dd::ComputationAborted like the serial engine.
+  bool buildBlock(dd::Package& pkg,
+                  const std::function<dd::MEdge(const ir::Operation&)>& gate,
+                  std::uint64_t seq, std::size_t start,
+                  std::uint64_t& blocksBuilt, double& buildSeconds);
+  /// Publish block \p seq's end (one past its last operation): unlocks the
+  /// claim of seq+1 for dynamic schedules and detects the end of the run.
+  void publishBoundary(std::uint64_t seq, std::size_t end);
+  /// Record a failed/abandoned block: truncates the stream at the lowest
+  /// failed sequence and points resumeIndex() at its first operation.
+  void reportFailure(std::uint64_t seq, std::size_t start, bool bowOut);
+  /// Adaptive feedback: state size after block \p seq - 1 (the initial
+  /// state size for block 0). False if the block became unconsumable (stop
+  /// or a lower failure) before the feedback arrived.
+  bool waitStateFeedback(std::uint64_t seq, std::size_t& nodes);
   [[nodiscard]] bool stopRequested() const noexcept {
     return stop_.load(std::memory_order_relaxed);
   }
@@ -183,22 +241,35 @@ class BlockBuilder {
   dd::FaultInjector* injector_;
   std::function<bool()> externalAbort_;
 
-  BlockQueue queue_;
+  ReorderBuffer buffer_;
   std::atomic<bool> stop_{false};
 
-  std::mutex fbMutex_;
-  std::condition_variable fbCv_;
+  // Scheduler state: which block each builder works on next, where blocks
+  // start, and where the stream ends (normally or by failure). schedCv_ is
+  // also the Adaptive feedback channel (fbSizes_).
+  std::mutex schedMutex_;
+  std::condition_variable schedCv_;
+  std::uint64_t nextSeq_ = 0;
+  /// starts_[s] = first op index of block s; grown contiguously as dynamic
+  /// (MaxSize/Adaptive) boundaries are published. Unused for KOperations.
+  std::vector<std::size_t> starts_{0};
+  /// First sequence number past the end of the run, once known.
+  std::uint64_t endSeq_ = std::numeric_limits<std::uint64_t>::max();
+  /// Lowest failed sequence number, once any builder failed.
+  std::uint64_t failSeq_ = std::numeric_limits<std::uint64_t>::max();
+  /// Mirror of failSeq_ for the builders' cheap per-gate abandon polls.
+  std::atomic<std::uint64_t> failSeqAtomic_{
+      std::numeric_limits<std::uint64_t>::max()};
   std::vector<std::size_t> fbSizes_;
 
-  // Written by the builder thread before it closes the queue (or before
-  // join); read by the consumer after Drained/finish(). The queue mutex
-  // (respectively the join) orders these accesses.
+  // Written by builder threads under schedMutex_; read by the consumer
+  // after finish() (the joins order these accesses).
   bool bowedOut_ = false;
-  std::size_t resumeIndex_ = 0;
+  std::size_t resumeIndex_;
   std::exception_ptr failure_;
   BuilderStats stats_;
 
-  std::thread thread_;
+  std::vector<std::thread> threads_;
   bool joined_ = false;
 };
 

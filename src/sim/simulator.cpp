@@ -84,6 +84,10 @@ CircuitSimulator::CircuitSimulator(const ir::Circuit& circuit,
       rng_(seed),
       clbits_(std::max<std::size_t>(1, circuit.numClbits()), false) {
   config_.validate();
+  // Kernel parallelism for the main package (no-op at the default of 1).
+  // Builder packages stay serial: the pipeline's fan-out supplies its own
+  // parallelism, and N builders x M workers would oversubscribe the host.
+  pkg_->setWorkers(config_.threads);
   // DDSIM_NODE_BUDGET supplies a process-wide default (used e.g. by the CI
   // job that runs the whole suite under a tiny budget); an explicit config
   // value wins.
@@ -294,14 +298,14 @@ void CircuitSimulator::runPipelined(
   while (true) {
     PipelineBlock blk;
     const auto status = builder.next(blk, std::chrono::milliseconds(20));
-    if (status == BlockQueue::PopStatus::TimedOut) {
+    if (status == ReorderBuffer::PopStatus::TimedOut) {
       // Builder-bound: keep honouring cancellation and the time limit
       // while we wait (afterStep throws if either tripped).
       ++stats_.pipelineStalls;
       afterStep();
       continue;
     }
-    if (status == BlockQueue::PopStatus::Drained) {
+    if (status == ReorderBuffer::PopStatus::Drained) {
       break;
     }
     obs::traceInstant("sim.pipeline.queue-depth", obs::cat::kSim,
@@ -371,6 +375,10 @@ void CircuitSimulator::runPipelined(
     ++stats_.degradationEvents;
     pipelineDisabled_ = true;
     enterCooldown();
+    // Serial fallback: replay the uncovered tail through the normal path.
+    // Counted separately from pipelined work so degraded runs are
+    // distinguishable in the stats (and the serving layer's JSON).
+    stats_.serialFallbackOps += run.size() - resume;
     for (std::size_t j = resume; j < run.size(); ++j) {
       handleUnitary(*run[j]);
     }
@@ -711,8 +719,7 @@ void CircuitSimulator::forcedApproximation() {
 /// Consume the pressure flag: true if the governor signaled pressure since
 /// the last check, or current usage still sits above the soft threshold.
 bool CircuitSimulator::pressureObserved() {
-  const bool signaled = pressureSignaled_;
-  pressureSignaled_ = false;
+  const bool signaled = pressureSignaled_.exchange(false);
   return signaled ||
          pkg_->resourcePressure() != dd::ResourcePressure::None;
 }

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -148,8 +149,9 @@ class CircuitSimulator {
   /// before matrix-matrix combination is re-enabled.
   std::size_t sequentialCooldown_ = 0;
   /// Set by the governor's pressure callback (possibly deep inside a
-  /// multiplication); consumed at the next quiescent point.
-  bool pressureSignaled_ = false;
+  /// multiplication, and — with threads > 1 — from a kernel worker
+  /// thread); consumed at the next quiescent point.
+  std::atomic<bool> pressureSignaled_{false};
   std::function<bool()> cancelCheck_;
   Timer runTimer_;
 

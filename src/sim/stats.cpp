@@ -45,6 +45,9 @@ void StrategyConfig::validate() const {
     throw std::invalid_argument(
         "StrategyConfig: pipelineDepth must be in [1, 1024]");
   }
+  if (threads < 1 || threads > 256) {
+    throw std::invalid_argument("StrategyConfig: threads must be in [1, 256]");
+  }
 }
 
 std::uint64_t StrategyConfig::contentHash() const noexcept {
@@ -62,6 +65,10 @@ std::uint64_t StrategyConfig::contentHash() const noexcept {
   // pipeline / pipelineDepth are likewise excluded: the pipelined engine is
   // required to produce bit-identical measurement outcomes for the same
   // seed, so pipelined and serial submissions must share a cache entry.
+  // threads is excluded for the same reason: kernel parallelism never
+  // changes measurement outcomes (only last-ulp weight representatives —
+  // see dd::Package::setWorkers), so parallel and serial submissions must
+  // coalesce too.
   h = hashDouble(h, timeLimitSeconds);
   h = hashDouble(h, approximateFidelity);
   h = hashCombine(h, approximateThreshold);
@@ -87,6 +94,9 @@ std::string StrategyConfig::toString() const {
   }
   if (pipeline) {
     ss << "+pipeline(depth=" << pipelineDepth << ")";
+  }
+  if (threads > 1) {
+    ss << "+threads(" << threads << ")";
   }
   if (nodeBudget > 0 || byteBudget > 0) {
     ss << "+budget(nodes=" << nodeBudget << ",bytes=" << byteBudget << ")";
@@ -119,6 +129,7 @@ std::string SimulationStats::toString() const {
     ss << " pipelinedBlocks=" << pipelinedBlocks
        << " pipelineStalls=" << pipelineStalls
        << " pipelineBowOuts=" << pipelineBowOuts
+       << " serialFallbackOps=" << serialFallbackOps
        << " migratedNodes=" << migratedNodes
        << " builderBuildSeconds=" << builderBuildSeconds;
   }

@@ -84,11 +84,23 @@ struct StrategyConfig {
   /// bit-identical to the serial path for the same seed. No effect under
   /// Schedule::Sequential (there is nothing to combine ahead).
   bool pipeline = false;
-  /// Capacity of the builder-to-main handoff queue (how many blocks the
-  /// builder may run ahead). Also the feedback lag of the Adaptive schedule
-  /// under pipelining: block i is sized against the state size after block
-  /// i - pipelineDepth. In [1, 1024].
+  /// Pipeline fan-out: capacity of the ordered builder-to-main reorder
+  /// buffer (how far ahead builders may run, in blocks) *and* the number of
+  /// concurrent builder threads (capped at BlockBuilder::kMaxBuilders).
+  /// With the KOperations schedule, block boundaries are static, so N
+  /// builders construct N different future blocks at once; dynamic
+  /// schedules (MaxSize/Adaptive) relay instead. Also the feedback lag of
+  /// the Adaptive schedule under pipelining: block i is sized against the
+  /// state size after block i - pipelineDepth. In [1, 1024].
   std::size_t pipelineDepth = 2;
+  /// Worker threads for the *main* package's DD kernels (multiply/add
+  /// recursions fork over edge quadrants; the unique/complex/compute tables
+  /// take their lock-striped concurrent paths). 1 = fully serial engine.
+  /// Observation note: parallel canonicalization may pick a different
+  /// last-ulp representative for weights that are equal within tolerance
+  /// (see dd::Package::setWorkers); measurement outcomes are unaffected.
+  /// In [1, 256]; excluded from contentHash like the pipeline knobs.
+  std::size_t threads = 1;
 
   [[nodiscard]] static StrategyConfig sequential() { return {}; }
   [[nodiscard]] static StrategyConfig kOperations(std::size_t k) {
@@ -188,9 +200,13 @@ struct SimulationStats {
   /// Times the main thread waited on an empty handoff queue (the builder
   /// was the bottleneck at that moment).
   std::uint64_t pipelineStalls = 0;
-  /// Times the builder thread bowed out (resource pressure / failure in its
+  /// Times a builder thread bowed out (resource pressure / failure in its
   /// private package) and the run continued on the serial path.
   std::uint64_t pipelineBowOuts = 0;
+  /// Operations replayed on the serial path after a pipeline degrade
+  /// (builder bow-out or main-package pressure). Counted separately from
+  /// pipelined work so a degraded run is distinguishable in the stats.
+  std::uint64_t serialFallbackOps = 0;
   /// DD nodes rebuilt in the main package by cross-package imports
   /// (pipeline handoffs and shared-block-cache hits).
   std::uint64_t migratedNodes = 0;

@@ -1,0 +1,513 @@
+/// Tests for the multi-core DD engine: concurrent canonicalization tables,
+/// quadrant-parallel kernels, and their interaction with garbage collection.
+///
+/// The determinism contract under test: a parallel run performs the same
+/// arithmetic in the same operand order as the serial recursion, so results
+/// are bit-identical (not merely within tolerance) — every EXPECT below that
+/// compares amplitudes uses exact double equality on purpose.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "dd/complex_table.hpp"
+#include "dd/memory_manager.hpp"
+#include "dd/package.hpp"
+#include "dd/unique_table.hpp"
+#include "ir/gate.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace ddsim::dd {
+namespace {
+
+// ------------------------------------------------------- table-level races
+
+TEST(ParallelTables, ComplexTableConcurrentLookupIsCanonical) {
+  ComplexTable tab;
+  tab.setConcurrent(true);
+
+  // A fixed set of values, several of which collide within tolerance, so
+  // racing threads are forced through overlapping shard lock sets.
+  constexpr std::size_t kValues = 64;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 4000;
+  std::vector<ComplexValue> values;
+  values.reserve(kValues);
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t i = 0; i < kValues / 2; ++i) {
+    const ComplexValue v{dist(rng), dist(rng)};
+    values.push_back(v);
+    // A near-duplicate inside tolerance: must canonicalize to the same entry.
+    values.push_back(ComplexValue{v.r + kTolerance / 4, v.i - kTolerance / 4});
+  }
+
+  std::vector<std::vector<CWeight>> seen(kThreads,
+                                         std::vector<CWeight>(kValues));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const std::size_t i = (r + t * 17) % kValues;
+        CWeight w = tab.lookup(values[i]);
+        ASSERT_NE(w, nullptr);
+        if (seen[t][i] == nullptr) {
+          seen[t][i] = w;
+        } else {
+          // The canonical pointer for a value never changes mid-run.
+          ASSERT_EQ(seen[t][i], w);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // All threads agree on one canonical representative per value, and the
+  // near-duplicates collapsed onto their base value's entry.
+  for (std::size_t i = 0; i < kValues; ++i) {
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[0][i], seen[t][i]) << "value " << i;
+    }
+  }
+  for (std::size_t i = 0; i < kValues; i += 2) {
+    EXPECT_EQ(seen[0][i], seen[0][i + 1]) << "near-duplicate pair " << i;
+  }
+
+  // Quiescent point: GC drops everything unreferenced and the table shrinks
+  // back to the two constants.
+  tab.setConcurrent(false);
+  EXPECT_GT(tab.garbageCollect({}), 0U);
+  EXPECT_EQ(tab.size(), 2U);
+}
+
+TEST(ParallelTables, UniqueTableConcurrentInsertIsCanonical) {
+  ComplexTable ctab;
+  MemoryManager<VNode> mm;
+  UniqueTable<VNode> ut(mm);
+  ut.resize(1);
+  mm.setConcurrent(true);
+  ut.setConcurrent(true);
+
+  VNode terminal;
+  terminal.v = kTerminalVar;
+
+  // A pool of weight pairs; every (wa, wb) pair describes one logical node
+  // that all threads race to insert.
+  constexpr std::size_t kKeys = 32;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 3000;
+  std::vector<CWeight> wa(kKeys);
+  std::vector<CWeight> wb(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    wa[i] = ctab.lookup(0.25 + static_cast<double>(i), 0.0);
+    wb[i] = ctab.lookup(0.0, -0.5 - static_cast<double>(i));
+  }
+
+  std::vector<std::vector<VNode*>> seen(kThreads,
+                                        std::vector<VNode*>(kKeys, nullptr));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const std::size_t i = (r + t * 7) % kKeys;
+        VNode* cand = mm.get();
+        cand->v = 0;
+        cand->next = nullptr;
+        cand->ref = 0;
+        cand->flags = 0;
+        cand->e[0] = VEdge{&terminal, wa[i]};
+        cand->e[1] = VEdge{&terminal, wb[i]};
+        VNode* n = ut.lookup(cand);
+        ASSERT_NE(n, nullptr);
+        if (seen[t][i] == nullptr) {
+          seen[t][i] = n;
+        } else {
+          ASSERT_EQ(seen[t][i], n);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[0][i], seen[t][i]) << "key " << i;
+    }
+  }
+  // Exactly one node per key survived the race.
+  EXPECT_EQ(ut.liveCount(), kKeys);
+
+  // Quiescent sweep recycles everything (ref == 0 throughout).
+  ut.setConcurrent(false);
+  mm.setConcurrent(false);
+  EXPECT_EQ(ut.garbageCollect(), kKeys);
+  EXPECT_EQ(ut.liveCount(), 0U);
+}
+
+// --------------------------------------------------- kernel-level identity
+
+/// Apply a deterministic pseudo-random gate sequence via top-level MxV
+/// multiplications and return the final amplitude vector. With
+/// \p rotations false the sequence is Clifford+T only: every weight the
+/// recursion ever computes then has a single association order, so parallel
+/// runs are *bit-identical* to serial ones. Random RZ angles additionally
+/// exercise the ulp-level canonicalization caveat (see Package::setWorkers).
+std::vector<ComplexValue> runMxV(Package& p, std::size_t numQubits,
+                                 std::size_t numGates, bool rotations) {
+  std::mt19937_64 rng(77);
+  std::uniform_int_distribution<Qubit> qubit(
+      0, static_cast<Qubit>(numQubits - 1));
+  std::uniform_real_distribution<double> angle(0.0, 6.28);
+  VEdge state = p.makeBasisState(0);
+  p.incRef(state);
+  for (std::size_t g = 0; g < numGates; ++g) {
+    const Qubit target = qubit(rng);
+    MEdge gate;
+    switch (g % 4) {
+      case 0:
+        gate = p.makeGateDD(ir::gateMatrix(ir::GateType::H), target);
+        break;
+      case 1: {
+        Qubit control = qubit(rng);
+        if (control == target) {
+          control = static_cast<Qubit>((target + 1) % numQubits);
+        }
+        gate = p.makeGateDD(ir::gateMatrix(ir::GateType::X), target,
+                            Controls{Control{control, true}});
+        break;
+      }
+      case 2: {
+        if (rotations) {
+          const double theta = angle(rng);
+          gate = p.makeGateDD(ir::gateMatrix(ir::GateType::RZ, &theta), target);
+        } else {
+          angle(rng);  // keep the gate schedule identical either way
+          gate = p.makeGateDD(ir::gateMatrix(ir::GateType::S), target);
+        }
+        break;
+      }
+      default:
+        gate = p.makeGateDD(ir::gateMatrix(ir::GateType::T), target);
+        break;
+    }
+    const VEdge next = p.multiply(gate, state);
+    p.incRef(next);
+    p.decRef(state);
+    state = next;
+  }
+  auto amps = p.getVector(state);
+  p.decRef(state);
+  return amps;
+}
+
+TEST(ParallelKernels, MultiplyMxVBitIdenticalToSerial) {
+  constexpr std::size_t kQubits = 9;
+  constexpr std::size_t kGates = 60;
+  Package serial(kQubits);
+  Package parallel(kQubits);
+  parallel.setWorkers(4);
+  EXPECT_EQ(parallel.workers(), 4U);
+
+  const auto expected = runMxV(serial, kQubits, kGates, /*rotations=*/false);
+  const auto got = runMxV(parallel, kQubits, kGates, /*rotations=*/false);
+  ASSERT_EQ(expected.size(), got.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].r, got[i].r) << "amplitude " << i;
+    EXPECT_EQ(expected[i].i, got[i].i) << "amplitude " << i;
+  }
+}
+
+TEST(ParallelKernels, MultiplyMxVWithRotationsMatchesSerialToUlp) {
+  // With random RZ angles, algebraically equal weights reached through
+  // different association orders differ in the last ulp; which one becomes
+  // the tolerance class's canonical representative is insertion-order
+  // dependent, so serial and parallel runs may disagree *below* the
+  // canonicalization tolerance (1e-13) while the DD structure is identical.
+  constexpr std::size_t kQubits = 9;
+  constexpr std::size_t kGates = 60;
+  Package serial(kQubits);
+  Package parallel(kQubits);
+  parallel.setWorkers(4);
+
+  const auto expected = runMxV(serial, kQubits, kGates, /*rotations=*/true);
+  const auto got = runMxV(parallel, kQubits, kGates, /*rotations=*/true);
+  ASSERT_EQ(expected.size(), got.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i].r, got[i].r, 1e-12) << "amplitude " << i;
+    EXPECT_NEAR(expected[i].i, got[i].i, 1e-12) << "amplitude " << i;
+  }
+}
+
+/// Accumulate a block of gates with MxM products, then apply the block to a
+/// basis state; returns the resulting amplitudes.
+std::vector<ComplexValue> runMxM(Package& p, std::size_t numQubits,
+                                 std::size_t numGates) {
+  std::mt19937_64 rng(91);
+  std::uniform_int_distribution<Qubit> qubit(
+      0, static_cast<Qubit>(numQubits - 1));
+  MEdge acc = p.makeIdent();
+  p.incRef(acc);
+  for (std::size_t g = 0; g < numGates; ++g) {
+    const Qubit target = qubit(rng);
+    MEdge gate;
+    if (g % 3 == 0) {
+      gate = p.makeGateDD(ir::gateMatrix(ir::GateType::H), target);
+    } else if (g % 3 == 1) {
+      Qubit control = qubit(rng);
+      if (control == target) {
+        control = static_cast<Qubit>((target + 1) % numQubits);
+      }
+      gate = p.makeGateDD(ir::gateMatrix(ir::GateType::X), target,
+                          Controls{Control{control, true}});
+    } else {
+      gate = p.makeGateDD(ir::gateMatrix(ir::GateType::S), target);
+    }
+    const MEdge next = p.multiply(gate, acc);
+    p.incRef(next);
+    p.decRef(acc);
+    acc = next;
+  }
+  const VEdge out = p.multiply(acc, p.makeBasisState(0));
+  p.incRef(out);
+  p.decRef(acc);
+  auto amps = p.getVector(out);
+  p.decRef(out);
+  return amps;
+}
+
+TEST(ParallelKernels, MultiplyMxMBitIdenticalToSerial) {
+  constexpr std::size_t kQubits = 8;
+  constexpr std::size_t kGates = 40;
+  Package serial(kQubits);
+  Package parallel(kQubits);
+  parallel.setWorkers(4);
+
+  const auto expected = runMxM(serial, kQubits, kGates);
+  const auto got = runMxM(parallel, kQubits, kGates);
+  ASSERT_EQ(expected.size(), got.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].r, got[i].r) << "amplitude " << i;
+    EXPECT_EQ(expected[i].i, got[i].i) << "amplitude " << i;
+  }
+}
+
+TEST(ParallelKernels, AddBitIdenticalToSerial) {
+  constexpr std::size_t kQubits = 9;
+  Package serial(kQubits);
+  Package parallel(kQubits);
+  parallel.setWorkers(3);
+
+  const auto run = [&](Package& p) {
+    std::mt19937_64 rng(33);
+    const VEdge a = p.makeStateFromVector(test::randomAmplitudes(kQubits, rng));
+    const VEdge b = p.makeStateFromVector(test::randomAmplitudes(kQubits, rng));
+    return p.getVector(p.add(a, b));
+  };
+  const auto expected = run(serial);
+  const auto got = run(parallel);
+  ASSERT_EQ(expected.size(), got.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].r, got[i].r);
+    EXPECT_EQ(expected[i].i, got[i].i);
+  }
+}
+
+TEST(ParallelKernels, SurvivesCollectionsBetweenParallelOps) {
+  constexpr std::size_t kQubits = 9;
+  Package serial(kQubits);
+  Package parallel(kQubits);
+  parallel.setWorkers(4);
+
+  const auto run = [&](Package& p) {
+    std::vector<ComplexValue> out;
+    // Three rounds of work with full collections in between: collections are
+    // quiescent-point operations and must leave the concurrent tables in a
+    // consistent state for the next parallel round.
+    for (int round = 0; round < 3; ++round) {
+      auto amps = runMxV(p, kQubits, 25, /*rotations=*/false);
+      out.insert(out.end(), amps.begin(), amps.end());
+      p.garbageCollect();
+      p.emergencyCollect();
+    }
+    return out;
+  };
+  const auto expected = run(serial);
+  const auto got = run(parallel);
+  ASSERT_EQ(expected.size(), got.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].r, got[i].r) << "amplitude " << i;
+    EXPECT_EQ(expected[i].i, got[i].i) << "amplitude " << i;
+  }
+  // Contention counters are exposed through CacheStats (may be zero on a
+  // lightly loaded run, but must be readable and finite).
+  const CacheStats cs = parallel.cacheStats();
+  EXPECT_GE(cs.uniqueTableLockWaits, 0U);
+  EXPECT_GE(cs.complexTableLockWaits, 0U);
+  EXPECT_GE(cs.computeTableLockWaits, 0U);
+}
+
+TEST(ParallelKernels, SetWorkersRoundTripRestoresSerialEngine) {
+  constexpr std::size_t kQubits = 8;
+  Package p(kQubits);
+  EXPECT_EQ(p.workers(), 1U);
+  const auto before = runMxV(p, kQubits, 20, /*rotations=*/false);
+  p.setWorkers(4);
+  const auto during = runMxV(p, kQubits, 20, /*rotations=*/false);
+  p.setWorkers(1);
+  EXPECT_EQ(p.workers(), 1U);
+  const auto after = runMxV(p, kQubits, 20, /*rotations=*/false);
+  ASSERT_EQ(before.size(), during.size());
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].r, during[i].r);
+    EXPECT_EQ(before[i].i, during[i].i);
+    EXPECT_EQ(before[i].r, after[i].r);
+    EXPECT_EQ(before[i].i, after[i].i);
+  }
+}
+
+TEST(ParallelKernels, ResourceExhaustionPropagatesFromWorkers) {
+  constexpr std::size_t kQubits = 10;
+  Package p(kQubits);
+  p.setWorkers(4);
+  ResourceBudget budget;
+  budget.maxLiveNodes = 64;  // far too small for a dense 10-qubit state
+  p.governor().setBudget(budget);
+  EXPECT_THROW(runMxV(p, kQubits, 40, /*rotations=*/true), ResourceExhausted);
+  // The package stays usable after the failed operation: lift the budget,
+  // collect, and run to completion.
+  p.governor().setBudget(ResourceBudget{});
+  p.garbageCollect();
+  EXPECT_NO_THROW(runMxV(p, kQubits, 10, /*rotations=*/true));
+}
+
+}  // namespace
+}  // namespace ddsim::dd
+
+// ------------------------------------------------- pipeline reorder buffer
+
+namespace ddsim::sim {
+namespace {
+
+/// A PipelineBlock whose firstOp doubles as its sequence-number marker.
+PipelineBlock marker(std::uint64_t seq) {
+  PipelineBlock blk;
+  blk.firstOp = static_cast<std::size_t>(seq);
+  return blk;
+}
+
+TEST(ReorderBuffer, DeliversInSequenceOrderAcrossRacingProducers) {
+  ReorderBuffer buf(4);
+  constexpr std::uint64_t kBlocks = 24;
+  constexpr std::size_t kProducers = 3;
+  // Producers complete blocks in interleaved (round-robin) order with
+  // deterministic jitter — exactly the completion-order scramble an N-deep
+  // builder fan-out produces.
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&buf, t] {
+      for (std::uint64_t seq = t; seq < kBlocks; seq += kProducers) {
+        if (seq % (t + 2) == 0) {
+          std::this_thread::yield();
+        }
+        EXPECT_TRUE(buf.push(seq, marker(seq)));
+      }
+    });
+  }
+  std::vector<std::size_t> order;
+  while (order.size() < kBlocks) {
+    PipelineBlock blk;
+    const auto status = buf.popFor(blk, std::chrono::milliseconds(500));
+    ASSERT_EQ(status, ReorderBuffer::PopStatus::Ok);
+    order.push_back(blk.firstOp);
+  }
+  for (auto& p : producers) {
+    p.join();
+  }
+  for (std::uint64_t s = 0; s < kBlocks; ++s) {
+    EXPECT_EQ(order[s], s) << "position " << s;
+  }
+  buf.truncate(kBlocks);
+  PipelineBlock blk;
+  EXPECT_EQ(buf.popFor(blk, std::chrono::milliseconds(1)),
+            ReorderBuffer::PopStatus::Drained);
+}
+
+TEST(ReorderBuffer, TruncateDropsQueuedTailAndDrains) {
+  ReorderBuffer buf(8);
+  for (const std::uint64_t seq : {4ULL, 1ULL, 3ULL, 0ULL}) {
+    EXPECT_TRUE(buf.push(seq, marker(seq)));
+  }
+  // A builder failed on block 2: everything at/above it is unconsumable.
+  buf.truncate(2);
+  // Late pushes of truncated sequences are silently dropped, not errors —
+  // another builder may have been mid-flight on a doomed block.
+  EXPECT_TRUE(buf.push(2, marker(2)));
+  EXPECT_TRUE(buf.push(7, marker(7)));
+  PipelineBlock blk;
+  ASSERT_EQ(buf.popFor(blk, std::chrono::milliseconds(50)),
+            ReorderBuffer::PopStatus::Ok);
+  EXPECT_EQ(blk.firstOp, 0U);
+  ASSERT_EQ(buf.popFor(blk, std::chrono::milliseconds(50)),
+            ReorderBuffer::PopStatus::Ok);
+  EXPECT_EQ(blk.firstOp, 1U);
+  EXPECT_EQ(buf.popFor(blk, std::chrono::milliseconds(1)),
+            ReorderBuffer::PopStatus::Drained);
+  EXPECT_EQ(buf.depth(), 0U);
+}
+
+TEST(ReorderBuffer, AbortUnblocksBlockedProducer) {
+  ReorderBuffer buf(1);
+  EXPECT_TRUE(buf.push(0, marker(0)));
+  std::atomic<int> result{-1};
+  std::thread producer(
+      [&] { result = buf.push(1, marker(1)) ? 1 : 0; });
+  // Give the producer time to park on the backpressure window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(result.load(), -1);
+  buf.abort();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+}
+
+TEST(ReorderBuffer, FaultInjectionAcrossBuildersPreservesBlockOrder) {
+  // End-to-end: 8 builders race over static KOperations boundaries, a
+  // shared fault injector kills whichever one trips it first, and the
+  // reorder buffer must still deliver the surviving prefix in order — the
+  // run completes serially with outcomes identical to the serial engine.
+  ir::Circuit circuit(6, 6, "fanout_fault");
+  circuit.appendCircuit(ddsim::test::randomCircuit(6, 120, 31));
+  circuit.measureAll();
+
+  const StrategyConfig serial = StrategyConfig::kOperations(3);
+  const auto serialResult = simulate(circuit, serial, 17);
+
+  StrategyConfig piped = serial;
+  piped.pipeline = true;
+  piped.pipelineDepth = 8;
+  dd::FaultInjector injector;
+  injector.configure({.failAllocationAfter = 150});
+  CircuitSimulator sim(circuit, piped, 17);
+  sim.setBuilderFaultInjector(&injector);
+  const auto result = sim.run();
+  EXPECT_GE(result.stats.pipelineBowOuts, 1U);
+  EXPECT_GT(injector.injectedAllocFailures(), 0U);
+  EXPECT_GT(result.stats.serialFallbackOps, 0U);
+  EXPECT_EQ(result.classicalBits, serialResult.classicalBits);
+}
+
+}  // namespace
+}  // namespace ddsim::sim

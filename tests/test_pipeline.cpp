@@ -72,6 +72,39 @@ TEST(Pipeline, MatchesSerialAmplitudes) {
   }
 }
 
+TEST(Pipeline, FanOutMatchesSerialAcrossDepthsAndSchedules) {
+  // The acceptance bar of the parallel engine: any pipelineDepth (1 = the
+  // old single-builder pipeline, 8 = full fan-out) on any schedule yields
+  // bit-identical measurement outcomes to the serial engine.
+  const auto circuit = measuredCircuit(7);
+  for (const StrategyConfig& serial : combiningSchedules()) {
+    const auto serialResult = simulate(circuit, serial, 23);
+    for (const std::size_t depth : {1, 3, 8}) {
+      const auto piped = simulate(circuit, withPipeline(serial, depth), 23);
+      EXPECT_EQ(piped.classicalBits, serialResult.classicalBits)
+          << serial.toString() << " depth " << depth;
+    }
+  }
+}
+
+TEST(Pipeline, ThreadedKernelsMatchSerialOutcomesAcrossSchedules) {
+  // Kernel parallelism in the main package (threads knob), alone and
+  // combined with the builder fan-out: measurement outcomes stay identical
+  // to the serial engine for the same seed.
+  const auto circuit = measuredCircuit(5);
+  for (const StrategyConfig& serial : combiningSchedules()) {
+    const auto serialResult = simulate(circuit, serial, 29);
+    StrategyConfig threaded = serial;
+    threaded.threads = 3;
+    const auto kernels = simulate(circuit, threaded, 29);
+    EXPECT_EQ(kernels.classicalBits, serialResult.classicalBits)
+        << serial.toString();
+    const auto both = simulate(circuit, withPipeline(threaded, 4), 29);
+    EXPECT_EQ(both.classicalBits, serialResult.classicalBits)
+        << serial.toString();
+  }
+}
+
 TEST(Pipeline, GroverMatchesSerial) {
   const auto circuit =
       algo::makeGroverCircuit(7, 0x2a, {.iterations = 4, .measure = true});
@@ -186,6 +219,20 @@ TEST(Pipeline, ValidateRejectsBadDepth) {
   config.pipelineDepth = 1;
   EXPECT_NO_THROW(config.validate());
   EXPECT_NE(config.toString().find("+pipeline(depth=1)"), std::string::npos);
+}
+
+TEST(Pipeline, ThreadsKnobValidatesAndStaysOutOfContentHash) {
+  StrategyConfig config = StrategyConfig::kOperations(4);
+  config.threads = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.threads = 257;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.threads = 4;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_NE(config.toString().find("+threads(4)"), std::string::npos);
+  // Kernel parallelism never changes outcomes, so threaded and serial
+  // submissions must share a serve-layer cache entry.
+  EXPECT_EQ(config.contentHash(), StrategyConfig::kOperations(4).contentHash());
 }
 
 /// Toy SharedBlockCache: enough to prove the simulator's lookup/insert

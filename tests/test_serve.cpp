@@ -508,6 +508,7 @@ TEST(ServiceStats, JsonExportCarriesAllCounterGroups) {
   for (const char* needle :
        {"\"workers\": 2", "\"submitted\": 2", "\"simulations_run\": 1",
         "\"cached\": 1", "\"cache\": {\"hits\": 1", "\"degradation\": {",
+        "\"pipeline\": {\"blocks\": ", "\"serial_fallback_ops\": ",
         "\"per_worker_jobs\": [", "\"jobs_per_second\":",
         "\"queue_latency_mean_seconds\":"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
@@ -575,6 +576,22 @@ TEST(Manifest, PipelineTokensParseAndSurviveStrategy) {
                serve::ManifestError);
   // pipeline-depth out of range is caught by per-line config validation.
   EXPECT_THROW((void)serve::parseManifest("a.qasm pipeline-depth=0\n"),
+               serve::ManifestError);
+}
+
+TEST(Manifest, ThreadsTokenParsesAndSurvivesStrategy) {
+  const auto entries = serve::parseManifest(
+      "a.qasm threads=4 strategy=k=8\n"
+      "b.qasm strategy=maxsize=256 threads=2\n");
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].config.threads, 4U);
+  EXPECT_EQ(entries[0].config.k, 8U);
+  EXPECT_EQ(entries[1].config.threads, 2U);
+
+  // Out-of-range values are caught by per-line config validation.
+  EXPECT_THROW((void)serve::parseManifest("a.qasm threads=0\n"),
+               serve::ManifestError);
+  EXPECT_THROW((void)serve::parseManifest("a.qasm threads=999\n"),
                serve::ManifestError);
 }
 

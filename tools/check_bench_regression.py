@@ -9,14 +9,21 @@ within the same file, and the gate fails when the current speedup falls
 more than --threshold (default 15%) below the baseline's speedup for the
 same row.
 
-Rows are skipped (never failed) when:
+Rows are skipped (never failed by ratio) when:
   * either run timed out (`timed_out` / `partial_result`) — timeouts are
     capacity signals, not regressions measurable by ratio;
   * the sequential reference or the row itself ran under --min-ms in either
-    file — sub-50ms cells are noise-dominated;
-  * the row only exists on one side (new configurations are allowed).
+    file — sub-50ms cells are noise-dominated.
 
-Exit code 0 = no regression, 1 = at least one regression, 2 = bad input.
+Rows that exist on only one side are *reported* in both directions:
+baseline rows missing from the current run (a configuration silently
+stopped being measured — the classic way a perf gate rots) and current
+rows absent from the baseline (new configurations whose baselines should
+be committed). By default these are warnings; with --strict any
+baseline-only row fails the gate, so CI cannot drop coverage unnoticed.
+
+Exit code 0 = no regression, 1 = at least one regression (or, under
+--strict, a baseline row missing from the current run), 2 = bad input.
 """
 
 import argparse
@@ -80,10 +87,23 @@ def main():
         default=50.0,
         help="skip rows whose wall time is below this in either file",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when a baseline row is missing from the current run "
+        "(instead of warning); current-only rows still only warn",
+    )
     args = parser.parse_args()
 
     base = load_rows(args.baseline)
     curr = load_rows(args.current)
+
+    missing_in_current = sorted(set(base) - set(curr))
+    missing_in_baseline = sorted(set(curr) - set(base))
+    for name in missing_in_current:
+        print(f"   MISSING  {name:<40} in baseline but not in current run")
+    for name in missing_in_baseline:
+        print(f"       NEW  {name:<40} in current run but not in baseline")
 
     regressions = []
     checked = 0
@@ -105,10 +125,21 @@ def main():
             f"  current {curr_speedup:6.2f}x  (floor {floor:.2f}x)"
         )
 
-    print(f"\nchecked {checked} rows, {len(regressions)} regression(s)")
+    print(
+        f"\nchecked {checked} rows, {len(regressions)} regression(s), "
+        f"{len(missing_in_current)} missing, {len(missing_in_baseline)} new"
+    )
+    failed = False
     if regressions:
         for name in regressions:
             print(f"  regressed: {name}", file=sys.stderr)
+        failed = True
+    if missing_in_current:
+        for name in missing_in_current:
+            print(f"  missing from current run: {name}", file=sys.stderr)
+        if args.strict:
+            failed = True
+    if failed:
         return 1
     if checked == 0:
         print(
