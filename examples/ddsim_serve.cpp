@@ -8,8 +8,21 @@
 /// Usage:
 ///   ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] [--cache <n>]
 ///               [--block-cache <n>] [--pipeline on|off] [--threads <n>]
+///               [--cache-dir <dir>] [--retries <n>] [--retry-backoff <s>]
+///               [--checkpoint-interval <ops>]
 ///               [--out <results.json>] [--stats <stats.json>]
 ///               [--trace-out <trace.json>] [--stats-dump <seconds>]
+///
+/// Durability: --cache-dir persists the result cache across restarts (a
+/// restarted run answers previously completed jobs as cached, without
+/// re-simulating — see serve/persistence.hpp). --retries enables the
+/// transient-failure retry policy (total attempts per job), --retry-backoff
+/// sets the base exponential backoff, and --checkpoint-interval makes jobs
+/// resumable: a retried attempt continues from the last per-job checkpoint
+/// instead of restarting.
+///
+/// SIGINT/SIGTERM drain gracefully: admission stops, running jobs finish,
+/// the cache snapshot and the final results/stats JSON are still written.
 ///
 /// --block-cache enables the shared prebuilt-block cache (exported matrix
 /// DDs of DD-repeating blocks, shared across workers via cross-package
@@ -31,6 +44,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,11 +65,19 @@
 
 namespace {
 
+/// Last graceful-drain signal received (0 = none). Written by the handler,
+/// polled by the submission and wait loops.
+std::atomic<int> gSignal{0};
+
+void onSignal(int sig) { gSignal.store(sig, std::memory_order_relaxed); }
+
 void usage() {
   std::printf(
       "usage: ddsim_serve <manifest.txt> [--workers <n>] [--queue <n>] "
       "[--cache <n>] [--block-cache <n>] [--pipeline on|off] "
       "[--threads <n>] "
+      "[--cache-dir <dir>] [--retries <n>] [--retry-backoff <s>] "
+      "[--checkpoint-interval <ops>] "
       "[--out <results.json>] [--stats <stats.json>] "
       "[--trace-out <trace.json>] [--stats-dump <seconds>]\n\n"
       "manifest lines: <qasm-path> [strategy=seq|k=<n>|maxsize=<n>|"
@@ -190,6 +212,16 @@ int main(int argc, char** argv) {
       pipelineOverride = value == "on";
     } else if (arg == "--threads" && hasValue) {
       threadsOverride = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-dir" && hasValue) {
+      serviceConfig.cacheDir = argv[++i];
+    } else if (arg == "--retries" && hasValue) {
+      serviceConfig.retry.maxAttempts =
+          std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--retry-backoff" && hasValue) {
+      serviceConfig.retry.baseBackoffSeconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--checkpoint-interval" && hasValue) {
+      serviceConfig.checkpointIntervalOps =
+          std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--out" && hasValue) {
       outPath = argv[++i];
     } else if (arg == "--stats" && hasValue) {
@@ -230,6 +262,14 @@ int main(int argc, char** argv) {
   std::printf("ddsim_serve: %zu manifest entries, %zu workers\n",
               entries.size(), service.workerCount());
 
+  // Graceful drain on SIGINT/SIGTERM: the handler only sets a flag; the
+  // submission and wait loops below poll it, stop admitting, let running
+  // jobs finish, and still flush the cache snapshot and all JSON outputs.
+  struct sigaction sa = {};
+  sa.sa_handler = onSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
   // Periodic stats dump: one line of ServiceStats JSON to stderr every
   // --stats-dump seconds until the run finishes.
   std::mutex dumpMutex;
@@ -250,6 +290,9 @@ int main(int argc, char** argv) {
 
   std::vector<SubmittedJob> jobs;
   for (const auto& entry : entries) {
+    if (gSignal.load(std::memory_order_relaxed) != 0) {
+      break;  // drain requested: stop admitting new work
+    }
     std::shared_ptr<const ir::Circuit> circuit;
     std::string loadError;
     try {
@@ -297,11 +340,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Wait for everything, then report.
+  // Wait for everything, then report. Poll in short slices so a drain
+  // signal can cut queued (not-yet-running) jobs short: shutdown(drain=false)
+  // resolves them as Cancelled while in-flight jobs run to completion, so
+  // every wait() below still returns promptly.
+  bool drained = false;
   for (const auto& job : jobs) {
-    if (job.admissionError.empty()) {
-      job.handle.wait();
+    if (!job.admissionError.empty()) {
+      continue;
     }
+    while (!job.handle.waitFor(0.1)) {
+      if (!drained && gSignal.load(std::memory_order_relaxed) != 0) {
+        std::fprintf(stderr,
+                     "ddsim_serve: signal %d — draining (running jobs "
+                     "finish, queued jobs cancel)\n",
+                     gSignal.load(std::memory_order_relaxed));
+        service.shutdown(/*drain=*/false);
+        drained = true;
+      }
+    }
+  }
+  if (!drained && gSignal.load(std::memory_order_relaxed) != 0) {
+    // Signal arrived after the last job resolved: still shut down cleanly
+    // (flushes the cache snapshot) before reporting.
+    service.shutdown(/*drain=*/true);
+    drained = true;
   }
 
   if (dumpThread.joinable()) {

@@ -36,11 +36,27 @@ class FaultInjector {
     /// Force a garbage collection at the S-th maybeGarbageCollect() poll,
     /// 1-based (0 = disabled) — one poll happens per simulator step.
     std::uint64_t forceGcAtPoll = 0;
+    /// Seeded random-fault mode: fail each node request independently with
+    /// this probability (0.0 = disabled). Deterministic per
+    /// (randomSeed, request index) — the decision for request N is a pure
+    /// SplitMix64 hash of the two, so a given seed produces the identical
+    /// fault pattern on every run regardless of thread interleaving, and
+    /// two injectors with the same seed agree request-for-request.
+    /// Composes with failAllocationAfter (either trigger fails a request).
+    double failAllocationProbability = 0.0;
+    /// Stream selector for failAllocationProbability.
+    std::uint64_t randomSeed = 0;
   };
 
   FaultInjector() = default;
   explicit FaultInjector(const Config& config) : cfg_(config) {}
 
+  /// Quiescent-point rule (shared by configure() and disarm()): cfg_ is a
+  /// plain struct read without synchronization from the injection hooks,
+  /// so reconfiguration is only safe while no package that holds this
+  /// injector is executing an operation — between simulator steps, or
+  /// before/after a run. The counters, by contrast, are relaxed atomics
+  /// and may be read at any time.
   void configure(const Config& config) noexcept { cfg_ = config; }
   /// Clear every armed fault (counters keep their values for inspection).
   void disarm() noexcept { cfg_ = Config{}; }
@@ -49,10 +65,24 @@ class FaultInjector {
   [[nodiscard]] bool onNodeRequest() noexcept {
     const std::uint64_t count =
         nodeRequests_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (cfg_.failAllocationAfter == 0) {
-      return false;
+    bool fail =
+        cfg_.failAllocationAfter != 0 && count > cfg_.failAllocationAfter;
+    if (!fail && cfg_.failAllocationProbability > 0.0) {
+      // Hash (seed, request index) to a uniform double in [0, 1): the
+      // fault pattern is a pure function of the seed, reproducible across
+      // runs and thread schedules.
+      std::uint64_t z = cfg_.randomSeed ^
+                        (count * 0x9e3779b97f4a7c15ULL +
+                         0x9e3779b97f4a7c15ULL);
+      z ^= z >> 30;
+      z *= 0xbf58476d1ce4e5b9ULL;
+      z ^= z >> 27;
+      z *= 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      const double u =
+          static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+      fail = u < cfg_.failAllocationProbability;
     }
-    const bool fail = count > cfg_.failAllocationAfter;
     if (fail) {
       injectedAllocFailures_.fetch_add(1, std::memory_order_relaxed);
     }

@@ -23,7 +23,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "dd/complex_value.hpp"
@@ -32,6 +34,15 @@
 namespace ddsim::dd {
 
 class Package;
+
+/// Structured failure of DD migration: malformed flat structure, or a byte
+/// stream that is truncated, version-incompatible or fails its checksum.
+/// Derives from std::invalid_argument so pre-existing callers that treat a
+/// bad flat DD as an argument error keep working unchanged.
+class MigrationError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Child index of a flat edge that points at the terminal node.
 inline constexpr std::int32_t kFlatTerminal = -1;
@@ -92,5 +103,40 @@ using FlatMatrixDD = FlatDD<4>;
 /// partially built nodes are unrooted and reclaimed by the next collection.
 [[nodiscard]] VEdge importDD(Package& dst, const FlatVectorDD& flat);
 [[nodiscard]] MEdge importDD(Package& dst, const FlatMatrixDD& flat);
+
+/// FNV-1a over a byte range — the integrity checksum of the serialized
+/// migration format (and of the checkpoint / cache-spill formats built on
+/// top of it). Stable, platform-independent, not cryptographic: it detects
+/// truncation and bit flips, not adversaries. Pass a previous result as
+/// \p seed to chain the hash over discontiguous ranges.
+[[nodiscard]] std::uint64_t fnv1a(
+    const std::uint8_t* data, std::size_t size,
+    std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+/// Byte-level wire format of a FlatDD, for checkpoints, disk spill and
+/// (eventually) cross-process shipping. Layout: a fixed header — magic,
+/// format version, arity, qubit count, node count, payload length, FNV-1a
+/// checksum over the entire blob (checksum field zeroed) — followed by the
+/// payload (root edge, then the nodes in
+/// their children-before-parents order). Numbers are little-endian,
+/// weights are IEEE-754 doubles by bit pattern, so a blob re-imports
+/// bit-identically on any supported host.
+[[nodiscard]] std::vector<std::uint8_t> serializeDD(const FlatVectorDD& flat);
+[[nodiscard]] std::vector<std::uint8_t> serializeDD(const FlatMatrixDD& flat);
+
+/// Decode a serialized flat DD. Throws MigrationError on a truncated
+/// buffer, bad magic, unsupported version, arity mismatch, payload-length
+/// mismatch or checksum failure — a corrupted blob is rejected before any
+/// FlatDD structure is built (and importDD re-validates the structure
+/// itself, so even a forged checksum cannot cause undefined
+/// reconstruction).
+[[nodiscard]] FlatVectorDD deserializeVectorDD(const std::uint8_t* data,
+                                               std::size_t size);
+[[nodiscard]] FlatMatrixDD deserializeMatrixDD(const std::uint8_t* data,
+                                               std::size_t size);
+[[nodiscard]] FlatVectorDD deserializeVectorDD(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] FlatMatrixDD deserializeMatrixDD(
+    const std::vector<std::uint8_t>& bytes);
 
 }  // namespace ddsim::dd

@@ -1,0 +1,290 @@
+#include "serve/persistence.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "dd/migration.hpp"
+#include "obs/trace.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace ddsim::serve {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x4453504cU;  // "LPSD" on disk (LE)
+/// magic u32 + payload length u32 + FNV-1a payload checksum u64.
+constexpr std::size_t kRecordHeader = 4 + 4 + 8;
+/// Per-record payload ceiling: a cache outcome is a classical bit vector
+/// plus flat stats — far below this. Anything larger is a corrupted length
+/// field, not a record.
+constexpr std::uint32_t kMaxPayload = 64U * 1024U * 1024U;
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int s = 0; s < 32; s += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int s = 0; s < 64; s += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int b = 3; b >= 0; --b) {
+    v = (v << 8) | p[b];
+  }
+  return v;
+}
+
+std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int b = 7; b >= 0; --b) {
+    v = (v << 8) | p[b];
+  }
+  return v;
+}
+
+/// key triple + packed classical bits + flat stats (the encoding shared
+/// with the checkpoint blob).
+std::vector<std::uint8_t> encodeRecordPayload(const CacheKey& key,
+                                              const CachedOutcome& outcome) {
+  std::vector<std::uint8_t> payload;
+  putU64(payload, key.circuitHash);
+  putU64(payload, key.configHash);
+  putU64(payload, key.seed);
+  putU64(payload, outcome.classicalBits.size());
+  std::uint8_t byte = 0;
+  for (std::size_t i = 0; i < outcome.classicalBits.size(); ++i) {
+    byte = static_cast<std::uint8_t>(
+        byte | ((outcome.classicalBits[i] ? 1U : 0U) << (i % 8)));
+    if (i % 8 == 7) {
+      payload.push_back(byte);
+      byte = 0;
+    }
+  }
+  if (outcome.classicalBits.size() % 8 != 0) {
+    payload.push_back(byte);
+  }
+  sim::encodeStats(payload, outcome.stats);
+  return payload;
+}
+
+/// Throws sim::CheckpointError (via decodeStats) or std::runtime_error on
+/// malformed input; the loader catches and counts.
+std::pair<CacheKey, CachedOutcome> decodeRecordPayload(
+    const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  const auto need = [&](std::size_t n) {
+    if (n > size - off) {
+      throw std::runtime_error("spill record payload truncated");
+    }
+  };
+  need(8 * 4);
+  CacheKey key;
+  key.circuitHash = getU64(data + off);
+  key.configHash = getU64(data + off + 8);
+  key.seed = getU64(data + off + 16);
+  const std::uint64_t bitCount = getU64(data + off + 24);
+  off += 32;
+  if (bitCount / 8 > size - off) {  // overflow-immune form of the check below
+    throw std::runtime_error("spill record payload truncated");
+  }
+  need((bitCount + 7) / 8);
+  CachedOutcome outcome;
+  outcome.classicalBits.assign(bitCount, false);
+  for (std::uint64_t i = 0; i < bitCount; ++i) {
+    outcome.classicalBits[i] = (data[off + i / 8] >> (i % 8)) & 1U;
+  }
+  off += (bitCount + 7) / 8;
+  outcome.stats = sim::decodeStats(data, size, off);
+  return {key, std::move(outcome)};
+}
+
+std::vector<std::uint8_t> encodeRecord(const CacheKey& key,
+                                       const CachedOutcome& outcome) {
+  const std::vector<std::uint8_t> payload = encodeRecordPayload(key, outcome);
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordHeader + payload.size());
+  putU32(record, kRecordMagic);
+  putU32(record, static_cast<std::uint32_t>(payload.size()));
+  putU64(record, dd::fnv1a(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  return record;
+}
+
+bool fsyncFile(std::FILE* f) {
+  return std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+}
+
+}  // namespace
+
+CacheSpill::CacheSpill(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("CacheSpill: cannot create cache directory '" +
+                             dir_ + "': " + ec.message());
+  }
+}
+
+CacheSpill::~CacheSpill() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  closeLogLocked();
+}
+
+std::string CacheSpill::snapshotPath() const { return dir_ + "/cache.snapshot"; }
+std::string CacheSpill::logPath() const { return dir_ + "/cache.log"; }
+
+void CacheSpill::closeLogLocked() {
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+}
+
+std::size_t CacheSpill::load(
+    const std::function<void(const CacheKey&, CachedOutcome)>& sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Snapshot first, then the journal: journal records are newer (or, in
+  // the snapshot-then-truncate crash window, duplicates — idempotent).
+  std::size_t restored = loadFile(snapshotPath(), sink);
+  restored += loadFile(logPath(), sink);
+  return restored;
+}
+
+std::size_t CacheSpill::loadFile(
+    const std::string& path,
+    const std::function<void(const CacheKey&, CachedOutcome)>& sink) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return 0;  // absent file = empty spill, a normal cold start
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  std::size_t restored = 0;
+  std::size_t off = 0;
+  bool inCorruptRun = false;  // count one skip per damaged region, not per byte
+  const auto markCorrupt = [&] {
+    if (!inCorruptRun) {
+      ++corruptSkipped_;
+      inCorruptRun = true;
+      obs::traceInstant("serve.spill.corrupt-record", obs::cat::kServe, off);
+    }
+  };
+  while (off + kRecordHeader <= bytes.size()) {
+    if (getU32(bytes.data() + off) != kRecordMagic) {
+      // Resync: scan forward for the next record magic.
+      markCorrupt();
+      ++off;
+      continue;
+    }
+    const std::uint32_t payloadLen = getU32(bytes.data() + off + 4);
+    const std::uint64_t checksum = getU64(bytes.data() + off + 8);
+    if (payloadLen > kMaxPayload ||
+        payloadLen > bytes.size() - off - kRecordHeader) {
+      // Torn tail (the common SIGKILL artifact) or a corrupted length.
+      // Step past the magic and rescan — if the length was the only
+      // damaged field, the next record's magic is still findable.
+      markCorrupt();
+      off += 4;
+      continue;
+    }
+    const std::uint8_t* payload = bytes.data() + off + kRecordHeader;
+    if (dd::fnv1a(payload, payloadLen) != checksum) {
+      markCorrupt();
+      off += 4;
+      continue;
+    }
+    try {
+      auto [key, outcome] = decodeRecordPayload(payload, payloadLen);
+      sink(key, std::move(outcome));
+      ++restored;
+      ++loaded_;
+      inCorruptRun = false;
+    } catch (const std::exception&) {
+      markCorrupt();
+      off += 4;
+      continue;
+    }
+    off += kRecordHeader + payloadLen;
+  }
+  if (off < bytes.size()) {
+    markCorrupt();  // trailing fragment shorter than a record header
+  }
+  return restored;
+}
+
+void CacheSpill::append(const CacheKey& key, const CachedOutcome& outcome) {
+  const std::vector<std::uint8_t> record = encodeRecord(key, outcome);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (log_ == nullptr) {
+    log_ = std::fopen(logPath().c_str(), "ab");
+    if (log_ == nullptr) {
+      return;  // persistence is best-effort; the in-memory cache still works
+    }
+  }
+  if (std::fwrite(record.data(), 1, record.size(), log_) == record.size()) {
+    // One flush per record keeps the journal crash-consistent up to the
+    // last completed job without paying an fsync on the worker's path; a
+    // torn in-flight record is skipped (and counted) by the loader.
+    std::fflush(log_);
+    ++appended_;
+  }
+}
+
+bool CacheSpill::snapshot(
+    const std::vector<std::pair<CacheKey, CachedOutcome>>& entries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string tmp = snapshotPath() + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return false;
+  }
+  bool ok = true;
+  for (const auto& [key, outcome] : entries) {
+    const std::vector<std::uint8_t> record = encodeRecord(key, outcome);
+    if (std::fwrite(record.data(), 1, record.size(), out) != record.size()) {
+      ok = false;
+      break;
+    }
+  }
+  // fsync before rename: the rename must never publish a file whose bytes
+  // are still in flight, or a crash could atomically install a torn
+  // snapshot.
+  ok = fsyncFile(out) && ok;
+  std::fclose(out);
+  if (!ok || std::rename(tmp.c_str(), snapshotPath().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Snapshot is durable — the journal's records are all contained in it,
+  // so truncate. A crash before this point replays them from both files;
+  // replay is idempotent, so no sequencing is needed.
+  closeLogLocked();
+  if (std::FILE* trunc = std::fopen(logPath().c_str(), "wb")) {
+    std::fclose(trunc);
+  }
+  ++snapshots_;
+  return true;
+}
+
+SpillCounters CacheSpill::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpillCounters c;
+  c.appended = appended_;
+  c.loaded = loaded_;
+  c.corruptSkipped = corruptSkipped_;
+  c.snapshots = snapshots_;
+  return c;
+}
+
+}  // namespace ddsim::serve

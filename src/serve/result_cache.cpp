@@ -72,6 +72,19 @@ void ResultCache::insert(const CacheKey& key, CachedOutcome outcome) {
   entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::vector<std::pair<CacheKey, CachedOutcome>> ResultCache::snapshotEntries()
+    const {
+  std::vector<std::pair<CacheKey, CachedOutcome>> out;
+  out.reserve(entries_.load(std::memory_order_relaxed));
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& entry : shard->lru) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
 CacheCounters ResultCache::counters() const {
   CacheCounters c;
   c.hits = hits_.load(std::memory_order_relaxed);

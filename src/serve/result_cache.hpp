@@ -87,6 +87,14 @@ class ResultCache {
   void insert(const CacheKey& key, CachedOutcome outcome);
 
   [[nodiscard]] CacheCounters counters() const;
+
+  /// Copy out every live entry (shard by shard, most-recently-used first
+  /// within a shard) — the input of a persistence snapshot. Each shard is
+  /// locked only while it is being copied, so the view is per-shard
+  /// consistent, which is all a crash-consistent spill needs.
+  [[nodiscard]] std::vector<std::pair<CacheKey, CachedOutcome>>
+  snapshotEntries() const;
+
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Sum of per-shard capacities; equals capacity() by construction.
   [[nodiscard]] std::size_t effectiveCapacity() const noexcept;

@@ -1,11 +1,13 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
 #include "ir/hash.hpp"
 #include "obs/trace.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
 
 namespace ddsim::serve {
@@ -29,6 +31,17 @@ struct JobRecord {
   JobResult result;
 
   std::vector<std::shared_ptr<JobRecord>> followers;
+
+  /// Retry state. Ownership of these fields passes hand-to-hand: the
+  /// executing worker -> the delayed_ parking lot -> the next executing
+  /// worker, with every handoff through queueMutex_, so no extra locking
+  /// is needed.
+  std::size_t attempt = 0;             ///< attempts consumed (1-based once running)
+  double backoffTotal = 0.0;           ///< backoff waited across attempts
+  double runTotal = 0.0;               ///< simulation time across attempts
+  double firstQueueSeconds = -1.0;     ///< queue wait of the FIRST attempt
+  /// Latest serialized checkpoint captured by any attempt of this job.
+  std::vector<std::uint8_t> checkpoint;
 };
 
 }  // namespace detail
@@ -133,6 +146,14 @@ SimulationService::SimulationService(ServiceConfig config)
                       : nullptr),
       started_(Clock::now()),
       paused_(config.startPaused) {
+  if (!config_.cacheDir.empty()) {
+    // Warm-start before any worker exists: a restarted service answers
+    // previously completed jobs as Cached without re-simulating them.
+    spill_ = std::make_unique<CacheSpill>(config_.cacheDir);
+    spill_->load([this](const CacheKey& key, CachedOutcome outcome) {
+      cache_.insert(key, std::move(outcome));
+    });
+  }
   std::size_t n = config_.workers;
   if (n == 0) {
     n = std::max(1U, std::thread::hardware_concurrency());
@@ -161,6 +182,12 @@ void SimulationService::start() {
 JobHandle SimulationService::submit(JobSpec spec) {
   if (!spec.circuit) {
     throw std::invalid_argument("submit: null circuit");
+  }
+  if (spec.deadlineSeconds < 0.0 || !std::isfinite(spec.deadlineSeconds)) {
+    // Rejected before admission: a NaN deadline compares false against
+    // everything and would otherwise silently mean "no deadline".
+    throw std::invalid_argument(
+        "submit: deadlineSeconds must be non-negative and finite");
   }
   spec.config.validate();
 
@@ -251,50 +278,128 @@ std::shared_ptr<JobRecord> SimulationService::popLocked() {
   return nullptr;
 }
 
+void SimulationService::promoteDueRetriesLocked() {
+  const auto now = Clock::now();
+  std::size_t promoted = 0;
+  // During shutdown every parked retry is due at once: a draining service
+  // finishes the work, it does not sleep out backoffs.
+  while (!delayed_.empty() && (stopping_ || delayed_.begin()->first <= now)) {
+    auto rec = std::move(delayed_.begin()->second);
+    delayed_.erase(delayed_.begin());
+    queues_[static_cast<int>(rec->spec.priority)].push_back(std::move(rec));
+    ++queueDepth_;
+    ++promoted;
+  }
+  if (promoted > 1) {
+    // The promoting worker takes one job itself; wake peers for the rest.
+    workAvailable_.notify_all();
+  }
+}
+
+bool SimulationService::scheduleRetry(const std::shared_ptr<JobRecord>& rec,
+                                      const JobResult& result) {
+  const RetryPolicy& policy = config_.retry;
+  if (rec->attempt >= policy.maxAttempts ||
+      rec->cancelRequested.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const double backoff = policy.backoffFor(rec->attempt);
+  if (rec->spec.deadlineSeconds > 0.0 &&
+      secondsSince(rec->submitted) + backoff >= rec->spec.deadlineSeconds) {
+    return false;  // the backoff alone would blow the deadline — fail now
+  }
+  // Mutate the record before parking it: once it sits in delayed_ another
+  // worker may promote and run it.
+  rec->backoffTotal += backoff;
+  const auto due =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(backoff));
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    if (stopping_) {
+      rec->backoffTotal -= backoff;
+      return false;  // no new attempts during shutdown
+    }
+    delayed_.emplace(due, rec);
+  }
+  retriesScheduled_.fetch_add(1, std::memory_order_relaxed);
+  backoffNs_.fetch_add(toNs(backoff), std::memory_order_relaxed);
+  obs::traceInstant("serve.retry-scheduled", obs::cat::kServe, rec->id);
+  // Re-admission deliberately bypasses the queue-capacity check: the job
+  // already holds a handle; rejecting the retry would strand it.
+  workAvailable_.notify_all();
+  (void)result;
+  return true;
+}
+
 void SimulationService::workerLoop(int workerId) {
   for (;;) {
     std::shared_ptr<JobRecord> rec;
     {
       std::unique_lock<std::mutex> lock(queueMutex_);
-      workAvailable_.wait(lock, [this] {
-        return stopping_ || (!paused_ && queueDepth_ > 0);
-      });
-      if (queueDepth_ == 0) {
-        if (stopping_) {
+      for (;;) {
+        promoteDueRetriesLocked();
+        if ((!paused_ || stopping_) && queueDepth_ > 0) {
+          rec = popLocked();
+          break;
+        }
+        if (stopping_ && queueDepth_ == 0 && delayed_.empty()) {
           return;
         }
-        continue;
+        if (!paused_ && !delayed_.empty()) {
+          // Sleep at most until the earliest parked retry comes due.
+          workAvailable_.wait_until(lock, delayed_.begin()->first);
+        } else {
+          workAvailable_.wait(lock);
+        }
       }
-      rec = popLocked();
     }
     if (!rec) {
       continue;
     }
 
+    const double sinceSubmit = secondsSince(rec->submitted);
+    const std::size_t attempt = ++rec->attempt;
+    if (rec->firstQueueSeconds < 0.0) {
+      rec->firstQueueSeconds = sinceSubmit;
+    }
     JobResult r;
     r.worker = workerId;
-    r.queueSeconds = secondsSince(rec->submitted);
+    // Queue latency is pinned to the first attempt — retry backoff and
+    // earlier run time are accounted separately (backoffSeconds), not
+    // smeared into the queue-wait distribution.
+    r.queueSeconds = rec->firstQueueSeconds;
+    r.attempts = attempt;
+    r.backoffSeconds = rec->backoffTotal;
     const JobSpec& spec = rec->spec;
     obs::traceInstant("serve.dequeued", obs::cat::kServe, rec->id);
+    if (attempt > 1) {
+      obs::traceInstant("serve.retry-attempt", obs::cat::kServe, rec->id);
+    }
 
     if (rec->cancelRequested.load(std::memory_order_relaxed)) {
       r.status = JobStatus::Cancelled;
       finishJob(rec, std::move(r));
       continue;
     }
-    if (spec.deadlineSeconds > 0.0 && r.queueSeconds >= spec.deadlineSeconds) {
+    if (spec.deadlineSeconds > 0.0 && sinceSubmit >= spec.deadlineSeconds) {
       r.status = JobStatus::Expired;
-      r.error = "deadline passed while queued";
+      r.error = attempt > 1 ? "deadline passed before retry attempt"
+                            : "deadline passed while queued";
       finishJob(rec, std::move(r));
       continue;
     }
 
     // Map the remaining deadline onto the simulator's timeout machinery:
-    // queue wait already consumed part of the budget.
+    // queue wait (and, for retries, earlier attempts plus backoff) already
+    // consumed part of the budget.
     sim::StrategyConfig config = spec.config;
+    if (config.checkpointIntervalOps == 0) {
+      config.checkpointIntervalOps = config_.checkpointIntervalOps;
+    }
     bool deadlineBinding = false;
     if (spec.deadlineSeconds > 0.0) {
-      const double remaining = spec.deadlineSeconds - r.queueSeconds;
+      const double remaining = spec.deadlineSeconds - sinceSubmit;
       if (config.timeLimitSeconds <= 0.0 ||
           remaining < config.timeLimitSeconds) {
         config.timeLimitSeconds = remaining;
@@ -315,6 +420,40 @@ void SimulationService::workerLoop(int workerId) {
       if (blockCache_) {
         simulator.setSharedBlockCache(blockCache_);
       }
+      if (config_.faultInjectorProvider) {
+        if (dd::FaultInjector* injector =
+                config_.faultInjectorProvider(rec->id, attempt)) {
+          simulator.package().setFaultInjector(injector);
+        }
+      }
+      if (config.checkpointIntervalOps > 0) {
+        simulator.setCheckpointSink(
+            [this, raw = rec.get()](const sim::Checkpoint& ck) {
+              raw->checkpoint = ck.serialize();
+              checkpointsTaken_.fetch_add(1, std::memory_order_relaxed);
+              obs::traceInstant("serve.checkpoint", obs::cat::kServe,
+                                raw->id);
+            });
+      }
+      if (attempt > 1) {
+        bool resumed = false;
+        if (!rec->checkpoint.empty()) {
+          try {
+            simulator.resumeFrom(
+                sim::Checkpoint::deserialize(rec->checkpoint));
+            resumed = true;
+          } catch (const sim::CheckpointError&) {
+            // Corrupt or mismatched snapshot: restart from scratch rather
+            // than failing the retry outright.
+          }
+        }
+        (resumed ? resumedAttempts_ : restartedAttempts_)
+            .fetch_add(1, std::memory_order_relaxed);
+        obs::traceInstant(resumed ? "serve.attempt-resumed"
+                                  : "serve.attempt-restarted",
+                          obs::cat::kServe, rec->id);
+        r.resumed = resumed;
+      }
       sim::SimulationResult res = simulator.run();
       r.status = JobStatus::Completed;
       r.classicalBits = std::move(res.classicalBits);
@@ -333,11 +472,21 @@ void SimulationService::workerLoop(int workerId) {
       r.partial = e.partial();
       r.stats = e.partial().stats;
       r.error = e.what();
+    } catch (const dd::ResourceExhausted& e) {
+      // Exhaustion before the simulator's own wrapper is armed (e.g. while
+      // building the initial state) carries no progress snapshot, but it is
+      // still exhaustion — and still retryable.
+      r.status = JobStatus::ResourceExhausted;
+      r.error = e.what();
     } catch (const std::exception& e) {
       r.status = JobStatus::Failed;
       r.error = e.what();
     }
-    r.runSeconds = runTimer.seconds();
+    rec->runTotal += runTimer.seconds();
+    r.runSeconds = rec->runTotal;  // simulation time across every attempt
+    if (config_.retry.shouldRetry(r.status) && scheduleRetry(rec, r)) {
+      continue;  // parked for a delayed re-admission; no result published
+    }
     finishJob(rec, std::move(r));
   }
 }
@@ -349,6 +498,12 @@ void SimulationService::finishJob(const std::shared_ptr<JobRecord>& rec,
   // no window in which a duplicate sees neither and re-simulates.
   if (result.status == JobStatus::Completed && rec->cacheable) {
     cache_.insert(rec->key, CachedOutcome{result.classicalBits, result.stats});
+    if (spill_) {
+      // Journal after the in-memory insert: a crash between the two costs
+      // the on-disk copy of this one entry, never serves a stale answer.
+      spill_->append(rec->key,
+                     CachedOutcome{result.classicalBits, result.stats});
+    }
   }
 
   std::vector<std::shared_ptr<JobRecord>> followers;
@@ -464,6 +619,18 @@ void SimulationService::shutdown(bool drain) {
         queue.clear();
       }
       queueDepth_ = 0;
+      // Backoff-parked retries are as unstarted as queued jobs: cancel
+      // them too instead of letting workers run one last attempt.
+      for (auto& [due, rec] : delayed_) {
+        if (rec->cacheable) {
+          const auto it = inflight_.find(rec->key);
+          if (it != inflight_.end() && it->second == rec) {
+            inflight_.erase(it);
+          }
+        }
+        orphans.push_back(std::move(rec));
+      }
+      delayed_.clear();
     }
   }
   for (const auto& rec : orphans) {
@@ -490,6 +657,11 @@ void SimulationService::shutdown(bool drain) {
     if (worker.joinable()) {
       worker.join();
     }
+  }
+  if (spill_ && !spillSnapshotDone_) {
+    // All workers are joined: the cache is final. One atomic snapshot,
+    // then the journal is truncated (its records are all in the snapshot).
+    spillSnapshotDone_ = spill_->snapshot(cache_.snapshotEntries());
   }
 }
 
@@ -543,6 +715,15 @@ ServiceStats SimulationService::stats() const {
   if (blockCache_) {
     s.blockCache = blockCache_->counters();
   }
+  if (spill_) {
+    s.spill = spill_->counters();
+  }
+  s.retriesScheduled = retriesScheduled_.load(std::memory_order_relaxed);
+  s.resumedAttempts = resumedAttempts_.load(std::memory_order_relaxed);
+  s.restartedAttempts = restartedAttempts_.load(std::memory_order_relaxed);
+  s.backoffSecondsTotal =
+      static_cast<double>(backoffNs_.load(std::memory_order_relaxed)) / 1e9;
+  s.checkpointsTaken = checkpointsTaken_.load(std::memory_order_relaxed);
   s.degradationEvents = degradationEvents_.load(std::memory_order_relaxed);
   s.pressureFlushes = pressureFlushes_.load(std::memory_order_relaxed);
   s.sequentialFallbackOps =
@@ -614,6 +795,15 @@ std::string ServiceStats::toJson() const {
      << ", \"stalls\": " << pipelineStalls
      << ", \"bow_outs\": " << pipelineBowOuts
      << ", \"serial_fallback_ops\": " << pipelineSerialFallbackOps << "}";
+  os << ", \"retry\": {\"scheduled\": " << retriesScheduled
+     << ", \"resumed_attempts\": " << resumedAttempts
+     << ", \"restarted_attempts\": " << restartedAttempts
+     << ", \"backoff_seconds_total\": " << backoffSecondsTotal
+     << ", \"checkpoints_taken\": " << checkpointsTaken << "}";
+  os << ", \"spill\": {\"appended\": " << spill.appended
+     << ", \"loaded\": " << spill.loaded
+     << ", \"corrupt_skipped\": " << spill.corruptSkipped
+     << ", \"snapshots\": " << spill.snapshots << "}";
   os << ", \"per_worker_jobs\": [";
   for (std::size_t i = 0; i < perWorkerJobs.size(); ++i) {
     os << (i > 0 ? ", " : "") << perWorkerJobs[i];

@@ -36,6 +36,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -44,9 +46,11 @@
 #include <thread>
 #include <vector>
 
+#include "dd/fault_injection.hpp"
 #include "ir/circuit.hpp"
 #include "obs/metrics.hpp"
 #include "serve/block_cache.hpp"
+#include "serve/persistence.hpp"
 #include "serve/result_cache.hpp"
 #include "sim/stats.hpp"
 
@@ -80,7 +84,9 @@ struct JobSpec {
   std::uint64_t seed = 0;
   JobPriority priority = JobPriority::Normal;
   /// Wall-clock deadline in seconds measured from submission (0 = none).
-  /// Queue wait counts against it.
+  /// Queue wait counts against it. Validated at submit: a negative or
+  /// non-finite (NaN/inf) value throws std::invalid_argument before
+  /// admission.
   double deadlineSeconds = 0.0;
   /// Presentation label for manifests/reports (not part of the cache key).
   std::string label;
@@ -104,6 +110,14 @@ struct JobResult {
   /// Global completion sequence number (1-based, total order over finished
   /// jobs of one service) — lets tests and reports reconstruct ordering.
   std::uint64_t completionIndex = 0;
+  /// Attempts this job consumed (1 = first try sufficed; only retried jobs
+  /// exceed it).
+  std::size_t attempts = 1;
+  /// True when the final attempt resumed from a checkpoint captured by an
+  /// earlier attempt rather than restarting from |0...0>.
+  bool resumed = false;
+  /// Total backoff this job spent waiting between attempts.
+  double backoffSeconds = 0.0;
 };
 
 namespace detail {
@@ -143,6 +157,46 @@ class AdmissionError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// When and how a transiently failed job is re-admitted. Retries are
+/// delayed re-admissions: the failed job re-enters its priority band after
+/// an exponential backoff (base x multiplier^(attempt-1)) and — when a
+/// checkpoint was captured during the failed attempt — resumes from it
+/// instead of restarting. Re-admission bypasses the queue-capacity check
+/// (the job already holds a handle; rejecting the retry would strand it).
+struct RetryPolicy {
+  /// Total attempts a job may consume, first run included (1 = no retries).
+  std::size_t maxAttempts = 1;
+  /// Backoff before the first retry.
+  double baseBackoffSeconds = 0.01;
+  /// Backoff growth factor per further retry.
+  double backoffMultiplier = 2.0;
+  /// Retry ResourceExhausted outcomes (transient by construction: the
+  /// degradation ladder already tried to recover, another attempt on a
+  /// fresh package — resumed past the completed prefix — may succeed).
+  bool retryResourceExhausted = true;
+  /// Retry Failed outcomes (opt-in: most are deterministic — bad circuit,
+  /// bad config — and would fail identically every attempt).
+  bool retryFailed = false;
+
+  /// Whether \p status is transient under this policy. TimedOut, Expired
+  /// and Cancelled are never retried: the first two mean the time budget
+  /// is spent, the last is the caller's explicit intent.
+  [[nodiscard]] bool shouldRetry(JobStatus status) const noexcept {
+    return (status == JobStatus::ResourceExhausted &&
+            retryResourceExhausted) ||
+           (status == JobStatus::Failed && retryFailed);
+  }
+  /// Backoff before re-admitting a job whose 1-based attempt \p attempt
+  /// just failed.
+  [[nodiscard]] double backoffFor(std::size_t attempt) const noexcept {
+    double backoff = baseBackoffSeconds;
+    for (std::size_t i = 1; i < attempt; ++i) {
+      backoff *= backoffMultiplier;
+    }
+    return backoff;
+  }
+};
+
 struct ServiceConfig {
   /// Worker threads (0 = hardware concurrency, at least 1).
   std::size_t workers = 0;
@@ -158,6 +212,24 @@ struct ServiceConfig {
   /// Construct with workers idle until start() — lets tests (and batch
   /// drivers that want strict priority order) enqueue everything first.
   bool startPaused = false;
+  /// Durability: directory for the result cache's crash-consistent spill
+  /// (see serve/persistence.hpp). Empty (the default) keeps the cache
+  /// purely in-memory. When set, previously completed jobs are restored at
+  /// construction, every completed job is journaled, and shutdown() writes
+  /// an atomic snapshot.
+  std::string cacheDir = {};
+  /// Default StrategyConfig::checkpointIntervalOps for jobs that leave the
+  /// knob at 0. Nonzero makes every job resumable after a transient
+  /// failure; 0 leaves checkpointing to per-job opt-in.
+  std::size_t checkpointIntervalOps = 0;
+  /// Transient-failure retry policy (default: no retries).
+  RetryPolicy retry = {};
+  /// Test hook: returns the fault injector to arm on the package of
+  /// (jobId, 1-based attempt), or nullptr for none. The injector must
+  /// outlive the service. Lets tests fail a specific attempt of a specific
+  /// job and prove the retry path recovers.
+  std::function<dd::FaultInjector*(std::uint64_t jobId, std::size_t attempt)>
+      faultInjectorProvider = {};
 };
 
 /// Aggregated service statistics snapshot (all counters monotonic since
@@ -208,6 +280,18 @@ struct ServiceStats {
   CacheCounters cache;
   /// Shared prebuilt-block cache (all zeros when blockCacheCapacity == 0).
   BlockCacheCounters blockCache;
+  /// Result-cache spill-file counters (all zeros without a cacheDir).
+  SpillCounters spill;
+
+  /// Durability & retry accounting. A retried attempt is either *resumed*
+  /// (continued from a checkpoint of the failed attempt) or *restarted*
+  /// (no usable checkpoint); the two always sum to the retry count.
+  std::uint64_t retriesScheduled = 0;
+  std::uint64_t resumedAttempts = 0;
+  std::uint64_t restartedAttempts = 0;
+  double backoffSecondsTotal = 0.0;
+  /// Checkpoints captured across all job attempts.
+  std::uint64_t checkpointsTaken = 0;
 
   /// Degradation-ladder engagements summed across all jobs, per rung.
   std::uint64_t degradationEvents = 0;
@@ -240,19 +324,25 @@ class SimulationService {
   SimulationService& operator=(const SimulationService&) = delete;
 
   /// Admit a job. Throws AdmissionError when the queue is full or the
-  /// service is shutting down; std::invalid_argument on a null circuit or
-  /// malformed StrategyConfig (validated in the caller's thread, before
-  /// admission). May resolve immediately (cache hit).
+  /// service is shutting down; std::invalid_argument on a null circuit,
+  /// malformed StrategyConfig or negative/non-finite deadlineSeconds
+  /// (validated in the caller's thread, before admission). May resolve
+  /// immediately (cache hit).
   JobHandle submit(JobSpec spec);
 
-  /// Non-throwing admission: nullopt instead of AdmissionError.
+  /// Non-throwing admission: nullopt instead of AdmissionError, including
+  /// for every submission that races shutdown. Argument errors (null
+  /// circuit, malformed config, bad deadline) still throw
+  /// std::invalid_argument — they are caller bugs, not load conditions.
   std::optional<JobHandle> trySubmit(JobSpec spec);
 
   /// Release paused workers (no-op when already running).
   void start();
 
-  /// Stop accepting work. drain=true finishes everything queued; false
-  /// resolves still-queued jobs as Cancelled. Idempotent; joins workers.
+  /// Stop accepting work. drain=true finishes everything queued (pending
+  /// retry backoffs are cut short, not waited out); false resolves
+  /// still-queued and backoff-parked jobs as Cancelled. Idempotent; joins
+  /// workers, then (with a cacheDir) writes the cache snapshot.
   void shutdown(bool drain = true);
 
   [[nodiscard]] ServiceStats stats() const;
@@ -265,6 +355,15 @@ class SimulationService {
 
   void workerLoop(int workerId);
   std::shared_ptr<detail::JobRecord> popLocked();
+  /// Move every due delayed retry (all of them when stopping — drain must
+  /// not wait out backoffs) into its priority band. Caller holds
+  /// queueMutex_.
+  void promoteDueRetriesLocked();
+  /// Re-admit a transiently failed job after its backoff, or return false
+  /// when the policy (attempts spent, non-transient status, shutdown,
+  /// deadline already consumed by the backoff) says to fail it for good.
+  bool scheduleRetry(const std::shared_ptr<detail::JobRecord>& rec,
+                     const JobResult& result);
   void finishJob(const std::shared_ptr<detail::JobRecord>& rec,
                  JobResult result);
   void publish(const std::shared_ptr<detail::JobRecord>& rec,
@@ -275,6 +374,8 @@ class SimulationService {
   ResultCache cache_;
   /// Shared across workers; null when blockCacheCapacity == 0.
   std::shared_ptr<BlockCache> blockCache_;
+  /// Crash-consistent cache persistence; null without a cacheDir.
+  std::unique_ptr<CacheSpill> spill_;
   Clock::time_point started_;
 
   mutable std::mutex queueMutex_;
@@ -283,12 +384,20 @@ class SimulationService {
   std::size_t queueDepth_ = 0;
   bool paused_ = false;
   bool stopping_ = false;
+  /// Backoff parking lot: retries keyed by the steady-clock instant they
+  /// become due. Workers promote due entries into the priority bands and
+  /// sleep until the earliest deadline otherwise. Guarded by queueMutex_.
+  std::multimap<Clock::time_point, std::shared_ptr<detail::JobRecord>>
+      delayed_;
   /// Leaders of queued/running cacheable jobs, for coalescing.
   std::unordered_map<CacheKey, std::shared_ptr<detail::JobRecord>,
                      CacheKeyHash>
       inflight_;
 
   std::vector<std::thread> workers_;
+  /// Set by the first shutdown() that wrote the spill snapshot, so the
+  /// destructor's implicit shutdown does not write (and count) a second.
+  bool spillSnapshotDone_ = false;
 
   std::atomic<std::uint64_t> nextJobId_{1};
   std::atomic<std::uint64_t> completionCounter_{0};
@@ -321,6 +430,11 @@ class SimulationService {
   std::atomic<std::uint64_t> pipelineStalls_{0};
   std::atomic<std::uint64_t> pipelineBowOuts_{0};
   std::atomic<std::uint64_t> pipelineSerialFallbackOps_{0};
+  std::atomic<std::uint64_t> retriesScheduled_{0};
+  std::atomic<std::uint64_t> resumedAttempts_{0};
+  std::atomic<std::uint64_t> restartedAttempts_{0};
+  std::atomic<std::uint64_t> backoffNs_{0};
+  std::atomic<std::uint64_t> checkpointsTaken_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> perWorkerJobs_;
 };
 

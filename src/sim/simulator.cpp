@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "dd/approximation.hpp"
@@ -82,7 +83,8 @@ CircuitSimulator::CircuitSimulator(const ir::Circuit& circuit,
       config_(config),
       pkg_(std::make_unique<dd::Package>(circuit.numQubits())),
       rng_(seed),
-      clbits_(std::max<std::size_t>(1, circuit.numClbits()), false) {
+      clbits_(std::max<std::size_t>(1, circuit.numClbits()), false),
+      seed_(seed) {
   config_.validate();
   // Kernel parallelism for the main package (no-op at the default of 1).
   // Builder packages stay serial: the pipeline's fan-out supplies its own
@@ -130,6 +132,11 @@ SimulationResult CircuitSimulator::run() {
   lastStateSize_ = pkg_->size(state_);
 
   try {
+    if (resume_) {
+      // Inside the try so a budget-failed import surfaces the same way as
+      // any other mid-run exhaustion (wrapped with a progress snapshot).
+      applyResume();
+    }
     processCircuit();
     flush();
   } catch (const dd::ComputationAborted&) {
@@ -162,18 +169,24 @@ void CircuitSimulator::recordStep(StepKind kind, std::size_t matrixNodes,
 }
 
 void CircuitSimulator::processCircuit() {
+  const auto& ops = circuit_.ops();
   if (!config_.pipeline || config_.schedule == Schedule::Sequential) {
-    processOps(circuit_.ops());
+    // Indexed (not range-for) so a resumed run can start mid-circuit, and
+    // so checkpoints land exactly on top-level operation boundaries.
+    for (std::size_t i = startOpIndex_; i < ops.size(); ++i) {
+      processOp(*ops[i]);
+      maybeCheckpoint(i + 1, 1);
+    }
     return;
   }
-  const auto& ops = circuit_.ops();
-  std::size_t i = 0;
+  std::size_t i = startOpIndex_;
   while (i < ops.size()) {
     if (!pipelineDisabled_ && sequentialCooldown_ == 0) {
       std::vector<const ir::Operation*> run;
       const std::size_t end = collectRun(ops, i, run);
       if (run.size() >= kMinPipelineRun) {
         runPipelined(run);
+        maybeCheckpoint(end, end - i);
         i = end;
         continue;
       }
@@ -182,12 +195,14 @@ void CircuitSimulator::processCircuit() {
         for (std::size_t j = i; j < end; ++j) {
           processOp(*ops[j]);
         }
+        maybeCheckpoint(end, end - i);
         i = end;
         continue;
       }
     }
     processOp(*ops[i]);
     ++i;
+    maybeCheckpoint(i, 1);
   }
 }
 
@@ -722,6 +737,124 @@ bool CircuitSimulator::pressureObserved() {
   const bool signaled = pressureSignaled_.exchange(false);
   return signaled ||
          pkg_->resourcePressure() != dd::ResourcePressure::None;
+}
+
+std::uint64_t CircuitSimulator::circuitIdentityHash() {
+  if (!circuitHash_) {
+    circuitHash_ = ir::contentHash(circuit_);
+  }
+  return *circuitHash_;
+}
+
+std::uint64_t CircuitSimulator::strategyIdentityHash() const {
+  StrategyConfig c = config_;
+  // timeLimitSeconds is outcome-neutral for resume purposes: it decides
+  // whether the run finishes, never what it measures. The serve layer
+  // re-derives a shrinking limit from the job deadline on every retry
+  // attempt, so hashing it would force every deadline-bound retry to
+  // restart from scratch instead of resuming.
+  c.timeLimitSeconds = 0.0;
+  return c.contentHash();
+}
+
+void CircuitSimulator::resumeFrom(const Checkpoint& checkpoint) {
+  if (ran_) {
+    throw std::logic_error(
+        "CircuitSimulator::resumeFrom must be called before run()");
+  }
+  if (checkpoint.circuitHash != circuitIdentityHash()) {
+    throw CheckpointError("checkpoint belongs to a different circuit");
+  }
+  if (checkpoint.strategyHash != strategyIdentityHash()) {
+    throw CheckpointError("checkpoint belongs to a different strategy");
+  }
+  if (checkpoint.seed != seed_) {
+    throw CheckpointError("checkpoint belongs to a different seed");
+  }
+  if (checkpoint.nextOpIndex > circuit_.ops().size()) {
+    throw CheckpointError("checkpoint op index past the end of the circuit");
+  }
+  if (checkpoint.classicalBits.size() != clbits_.size()) {
+    throw CheckpointError(
+        "checkpoint classical register width does not match the circuit");
+  }
+  resume_ = checkpoint;
+}
+
+void CircuitSimulator::applyResume() {
+  const Checkpoint& ck = *resume_;
+  // Restore the RNG stream position first: mt19937_64's operator>> sets
+  // failbit on malformed input without touching the engine, so a bad blob
+  // is rejected before any package state changes hands.
+  std::istringstream is(ck.rngState);
+  is >> rng_;
+  if (is.fail()) {
+    throw CheckpointError("malformed RNG state in checkpoint");
+  }
+
+  const VEdge imported = dd::importDD(*pkg_, ck.state);
+  pkg_->incRef(imported);
+  pkg_->decRef(state_);
+  state_ = imported;
+  lastStateSize_ = pkg_->size(state_);
+
+  clbits_ = ck.classicalBits;
+  stats_ = ck.stats;
+  stats_.migratedNodes += ck.state.nodeCount();
+  if (ck.accPending) {
+    acc_ = dd::importDD(*pkg_, ck.acc);
+    pkg_->incRef(acc_);
+    accPending_ = true;
+    accCount_ = static_cast<std::size_t>(ck.accCount);
+    accGates_ = ck.accGates;
+    stats_.migratedNodes += ck.acc.nodeCount();
+  }
+  sequentialCooldown_ = static_cast<std::size_t>(ck.sequentialCooldown);
+  pipelineDisabled_ = ck.pipelineDisabled;
+  startOpIndex_ = static_cast<std::size_t>(ck.nextOpIndex);
+  ++stats_.resumedFromCheckpoint;
+  obs::traceInstant("sim.resume", obs::cat::kSim, startOpIndex_);
+}
+
+void CircuitSimulator::maybeCheckpoint(std::size_t nextOp,
+                                       std::size_t opsDelta) {
+  if (config_.checkpointIntervalOps == 0 || !ckptSink_) {
+    return;
+  }
+  opsSinceCkpt_ += opsDelta;
+  if (opsSinceCkpt_ < config_.checkpointIntervalOps) {
+    return;
+  }
+  opsSinceCkpt_ = 0;
+  if (nextOp >= circuit_.ops().size()) {
+    return;  // nothing left to resume into — the run is about to finish
+  }
+  takeCheckpoint(nextOp);
+}
+
+void CircuitSimulator::takeCheckpoint(std::size_t nextOp) {
+  const obs::ScopedSpan span("sim.checkpoint", obs::cat::kSim, nextOp);
+  Checkpoint ck;
+  ck.circuitHash = circuitIdentityHash();
+  ck.strategyHash = strategyIdentityHash();
+  ck.seed = seed_;
+  ck.nextOpIndex = nextOp;
+  std::ostringstream os;
+  os << rng_;
+  ck.rngState = os.str();
+  ck.classicalBits = clbits_;
+  ck.state = dd::exportDD(*pkg_, state_);
+  ck.accPending = accPending_;
+  if (accPending_) {
+    ck.acc = dd::exportDD(*pkg_, acc_);
+  }
+  ck.accCount = accCount_;
+  ck.accGates = accGates_;
+  ck.sequentialCooldown = sequentialCooldown_;
+  ck.pipelineDisabled = pipelineDisabled_;
+  ++stats_.checkpointsTaken;
+  ck.stats = stats_;
+  ckptSink_(ck);
 }
 
 PartialResult CircuitSimulator::makePartial() {

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <random>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "dd/package.hpp"
 #include "ir/circuit.hpp"
 #include "sim/block_cache.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/stats.hpp"
 
 namespace ddsim::sim {
@@ -83,6 +85,29 @@ class CircuitSimulator {
     builderInjector_ = injector;
   }
 
+  /// Install a checkpoint sink, called with a fresh progress snapshot every
+  /// StrategyConfig::checkpointIntervalOps top-level operations (at
+  /// quiescent block boundaries only — never mid-multiplication, never
+  /// inside a compound body). The sink runs on the simulating thread; keep
+  /// it cheap (typically Checkpoint::serialize into a buffer the caller
+  /// owns). Must be installed before run(). No-op while
+  /// checkpointIntervalOps == 0.
+  void setCheckpointSink(std::function<void(const Checkpoint&)> sink) {
+    ckptSink_ = std::move(sink);
+  }
+
+  /// Resume from a checkpoint instead of |0...0>: run() imports the state
+  /// and accumulator, restores the RNG stream position, classical bits and
+  /// carried statistics, and continues at Checkpoint::nextOpIndex.
+  /// Measurement outcomes of interrupted-then-resumed runs are
+  /// bit-identical to uninterrupted ones (enforced in
+  /// tests/test_checkpoint.cpp across schedules x threads x pipeline
+  /// depths). Throws CheckpointError when the checkpoint's (circuit,
+  /// strategy, seed) identity triple does not match this simulator's, or
+  /// when the embedded RNG state is malformed. Must be called before
+  /// run().
+  void resumeFrom(const Checkpoint& checkpoint);
+
   /// Share prebuilt DD-repeating block matrices across simulations (see
   /// sim/block_cache.hpp). On a hit the block is imported instead of
   /// rebuilt; on a miss the built block is exported and published. Only
@@ -129,6 +154,17 @@ class CircuitSimulator {
   void forcedApproximation();
   [[nodiscard]] bool pressureObserved();
   [[nodiscard]] PartialResult makePartial();
+  /// Replace |0...0> with the checkpointed state: import the state DD (and
+  /// pending accumulator), restore RNG/classical/ladder context, and move
+  /// the op cursor to Checkpoint::nextOpIndex.
+  void applyResume();
+  /// Count \p opsDelta top-level operations toward the checkpoint interval
+  /// and snapshot into the sink when it fills. \p nextOp is the index of
+  /// the first operation a resumed run would execute.
+  void maybeCheckpoint(std::size_t nextOp, std::size_t opsDelta);
+  void takeCheckpoint(std::size_t nextOp);
+  [[nodiscard]] std::uint64_t circuitIdentityHash();
+  [[nodiscard]] std::uint64_t strategyIdentityHash() const;
 
   const ir::Circuit& circuit_;
   StrategyConfig config_;
@@ -173,6 +209,17 @@ class CircuitSimulator {
   bool pipelineDisabled_ = false;
   dd::FaultInjector* builderInjector_ = nullptr;
   std::shared_ptr<SharedBlockCache> blockCache_;
+
+  /// Durability (see sim/checkpoint.hpp): the identity seed this simulator
+  /// was constructed with, the lazily computed circuit content hash, the
+  /// installed sink, the pending resume snapshot, the op cursor run()
+  /// starts at (nonzero only when resuming), and the interval counter.
+  std::uint64_t seed_;
+  std::optional<std::uint64_t> circuitHash_;
+  std::function<void(const Checkpoint&)> ckptSink_;
+  std::optional<Checkpoint> resume_;
+  std::size_t startOpIndex_ = 0;
+  std::size_t opsSinceCkpt_ = 0;
 };
 
 /// Result of the one-shot helper below: no DD handle, since the backing

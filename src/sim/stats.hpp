@@ -101,6 +101,14 @@ struct StrategyConfig {
   /// (see dd::Package::setWorkers); measurement outcomes are unaffected.
   /// In [1, 256]; excluded from contentHash like the pipeline knobs.
   std::size_t threads = 1;
+  /// Durability: snapshot simulation progress into a Checkpoint (see
+  /// sim/checkpoint.hpp) every this many top-level circuit operations and
+  /// hand it to the sink installed via CircuitSimulator::setCheckpointSink.
+  /// 0 (the default) disables checkpointing. A resumed run is required to
+  /// produce bit-identical measurement outcomes to an uninterrupted one,
+  /// so the knob is excluded from contentHash like the other
+  /// outcome-neutral knobs (pipeline, threads, collectTrace).
+  std::size_t checkpointIntervalOps = 0;
 
   [[nodiscard]] static StrategyConfig sequential() { return {}; }
   [[nodiscard]] static StrategyConfig kOperations(std::size_t k) {
@@ -210,6 +218,11 @@ struct SimulationStats {
   /// DD nodes rebuilt in the main package by cross-package imports
   /// (pipeline handoffs and shared-block-cache hits).
   std::uint64_t migratedNodes = 0;
+  /// Progress snapshots handed to the checkpoint sink during this run.
+  std::uint64_t checkpointsTaken = 0;
+  /// 1 when this run was resumed from a checkpoint rather than started
+  /// from |0...0> (counters above then continue from the checkpoint's).
+  std::uint64_t resumedFromCheckpoint = 0;
   /// Wall time the builder thread spent constructing blocks — time the
   /// serial path would have added to the critical path. The overlap
   /// potential of a run is builderBuildSeconds / wallSeconds.

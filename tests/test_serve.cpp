@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "algo/grover.hpp"
+#include "dd/fault_injection.hpp"
 #include "ir/circuit.hpp"
 #include "serve/manifest.hpp"
 #include "serve/result_cache.hpp"
@@ -634,6 +639,356 @@ TEST(Manifest, StrategySpecGrammar) {
   ASSERT_TRUE(ad.has_value());
   EXPECT_DOUBLE_EQ(ad->adaptiveRatio, 0.5);
   EXPECT_FALSE(serve::parseStrategySpec("bogus").has_value());
+}
+
+// --------------------------------------------------- durability & retries
+
+/// Fresh per-test spill directory under the gtest temp dir.
+std::string freshCacheDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ddsim_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(SimulationService, SubmitRejectsInvalidDeadlines) {
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.startPaused = true;
+  serve::SimulationService service(sc);
+
+  for (const double bad :
+       {-1.0, -0.001, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    serve::JobSpec job = spec(makeBell(), 1);
+    job.deadlineSeconds = bad;
+    EXPECT_THROW((void)service.submit(std::move(job)), std::invalid_argument)
+        << "deadline " << bad << " was admitted";
+  }
+  // Nothing was admitted, so nothing to drain.
+  EXPECT_EQ(service.stats().submitted, 0U);
+  service.start();
+}
+
+TEST(SimulationService, TrySubmitDuringShutdownReturnsNullopt) {
+  serve::SimulationService service({.workers = 1});
+  service.shutdown();
+  // trySubmit never throws — shutdown surfaces as nullopt, same as a full
+  // queue, so callers with a single overflow path keep working.
+  EXPECT_FALSE(service.trySubmit(spec(makeBell(), 1)).has_value());
+  EXPECT_EQ(service.stats().rejected, 1U);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndFiltersStatuses) {
+  serve::RetryPolicy policy;
+  policy.maxAttempts = 3;
+  policy.baseBackoffSeconds = 0.5;
+  policy.backoffMultiplier = 3.0;
+  EXPECT_DOUBLE_EQ(policy.backoffFor(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.backoffFor(2), 1.5);
+  EXPECT_DOUBLE_EQ(policy.backoffFor(3), 4.5);
+
+  EXPECT_TRUE(policy.shouldRetry(serve::JobStatus::ResourceExhausted));
+  EXPECT_FALSE(policy.shouldRetry(serve::JobStatus::Failed));
+  policy.retryFailed = true;
+  EXPECT_TRUE(policy.shouldRetry(serve::JobStatus::Failed));
+  // Deadline-style and user-initiated outcomes are never retried: the
+  // deadline would just expire again, and a cancel is a decision.
+  EXPECT_FALSE(policy.shouldRetry(serve::JobStatus::TimedOut));
+  EXPECT_FALSE(policy.shouldRetry(serve::JobStatus::Expired));
+  EXPECT_FALSE(policy.shouldRetry(serve::JobStatus::Cancelled));
+  EXPECT_FALSE(policy.shouldRetry(serve::JobStatus::Completed));
+}
+
+TEST(SimulationService, CacheDirAnswersAcrossRestart) {
+  const std::string dir = freshCacheDir("restart");
+  const auto bell = makeBell();
+  const auto grover = makeGrover(6);
+  std::vector<bool> bellBits;
+  std::vector<bool> groverBits;
+
+  {
+    serve::ServiceConfig sc;
+    sc.workers = 2;
+    sc.cacheDir = dir;
+    serve::SimulationService service(sc);
+    bellBits = service.submit(spec(bell, 11)).wait().classicalBits;
+    groverBits = service.submit(spec(grover, 12)).wait().classicalBits;
+    service.shutdown();
+    const serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.spill.appended, 2U);
+    EXPECT_EQ(stats.spill.snapshots, 1U);
+  }  // first incarnation destroyed — only the spill directory survives
+
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  sc.cacheDir = dir;
+  serve::SimulationService restarted(sc);
+
+  // Keep the handles alive past wait(): the result reference lives inside
+  // the handle's job record.
+  const auto h1 = restarted.submit(spec(bell, 11));
+  const auto h2 = restarted.submit(spec(grover, 12));
+  const serve::JobResult& r1 = h1.wait();
+  const serve::JobResult& r2 = h2.wait();
+  EXPECT_EQ(r1.status, serve::JobStatus::Cached);
+  EXPECT_EQ(r2.status, serve::JobStatus::Cached);
+  EXPECT_EQ(r1.classicalBits, bellBits);
+  EXPECT_EQ(r2.classicalBits, groverBits);
+
+  const serve::ServiceStats stats = restarted.stats();
+  EXPECT_EQ(stats.simulationsRun, 0U);
+  EXPECT_EQ(stats.spill.loaded, 2U);
+  EXPECT_EQ(stats.spill.corruptSkipped, 0U);
+  // A different seed is still a miss — the spill preserved exact keys.
+  const auto h3 = restarted.submit(spec(bell, 99));
+  EXPECT_EQ(h3.wait().status, serve::JobStatus::Completed);
+}
+
+TEST(SimulationService, UnsnapshottedJournalAloneSurvivesRestart) {
+  // Crash flavor: the process dies without ever calling shutdown(), so no
+  // snapshot is written — recovery must come from the append-only journal.
+  const std::string dir = freshCacheDir("journal_only");
+  const auto bell = makeBell();
+  {
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.cacheDir = dir;
+    serve::SimulationService service(sc);
+    service.submit(spec(bell, 21)).wait();
+    // Simulate the crash: tear the snapshot step out by removing the
+    // snapshot after shutdown, keeping whatever the journal held before.
+    // (The journal is flushed per append, so it survives a real SIGKILL;
+    // here shutdown() truncates it into the snapshot, so instead copy the
+    // journal aside before shutdown.)
+    std::filesystem::copy_file(dir + "/cache.log", dir + "/cache.log.keep");
+    service.shutdown();
+  }
+  // Restore the pre-snapshot world: journal present, no snapshot.
+  std::filesystem::remove(dir + "/cache.snapshot");
+  std::filesystem::rename(dir + "/cache.log.keep", dir + "/cache.log");
+
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.cacheDir = dir;
+  serve::SimulationService restarted(sc);
+  const auto handle = restarted.submit(spec(bell, 21));
+  EXPECT_EQ(handle.wait().status, serve::JobStatus::Cached);
+  EXPECT_EQ(restarted.stats().spill.loaded, 1U);
+  EXPECT_EQ(restarted.stats().simulationsRun, 0U);
+}
+
+TEST(SimulationService, CorruptedSpillIsSkippedNeverFatal) {
+  const std::string dir = freshCacheDir("corrupt");
+  const auto bell = makeBell();
+  {
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.cacheDir = dir;
+    serve::SimulationService service(sc);
+    service.submit(spec(bell, 1)).wait();
+    service.submit(spec(bell, 2)).wait();
+    service.submit(spec(bell, 3)).wait();
+    service.shutdown();
+  }
+
+  // Flip bytes in the middle of the snapshot (damages at least one record)
+  // and append a torn fragment to the journal (a crash mid-append).
+  {
+    std::fstream f(dir + "/cache.snapshot",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    ASSERT_GT(size, 40U);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    const char garbage[4] = {'\x5a', '\x5a', '\x5a', '\x5a'};
+    f.write(garbage, sizeof garbage);
+  }
+  {
+    std::ofstream log(dir + "/cache.log",
+                      std::ios::binary | std::ios::app);
+    const char torn[7] = {'L', 'P', 'S', 'D', '\x05', '\x00', '\x00'};
+    log.write(torn, sizeof torn);
+  }
+
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.cacheDir = dir;
+  serve::SimulationService restarted(sc);  // must not throw
+  const serve::ServiceStats stats = restarted.stats();
+  EXPECT_GE(stats.spill.corruptSkipped, 1U);
+  EXPECT_LT(stats.spill.loaded, 3U);
+  // The service still works: a fresh job completes and re-persists.
+  const auto handle = restarted.submit(spec(bell, 4));
+  EXPECT_EQ(handle.wait().status, serve::JobStatus::Completed);
+}
+
+TEST(SimulationService, TransientFailureRetriesAndResumesFromCheckpoint) {
+  const auto grover = makeGrover(8);
+  const auto config = sim::StrategyConfig::kOperations(4);
+  const sim::DetachedResult direct = sim::simulate(*grover, config, 7);
+
+  // Measure the uninterrupted run's node-allocation demand, then arm the
+  // injector to cut attempt 1 off halfway — deterministically mid-run.
+  dd::FaultInjector probe;
+  {
+    sim::CircuitSimulator probeSim(*grover, config, 7);
+    probeSim.package().setFaultInjector(&probe);
+    (void)probeSim.run();
+  }
+  dd::FaultInjector::Config faultCfg;
+  faultCfg.failAllocationAfter = probe.nodeRequests() / 2;
+  dd::FaultInjector transientFault(faultCfg);
+
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.checkpointIntervalOps = 3;
+  sc.retry.maxAttempts = 2;
+  sc.retry.baseBackoffSeconds = 0.001;
+  sc.faultInjectorProvider = [&](std::uint64_t, std::size_t attempt) {
+    return attempt == 1 ? &transientFault : nullptr;
+  };
+  serve::SimulationService service(sc);
+
+  const auto handle = service.submit(spec(grover, 7, config));
+  const serve::JobResult& r = handle.wait();
+  EXPECT_EQ(r.status, serve::JobStatus::Completed) << r.error;
+  EXPECT_EQ(r.attempts, 2U);
+  EXPECT_TRUE(r.resumed);
+  EXPECT_GT(r.backoffSeconds, 0.0);
+  EXPECT_EQ(r.classicalBits, direct.classicalBits)
+      << "resumed retry diverged from the uninterrupted simulation";
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retriesScheduled, 1U);
+  EXPECT_EQ(stats.resumedAttempts, 1U);
+  EXPECT_EQ(stats.restartedAttempts, 0U);
+  EXPECT_GT(stats.backoffSecondsTotal, 0.0);
+  EXPECT_GT(stats.checkpointsTaken, 0U);
+  EXPECT_GE(stats.resourceExhausted, 0U);  // attempt 1's failure is internal
+  EXPECT_EQ(stats.completed, 1U);
+}
+
+TEST(SimulationService, RetryWithoutCheckpointRestartsFromScratch) {
+  // checkpointIntervalOps stays 0: the retry machinery must still work,
+  // restarting (not resuming) the job — and counting it as restarted.
+  const auto grover = makeGrover(7);
+  const auto config = sim::StrategyConfig::kOperations(4);
+  const sim::DetachedResult direct = sim::simulate(*grover, config, 5);
+
+  dd::FaultInjector probe;
+  {
+    sim::CircuitSimulator probeSim(*grover, config, 5);
+    probeSim.package().setFaultInjector(&probe);
+    (void)probeSim.run();
+  }
+  dd::FaultInjector::Config faultCfg;
+  faultCfg.failAllocationAfter = probe.nodeRequests() / 2;
+  dd::FaultInjector transientFault(faultCfg);
+
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.retry.maxAttempts = 2;
+  sc.retry.baseBackoffSeconds = 0.001;
+  sc.faultInjectorProvider = [&](std::uint64_t, std::size_t attempt) {
+    return attempt == 1 ? &transientFault : nullptr;
+  };
+  serve::SimulationService service(sc);
+
+  const auto handle = service.submit(spec(grover, 5, config));
+  const serve::JobResult& r = handle.wait();
+  EXPECT_EQ(r.status, serve::JobStatus::Completed) << r.error;
+  EXPECT_EQ(r.attempts, 2U);
+  EXPECT_FALSE(r.resumed);
+  EXPECT_EQ(r.classicalBits, direct.classicalBits);
+  EXPECT_EQ(service.stats().restartedAttempts, 1U);
+  EXPECT_EQ(service.stats().resumedAttempts, 0U);
+}
+
+TEST(SimulationService, ExhaustedRetriesSurfaceTheLastFailure) {
+  const auto grover = makeGrover(7);
+  const auto config = sim::StrategyConfig::kOperations(4);
+
+  dd::FaultInjector probe;
+  {
+    sim::CircuitSimulator probeSim(*grover, config, 3);
+    probeSim.package().setFaultInjector(&probe);
+    (void)probeSim.run();
+  }
+  dd::FaultInjector::Config faultCfg;
+  faultCfg.failAllocationAfter = probe.nodeRequests() / 2;
+  dd::FaultInjector permanentFault(faultCfg);
+
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.retry.maxAttempts = 2;
+  sc.retry.baseBackoffSeconds = 0.001;
+  // Every attempt hits the same fault: the job must fail for good after
+  // maxAttempts, not loop forever.
+  sc.faultInjectorProvider = [&](std::uint64_t, std::size_t) {
+    return &permanentFault;
+  };
+  serve::SimulationService service(sc);
+
+  const auto handle = service.submit(spec(grover, 3, config));
+  const serve::JobResult& r = handle.wait();
+  EXPECT_EQ(r.status, serve::JobStatus::ResourceExhausted) << r.error;
+  EXPECT_EQ(r.attempts, 2U);
+  EXPECT_EQ(service.stats().retriesScheduled, 1U);
+  EXPECT_EQ(service.stats().resourceExhausted, 1U);
+}
+
+TEST(FaultInjector, SeededRandomFaultsAreDeterministic) {
+  dd::FaultInjector::Config cfg;
+  cfg.failAllocationProbability = 0.125;
+  cfg.randomSeed = 424242;
+
+  auto runPattern = [&](std::size_t requests) {
+    dd::FaultInjector injector(cfg);
+    std::vector<bool> pattern;
+    pattern.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      pattern.push_back(injector.onNodeRequest());
+    }
+    return pattern;
+  };
+
+  const std::vector<bool> a = runPattern(4096);
+  const std::vector<bool> b = runPattern(4096);
+  EXPECT_EQ(a, b) << "same seed must reproduce the identical fault pattern";
+
+  const std::size_t failures =
+      static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  // ~12.5% of 4096 = 512; allow wide slack — the assertion is "roughly the
+  // configured rate", not a distribution test.
+  EXPECT_GT(failures, 256U);
+  EXPECT_LT(failures, 1024U);
+
+  cfg.randomSeed = 424243;
+  dd::FaultInjector other(cfg);
+  std::vector<bool> c;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    c.push_back(other.onNodeRequest());
+  }
+  EXPECT_NE(a, c) << "different seeds should differ somewhere";
+}
+
+TEST(ServiceStats, JsonExportCarriesRetryAndSpillGroups) {
+  const std::string dir = freshCacheDir("json");
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.cacheDir = dir;
+  serve::SimulationService service(sc);
+  service.submit(spec(makeBell(), 1)).wait();
+
+  const std::string json = service.stats().toJson();
+  for (const char* needle :
+       {"\"retry\": {\"scheduled\": 0", "\"resumed_attempts\": 0",
+        "\"restarted_attempts\": 0", "\"backoff_seconds_total\":",
+        "\"checkpoints_taken\": 0", "\"spill\": {\"appended\": 1",
+        "\"loaded\": 0", "\"corrupt_skipped\": 0", "\"snapshots\": 0"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  }
 }
 
 // ------------------------------------------------------------- shutdown
