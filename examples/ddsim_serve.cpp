@@ -12,6 +12,16 @@
 ///               [--checkpoint-interval <ops>]
 ///               [--out <results.json>] [--stats <stats.json>]
 ///               [--trace-out <trace.json>] [--stats-dump <seconds>]
+///   ddsim_serve --listen <port> [service options as above]
+///
+/// Worker mode (--listen): instead of reading a manifest, bind
+/// 127.0.0.1:<port> and serve framed job submissions from a ddsim_router
+/// front-end (see net/server.hpp for the conversation protocol and
+/// DESIGN.md "Distributed serving" for the cluster picture). The manifest
+/// argument is not used; SIGINT/SIGTERM drains in-flight jobs, streams
+/// their Results, says Goodbye on every connection and exits. All service
+/// options (--workers, --cache-dir, --retries, ...) apply to the worker's
+/// embedded SimulationService exactly as in batch mode.
 ///
 /// Durability: --cache-dir persists the result cache across restarts (a
 /// restarted run answers previously completed jobs as cached, without
@@ -57,6 +67,7 @@
 
 #include "ir/qasm.hpp"
 #include "ir/transforms.hpp"
+#include "net/server.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
 #include "serve/manifest.hpp"
@@ -79,7 +90,10 @@ void usage() {
       "[--cache-dir <dir>] [--retries <n>] [--retry-backoff <s>] "
       "[--checkpoint-interval <ops>] "
       "[--out <results.json>] [--stats <stats.json>] "
-      "[--trace-out <trace.json>] [--stats-dump <seconds>]\n\n"
+      "[--trace-out <trace.json>] [--stats-dump <seconds>]\n"
+      "       ddsim_serve --listen <port> [service options]\n\n"
+      "--listen runs a network worker on 127.0.0.1:<port> (0 = ephemeral)\n"
+      "serving framed submissions from ddsim_router; no manifest is read.\n\n"
       "manifest lines: <qasm-path> [strategy=seq|k=<n>|maxsize=<n>|"
       "adaptive[=<r>]] [dd-repeating] [pipeline[=on|off]] "
       "[pipeline-depth=<n>] [threads=<n>] [detect-repetitions] [seed=<n>] "
@@ -179,22 +193,29 @@ int main(int argc, char** argv) {
     usage();
     return argc < 2 ? 1 : 0;
   }
-  const std::string manifestPath = argv[1];
+  std::string manifestPath;
   serve::ServiceConfig serviceConfig;
   serviceConfig.workers = 0;  // hardware concurrency
   std::string outPath = "serve_results.json";
   std::string statsPath;
   std::string tracePath;
   double statsDumpSeconds = 0.0;
+  // Worker mode: bind this port instead of reading a manifest.
+  std::optional<std::uint16_t> listenPort;
   // Tri-state: unset (follow the manifest), force on, force off.
   std::optional<bool> pipelineOverride;
   // Unset: follow the manifest's per-job threads= option.
   std::optional<std::size_t> threadsOverride;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool hasValue = i + 1 < argc;
-    if (arg == "--workers" && hasValue) {
+    if (!arg.empty() && arg.front() != '-') {
+      manifestPath = arg;
+    } else if (arg == "--listen" && hasValue) {
+      listenPort = static_cast<std::uint16_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--workers" && hasValue) {
       serviceConfig.workers = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--queue" && hasValue) {
       serviceConfig.queueCapacity = std::strtoul(argv[++i], nullptr, 10);
@@ -235,6 +256,41 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+  }
+
+  if (listenPort) {
+    // Worker mode: serve framed submissions until a drain signal arrives.
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    try {
+      net::WorkerServer server(serviceConfig, *listenPort);
+      std::printf("ddsim_serve: worker listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(server.port()));
+      std::fflush(stdout);  // the CI harness greps for this line
+      while (gSignal.load(std::memory_order_relaxed) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      std::fprintf(stderr, "ddsim_serve: signal %d — draining worker\n",
+                   gSignal.load(std::memory_order_relaxed));
+      server.requestStop();
+      if (!statsPath.empty()) {
+        std::ofstream sf(statsPath);
+        sf << server.stats().toJson() << "\n";
+        std::printf("wrote %s\n", statsPath.c_str());
+      }
+    } catch (const net::SocketError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (manifestPath.empty()) {
+    std::fprintf(stderr, "error: no manifest (or --listen <port>) given\n");
+    usage();
+    return 1;
   }
 
   std::vector<serve::ManifestEntry> entries;

@@ -1,0 +1,543 @@
+#include "net/frame.hpp"
+
+#include "dd/migration.hpp"  // dd::fnv1a — the shared integrity checksum
+#include "net/wire.hpp"
+#include "sim/checkpoint.hpp"  // sim::encodeStats / decodeStats
+
+namespace ddsim::net {
+
+namespace {
+
+/// Rethrow bounds-check failures as protocol errors so callers handle one
+/// exception type per layer.
+template <typename F>
+auto decodeGuard(const char* what, F&& f) {
+  try {
+    return f();
+  } catch (const WireError& e) {
+    throw FrameError(std::string(what) + ": " + e.what());
+  } catch (const sim::CheckpointError& e) {
+    // decodeStats shares the checkpoint blob's stats encoding.
+    throw FrameError(std::string(what) + ": " + e.what());
+  }
+}
+
+/// Frame checksum: FNV-1a chained over the 12-byte canonical header
+/// prefix (magic, version, type, reserved, length) and then the payload.
+/// Covering the prefix means a bit flip that turns one VALID header field
+/// value into another (e.g. Submit -> Result in the type byte, which the
+/// field validators cannot catch) still fails verification.
+std::uint64_t frameChecksum(FrameType type, const std::uint8_t* payload,
+                            std::size_t size) {
+  std::vector<std::uint8_t> prefix;
+  prefix.reserve(12);
+  putU32(prefix, kFrameMagic);
+  putU16(prefix, kWireVersion);
+  putU8(prefix, static_cast<std::uint8_t>(type));
+  putU8(prefix, 0);
+  putU32(prefix, static_cast<std::uint32_t>(size));
+  return dd::fnv1a(payload, size,
+                   dd::fnv1a(prefix.data(), prefix.size()));
+}
+
+void putHistogram(std::vector<std::uint8_t>& out,
+                  const obs::HistogramSnapshot& h) {
+  putU64(out, h.count);
+  putF64(out, h.sum);
+  putF64(out, h.max);
+  putF64(out, h.p50);
+  putF64(out, h.p95);
+  putF64(out, h.p99);
+  putU32(out, static_cast<std::uint32_t>(h.buckets.size()));
+  for (const auto& [bound, count] : h.buckets) {
+    putF64(out, bound);
+    putU64(out, count);
+  }
+}
+
+obs::HistogramSnapshot getHistogram(WireReader& r) {
+  obs::HistogramSnapshot h;
+  h.count = r.u64();
+  h.sum = r.f64();
+  h.max = r.f64();
+  h.p50 = r.f64();
+  h.p95 = r.f64();
+  h.p99 = r.f64();
+  const std::uint32_t n = r.u32();
+  h.buckets.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double bound = r.f64();
+    const std::uint64_t count = r.u64();
+    h.buckets.emplace_back(bound, count);
+  }
+  return h;
+}
+
+void putStrategyConfig(std::vector<std::uint8_t>& out,
+                       const sim::StrategyConfig& c) {
+  putU8(out, static_cast<std::uint8_t>(c.schedule));
+  putU64(out, c.k);
+  putU64(out, c.maxSize);
+  putF64(out, c.adaptiveRatio);
+  putU8(out, c.reuseRepeatedBlocks ? 1 : 0);
+  putU8(out, c.collectTrace ? 1 : 0);
+  putF64(out, c.timeLimitSeconds);
+  putF64(out, c.approximateFidelity);
+  putU64(out, c.approximateThreshold);
+  putU64(out, c.nodeBudget);
+  putU64(out, c.byteBudget);
+  putF64(out, c.softBudgetFraction);
+  putU64(out, c.degradeCooldownOps);
+  putU8(out, c.pipeline ? 1 : 0);
+  putU64(out, c.pipelineDepth);
+  putU64(out, c.threads);
+  putU64(out, c.checkpointIntervalOps);
+}
+
+sim::StrategyConfig getStrategyConfig(WireReader& r) {
+  sim::StrategyConfig c;
+  const std::uint8_t schedule = r.u8();
+  if (schedule > static_cast<std::uint8_t>(sim::Schedule::Adaptive)) {
+    throw FrameError("decodeSubmit: unknown schedule " +
+                     std::to_string(schedule));
+  }
+  c.schedule = static_cast<sim::Schedule>(schedule);
+  c.k = r.u64();
+  c.maxSize = r.u64();
+  c.adaptiveRatio = r.f64();
+  c.reuseRepeatedBlocks = r.u8() != 0;
+  c.collectTrace = r.u8() != 0;
+  c.timeLimitSeconds = r.f64();
+  c.approximateFidelity = r.f64();
+  c.approximateThreshold = r.u64();
+  c.nodeBudget = r.u64();
+  c.byteBudget = r.u64();
+  c.softBudgetFraction = r.f64();
+  c.degradeCooldownOps = r.u64();
+  c.pipeline = r.u8() != 0;
+  c.pipelineDepth = r.u64();
+  c.threads = r.u64();
+  c.checkpointIntervalOps = r.u64();
+  return c;
+}
+
+void putStats(std::vector<std::uint8_t>& out, const sim::SimulationStats& s) {
+  // Reuse the flat encoding shared with checkpoint blobs and spill records,
+  // length-prefixed so the reader can skip it as one unit.
+  std::vector<std::uint8_t> flat;
+  sim::encodeStats(flat, s);
+  putBytes(out, flat);
+}
+
+sim::SimulationStats getStats(WireReader& r) {
+  const std::vector<std::uint8_t> flat = r.bytes();
+  std::size_t off = 0;
+  return sim::decodeStats(flat.data(), flat.size(), off);
+}
+
+}  // namespace
+
+std::string frameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "hello";
+    case FrameType::Submit: return "submit";
+    case FrameType::Result: return "result";
+    case FrameType::Checkpoint: return "checkpoint";
+    case FrameType::StatsQuery: return "stats-query";
+    case FrameType::StatsReport: return "stats-report";
+    case FrameType::Goodbye: return "goodbye";
+    case FrameType::Error: return "error";
+  }
+  return "?";
+}
+
+std::uint8_t wireStatus(serve::JobStatus s) noexcept {
+  return static_cast<std::uint8_t>(s);
+}
+
+std::string wireStatusName(std::uint8_t s) {
+  if (s == kWireStatusRejected) {
+    return "rejected";
+  }
+  if (s <= static_cast<std::uint8_t>(serve::JobStatus::Failed)) {
+    return serve::statusName(static_cast<serve::JobStatus>(s));
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encodeFrame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw FrameError("encodeFrame: payload of " +
+                     std::to_string(frame.payload.size()) +
+                     " bytes exceeds the frame ceiling");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  putU32(out, kFrameMagic);
+  putU16(out, kWireVersion);
+  putU8(out, static_cast<std::uint8_t>(frame.type));
+  putU8(out, 0);  // reserved
+  putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  putU64(out, frameChecksum(frame.type, frame.payload.data(),
+                            frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+FrameHeader decodeFrameHeader(const std::uint8_t* data) {
+  if (peekU32(data) != kFrameMagic) {
+    throw FrameError("frame: bad magic (not a ddsim frame)");
+  }
+  const std::uint16_t version = peekU16(data + 4);
+  if (version != kWireVersion) {
+    throw FrameError("frame: unsupported protocol version " +
+                     std::to_string(version) + " (expected " +
+                     std::to_string(kWireVersion) + ")");
+  }
+  const std::uint8_t type = data[6];
+  if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
+      type > static_cast<std::uint8_t>(FrameType::Error)) {
+    throw FrameError("frame: unknown type " + std::to_string(type));
+  }
+  if (data[7] != 0) {
+    throw FrameError("frame: nonzero reserved byte");
+  }
+  FrameHeader h;
+  h.type = static_cast<FrameType>(type);
+  h.payloadLength = peekU32(data + 8);
+  if (h.payloadLength > kMaxFramePayload) {
+    throw FrameError("frame: payload length " +
+                     std::to_string(h.payloadLength) +
+                     " exceeds the frame ceiling (corrupted length field)");
+  }
+  h.checksum = peekU64(data + 12);
+  return h;
+}
+
+void verifyFramePayload(const FrameHeader& header, const std::uint8_t* payload,
+                        std::size_t size) {
+  if (size != header.payloadLength) {
+    throw FrameError("frame: payload size mismatch");
+  }
+  if (frameChecksum(header.type, payload, size) != header.checksum) {
+    throw FrameError("frame: checksum mismatch (corrupted frame)");
+  }
+}
+
+Frame decodeFrame(const std::uint8_t* data, std::size_t size) {
+  if (data == nullptr || size < kFrameHeaderSize) {
+    throw FrameError("frame: buffer of " + std::to_string(size) +
+                     " bytes is shorter than the header (" +
+                     std::to_string(kFrameHeaderSize) + ")");
+  }
+  const FrameHeader header = decodeFrameHeader(data);
+  if (size != kFrameHeaderSize + header.payloadLength) {
+    throw FrameError("frame: buffer of " + std::to_string(size) +
+                     " bytes, expected " +
+                     std::to_string(kFrameHeaderSize + header.payloadLength) +
+                     " (truncated or padded)");
+  }
+  verifyFramePayload(header, data + kFrameHeaderSize, header.payloadLength);
+  Frame f;
+  f.type = header.type;
+  f.payload.assign(data + kFrameHeaderSize, data + size);
+  return f;
+}
+
+Frame decodeFrame(const std::vector<std::uint8_t>& bytes) {
+  return decodeFrame(bytes.data(), bytes.size());
+}
+
+// --------------------------------------------------------- payload codecs
+
+std::vector<std::uint8_t> encodeHello(const HelloPayload& p) {
+  std::vector<std::uint8_t> out;
+  putU16(out, p.wireVersion);
+  putString(out, p.software);
+  return out;
+}
+
+HelloPayload decodeHello(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeHello", [&] {
+    WireReader r(b);
+    HelloPayload p;
+    p.wireVersion = r.u16();
+    p.software = r.string();
+    return p;
+  });
+}
+
+std::vector<std::uint8_t> encodeSubmit(const SubmitPayload& p) {
+  std::vector<std::uint8_t> out;
+  putU64(out, p.jobId);
+  putString(out, p.label);
+  putString(out, p.qasm);
+  putStrategyConfig(out, p.config);
+  putU64(out, p.seed);
+  putU8(out, static_cast<std::uint8_t>(p.priority));
+  putF64(out, p.deadlineSeconds);
+  putU8(out, p.detectRepetitions ? 1 : 0);
+  putBytes(out, p.checkpoint);
+  return out;
+}
+
+SubmitPayload decodeSubmit(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeSubmit", [&] {
+    WireReader r(b);
+    SubmitPayload p;
+    p.jobId = r.u64();
+    p.label = r.string();
+    p.qasm = r.string();
+    p.config = getStrategyConfig(r);
+    p.seed = r.u64();
+    const std::uint8_t priority = r.u8();
+    if (priority > static_cast<std::uint8_t>(serve::JobPriority::Low)) {
+      throw FrameError("decodeSubmit: unknown priority " +
+                       std::to_string(priority));
+    }
+    p.priority = static_cast<serve::JobPriority>(priority);
+    p.deadlineSeconds = r.f64();
+    p.detectRepetitions = r.u8() != 0;
+    p.checkpoint = r.bytes();
+    return p;
+  });
+}
+
+std::vector<std::uint8_t> encodeResult(const ResultPayload& p) {
+  std::vector<std::uint8_t> out;
+  putU64(out, p.jobId);
+  putU8(out, p.status);
+  putBits(out, p.classicalBits);
+  putStats(out, p.stats);
+  putU8(out, p.hasPartial ? 1 : 0);
+  if (p.hasPartial) {
+    putU64(out, p.partial.opsCompleted);
+    putU64(out, p.partial.peakLiveNodes);
+    putF64(out, p.partial.elapsedSeconds);
+    putStats(out, p.partial.stats);
+  }
+  putString(out, p.error);
+  putF64(out, p.queueSeconds);
+  putF64(out, p.runSeconds);
+  putU8(out, p.fromCache ? 1 : 0);
+  putU8(out, p.coalesced ? 1 : 0);
+  putU64(out, p.attempts);
+  putU8(out, p.resumed ? 1 : 0);
+  return out;
+}
+
+ResultPayload decodeResult(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeResult", [&] {
+    WireReader r(b);
+    ResultPayload p;
+    p.jobId = r.u64();
+    p.status = r.u8();
+    if (p.status != kWireStatusRejected &&
+        p.status > static_cast<std::uint8_t>(serve::JobStatus::Failed)) {
+      throw FrameError("decodeResult: unknown status " +
+                       std::to_string(p.status));
+    }
+    p.classicalBits = r.bits();
+    p.stats = getStats(r);
+    p.hasPartial = r.u8() != 0;
+    if (p.hasPartial) {
+      p.partial.opsCompleted = r.u64();
+      p.partial.peakLiveNodes = r.u64();
+      p.partial.elapsedSeconds = r.f64();
+      p.partial.stats = getStats(r);
+    }
+    p.error = r.string();
+    p.queueSeconds = r.f64();
+    p.runSeconds = r.f64();
+    p.fromCache = r.u8() != 0;
+    p.coalesced = r.u8() != 0;
+    p.attempts = r.u64();
+    p.resumed = r.u8() != 0;
+    return p;
+  });
+}
+
+std::vector<std::uint8_t> encodeCheckpoint(const CheckpointPayload& p) {
+  std::vector<std::uint8_t> out;
+  putU64(out, p.jobId);
+  putBytes(out, p.blob);
+  return out;
+}
+
+CheckpointPayload decodeCheckpoint(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeCheckpoint", [&] {
+    WireReader r(b);
+    CheckpointPayload p;
+    p.jobId = r.u64();
+    p.blob = r.bytes();
+    return p;
+  });
+}
+
+std::vector<std::uint8_t> encodeGoodbye(const GoodbyePayload& p) {
+  std::vector<std::uint8_t> out;
+  putString(out, p.reason);
+  return out;
+}
+
+GoodbyePayload decodeGoodbye(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeGoodbye", [&] {
+    WireReader r(b);
+    GoodbyePayload p;
+    p.reason = r.string();
+    return p;
+  });
+}
+
+std::vector<std::uint8_t> encodeError(const ErrorPayload& p) {
+  std::vector<std::uint8_t> out;
+  putString(out, p.message);
+  return out;
+}
+
+ErrorPayload decodeError(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeError", [&] {
+    WireReader r(b);
+    ErrorPayload p;
+    p.message = r.string();
+    return p;
+  });
+}
+
+std::vector<std::uint8_t> encodeServiceStats(const serve::ServiceStats& s) {
+  std::vector<std::uint8_t> out;
+  putU64(out, s.workers);
+  putF64(out, s.elapsedSeconds);
+  putU64(out, s.queueDepth);
+  putU64(out, s.submitted);
+  putU64(out, s.rejected);
+  putU64(out, s.coalesced);
+  putU64(out, s.simulationsRun);
+  putU64(out, s.completed);
+  putU64(out, s.cached);
+  putU64(out, s.timedOut);
+  putU64(out, s.expired);
+  putU64(out, s.cancelled);
+  putU64(out, s.resourceExhausted);
+  putU64(out, s.failed);
+  putF64(out, s.queueLatencyMeanSeconds);
+  putF64(out, s.queueLatencyMaxSeconds);
+  putF64(out, s.execSecondsTotal);
+  putF64(out, s.jobsPerSecond);
+  putF64(out, s.queueLatencyP50Seconds);
+  putF64(out, s.queueLatencyP95Seconds);
+  putF64(out, s.queueLatencyP99Seconds);
+  putF64(out, s.execP50Seconds);
+  putF64(out, s.execP95Seconds);
+  putF64(out, s.execP99Seconds);
+  putHistogram(out, s.queueLatencyHistogram);
+  putHistogram(out, s.execHistogram);
+  putHistogram(out, s.degradationPerJobHistogram);
+  putU64(out, s.cacheBypassed);
+  putU64(out, s.cache.hits);
+  putU64(out, s.cache.misses);
+  putU64(out, s.cache.insertions);
+  putU64(out, s.cache.evictions);
+  putU64(out, s.cache.entries);
+  putU64(out, s.blockCache.hits);
+  putU64(out, s.blockCache.misses);
+  putU64(out, s.blockCache.insertions);
+  putU64(out, s.blockCache.evictions);
+  putU64(out, s.blockCache.entries);
+  putU64(out, s.blockCache.sharedNodes);
+  putU64(out, s.spill.appended);
+  putU64(out, s.spill.loaded);
+  putU64(out, s.spill.corruptSkipped);
+  putU64(out, s.spill.snapshots);
+  putU64(out, s.retriesScheduled);
+  putU64(out, s.resumedAttempts);
+  putU64(out, s.restartedAttempts);
+  putF64(out, s.backoffSecondsTotal);
+  putU64(out, s.checkpointsTaken);
+  putU64(out, s.degradationEvents);
+  putU64(out, s.pressureFlushes);
+  putU64(out, s.sequentialFallbackOps);
+  putU64(out, s.pressureApproximations);
+  putU64(out, s.resourceRecoveries);
+  putU64(out, s.pipelinedBlocks);
+  putU64(out, s.pipelineStalls);
+  putU64(out, s.pipelineBowOuts);
+  putU64(out, s.pipelineSerialFallbackOps);
+  putU32(out, static_cast<std::uint32_t>(s.perWorkerJobs.size()));
+  for (const std::uint64_t jobs : s.perWorkerJobs) {
+    putU64(out, jobs);
+  }
+  return out;
+}
+
+serve::ServiceStats decodeServiceStats(const std::vector<std::uint8_t>& b) {
+  return decodeGuard("decodeServiceStats", [&] {
+    WireReader r(b);
+    serve::ServiceStats s;
+    s.workers = r.u64();
+    s.elapsedSeconds = r.f64();
+    s.queueDepth = r.u64();
+    s.submitted = r.u64();
+    s.rejected = r.u64();
+    s.coalesced = r.u64();
+    s.simulationsRun = r.u64();
+    s.completed = r.u64();
+    s.cached = r.u64();
+    s.timedOut = r.u64();
+    s.expired = r.u64();
+    s.cancelled = r.u64();
+    s.resourceExhausted = r.u64();
+    s.failed = r.u64();
+    s.queueLatencyMeanSeconds = r.f64();
+    s.queueLatencyMaxSeconds = r.f64();
+    s.execSecondsTotal = r.f64();
+    s.jobsPerSecond = r.f64();
+    s.queueLatencyP50Seconds = r.f64();
+    s.queueLatencyP95Seconds = r.f64();
+    s.queueLatencyP99Seconds = r.f64();
+    s.execP50Seconds = r.f64();
+    s.execP95Seconds = r.f64();
+    s.execP99Seconds = r.f64();
+    s.queueLatencyHistogram = getHistogram(r);
+    s.execHistogram = getHistogram(r);
+    s.degradationPerJobHistogram = getHistogram(r);
+    s.cacheBypassed = r.u64();
+    s.cache.hits = r.u64();
+    s.cache.misses = r.u64();
+    s.cache.insertions = r.u64();
+    s.cache.evictions = r.u64();
+    s.cache.entries = r.u64();
+    s.blockCache.hits = r.u64();
+    s.blockCache.misses = r.u64();
+    s.blockCache.insertions = r.u64();
+    s.blockCache.evictions = r.u64();
+    s.blockCache.entries = r.u64();
+    s.blockCache.sharedNodes = r.u64();
+    s.spill.appended = r.u64();
+    s.spill.loaded = r.u64();
+    s.spill.corruptSkipped = r.u64();
+    s.spill.snapshots = r.u64();
+    s.retriesScheduled = r.u64();
+    s.resumedAttempts = r.u64();
+    s.restartedAttempts = r.u64();
+    s.backoffSecondsTotal = r.f64();
+    s.checkpointsTaken = r.u64();
+    s.degradationEvents = r.u64();
+    s.pressureFlushes = r.u64();
+    s.sequentialFallbackOps = r.u64();
+    s.pressureApproximations = r.u64();
+    s.resourceRecoveries = r.u64();
+    s.pipelinedBlocks = r.u64();
+    s.pipelineStalls = r.u64();
+    s.pipelineBowOuts = r.u64();
+    s.pipelineSerialFallbackOps = r.u64();
+    const std::uint32_t n = r.u32();
+    s.perWorkerJobs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      s.perWorkerJobs.push_back(r.u64());
+    }
+    return s;
+  });
+}
+
+}  // namespace ddsim::net

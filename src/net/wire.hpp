@@ -1,0 +1,183 @@
+/// \file wire.hpp
+/// \brief Explicit little-endian primitive packing for the ddsim wire
+///        formats (net/frame.hpp and everything layered on it).
+///
+/// Every multi-byte number that crosses a socket or hits disk in the
+/// distributed serving layer goes through these helpers, so the byte layout
+/// is pinned by construction — a blob produced on any supported host
+/// decodes bit-identically on any other. Doubles travel as their IEEE-754
+/// bit pattern (the same convention as dd/migration.cpp's edge-list
+/// format). Strings and byte blobs are u32-length-prefixed.
+///
+/// The decode side is bounds-checked through WireReader: reading past the
+/// end throws WireError instead of touching out-of-range memory, so a
+/// truncated or forged frame can never cause undefined behaviour — only a
+/// clean decode failure the caller maps to a protocol error.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ddsim::net {
+
+/// Structured decode failure: truncated buffer or a length field pointing
+/// past the end. Callers surface it as a protocol error, never UB.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline void putU8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void putU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int s = 0; s < 32; s += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+inline void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int s = 0; s < 64; s += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+inline void putI32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  putU32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void putF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+inline void putString(std::vector<std::uint8_t>& out, const std::string& s) {
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+inline void putBytes(std::vector<std::uint8_t>& out,
+                     const std::vector<std::uint8_t>& bytes) {
+  putU32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Classical bits travel packed 8-per-byte, LSB first (the same packing as
+/// the serve-layer spill records).
+inline void putBits(std::vector<std::uint8_t>& out,
+                    const std::vector<bool>& bits) {
+  putU64(out, bits.size());
+  std::uint8_t byte = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    byte = static_cast<std::uint8_t>(byte | ((bits[i] ? 1U : 0U) << (i % 8)));
+    if (i % 8 == 7) {
+      out.push_back(byte);
+      byte = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) {
+    out.push_back(byte);
+  }
+}
+
+inline std::uint16_t peekU16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint32_t peekU32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int b = 3; b >= 0; --b) {
+    v = (v << 8) | p[b];
+  }
+  return v;
+}
+
+inline std::uint64_t peekU64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int b = 7; b >= 0; --b) {
+    v = (v << 8) | p[b];
+  }
+  return v;
+}
+
+/// Bounds-checked sequential decoder over a borrowed byte range.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - offset_;
+  }
+  [[nodiscard]] bool atEnd() const noexcept { return offset_ == size_; }
+
+  std::uint8_t u8() { return *need(1); }
+  std::uint16_t u16() { return peekU16(need(2)); }
+  std::uint32_t u32() { return peekU32(need(4)); }
+  std::uint64_t u64() { return peekU64(need(8)); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string string() {
+    const std::uint32_t n = u32();
+    const std::uint8_t* p = need(n);
+    return {reinterpret_cast<const char*>(p), n};
+  }
+
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    const std::uint8_t* p = need(n);
+    return {p, p + n};
+  }
+
+  std::vector<bool> bits() {
+    const std::uint64_t n = u64();
+    // Overflow-immune: reject before computing (n + 7) / 8 on a forged n.
+    if (n / 8 > remaining()) {
+      throw WireError("wire decode: bit vector length exceeds payload");
+    }
+    const std::uint8_t* p = need((n + 7) / 8);
+    std::vector<bool> out(n, false);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out[i] = (p[i / 8] >> (i % 8)) & 1U;
+    }
+    return out;
+  }
+
+ private:
+  const std::uint8_t* need(std::size_t n) {
+    if (n > size_ - offset_) {
+      throw WireError("wire decode: truncated buffer (need " +
+                      std::to_string(n) + " bytes, have " +
+                      std::to_string(size_ - offset_) + ")");
+    }
+    const std::uint8_t* p = data_ + offset_;
+    offset_ += n;
+    return p;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace ddsim::net

@@ -43,6 +43,57 @@ std::size_t bucketIndex(double value) noexcept {
   return static_cast<std::size_t>(it - bounds.begin());  // kBuckets = overflow
 }
 
+/// Map a snapshot bucket's upper bound back to its layout index. Bounds
+/// round-trip bit-exactly through snapshots and the wire (IEEE bit
+/// pattern), but match with a relative tolerance anyway so a bound that
+/// went through a lossy text format still lands in the right bucket.
+std::size_t boundIndex(double bound) noexcept {
+  if (std::isinf(bound)) {
+    return Histogram::kBuckets;  // overflow bucket
+  }
+  const auto& bounds = bucketBounds();
+  const auto it =
+      std::lower_bound(bounds.begin(), bounds.end(), bound * (1.0 - 1e-9));
+  return std::min(static_cast<std::size_t>(it - bounds.begin()),
+                  Histogram::kBuckets - 1);
+}
+
+/// The quantile estimator shared by live histograms and merged snapshots:
+/// walk the cumulative counts, interpolate linearly inside the selected
+/// bucket, clamp to the observed maximum.
+double quantileFromCounts(
+    const std::array<std::uint64_t, Histogram::kBuckets + 1>& counts,
+    double q, double maxValue) noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      if (i >= Histogram::kBuckets) {
+        return maxValue;  // overflow bucket: the max is the best estimate
+      }
+      const double lower = i == 0 ? 0.0 : Histogram::bucketBound(i - 1);
+      const double upper = Histogram::bucketBound(i);
+      const double fraction = std::clamp(
+          (target - before) / static_cast<double>(counts[i]), 0.0, 1.0);
+      return std::min(lower + fraction * (upper - lower), maxValue);
+    }
+  }
+  return maxValue;
+}
+
 }  // namespace
 
 double Histogram::bucketBound(std::size_t i) noexcept {
@@ -83,37 +134,11 @@ double Histogram::max() const noexcept {
 }
 
 double Histogram::quantile(double q) const noexcept {
-  q = std::clamp(q, 0.0, 1.0);
   std::array<std::uint64_t, kBuckets + 1> counts{};
-  std::uint64_t total = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     counts[i] = counts_[i].load(std::memory_order_relaxed);
-    total += counts[i];
   }
-  if (total == 0) {
-    return 0.0;
-  }
-  const double target = q * static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) {
-      continue;
-    }
-    const double before = static_cast<double>(cumulative);
-    cumulative += counts[i];
-    if (static_cast<double>(cumulative) >= target) {
-      if (i >= kBuckets) {
-        return max();  // overflow bucket: the max is the best estimate
-      }
-      const double lower = i == 0 ? 0.0 : bucketBound(i - 1);
-      const double upper = bucketBound(i);
-      const double fraction =
-          std::clamp((target - before) / static_cast<double>(counts[i]), 0.0,
-                     1.0);
-      return std::min(lower + fraction * (upper - lower), max());
-    }
-  }
-  return max();
+  return quantileFromCounts(counts, q, max());
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -131,6 +156,29 @@ HistogramSnapshot Histogram::snapshot() const {
   s.p95 = quantile(0.95);
   s.p99 = quantile(0.99);
   return s;
+}
+
+HistogramSnapshot mergeHistogramSnapshots(const HistogramSnapshot& a,
+                                          const HistogramSnapshot& b) {
+  std::array<std::uint64_t, Histogram::kBuckets + 1> counts{};
+  for (const HistogramSnapshot* s : {&a, &b}) {
+    for (const auto& [bound, count] : s->buckets) {
+      counts[boundIndex(bound)] += count;
+    }
+  }
+  HistogramSnapshot m;
+  m.sum = a.sum + b.sum;
+  m.max = std::max(a.max, b.max);
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+    if (counts[i] > 0) {
+      m.buckets.emplace_back(Histogram::bucketBound(i), counts[i]);
+      m.count += counts[i];
+    }
+  }
+  m.p50 = quantileFromCounts(counts, 0.50, m.max);
+  m.p95 = quantileFromCounts(counts, 0.95, m.max);
+  m.p99 = quantileFromCounts(counts, 0.99, m.max);
+  return m;
 }
 
 std::string HistogramSnapshot::toJson() const {

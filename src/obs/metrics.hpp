@@ -74,6 +74,15 @@ struct HistogramSnapshot {
   [[nodiscard]] std::string toJson() const;
 };
 
+/// Element-wise merge of two snapshots taken from histograms with the
+/// standard layout (Histogram::kBuckets geometric buckets): bucket counts
+/// sum bound-by-bound, count/sum add, max takes the max, and p50/p95/p99
+/// are *recomputed* from the merged buckets with the same interpolation
+/// Histogram::quantile uses — quantiles of shards never add, so this is
+/// how the distributed router aggregates per-shard latency distributions.
+[[nodiscard]] HistogramSnapshot mergeHistogramSnapshots(
+    const HistogramSnapshot& a, const HistogramSnapshot& b);
+
 /// Fixed-bucket histogram over non-negative values (typically seconds).
 class Histogram {
  public:

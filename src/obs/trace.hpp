@@ -34,9 +34,10 @@ namespace ddsim::obs {
 /// Span categories — rendered as the Chrome trace "cat" field so the
 /// timeline can be filtered per layer.
 namespace cat {
-inline constexpr const char* kDd = "dd";        ///< package operations
-inline constexpr const char* kSim = "sim";      ///< simulator phases
-inline constexpr const char* kServe = "serve";  ///< job lifecycle
+inline constexpr const char* kDd = "dd";          ///< package operations
+inline constexpr const char* kSim = "sim";        ///< simulator phases
+inline constexpr const char* kServe = "serve";    ///< job lifecycle
+inline constexpr const char* kRouter = "router";  ///< distributed routing
 }  // namespace cat
 
 /// Sentinel for "no numeric argument attached to this event".

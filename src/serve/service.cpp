@@ -196,6 +196,10 @@ JobHandle SimulationService::submit(JobSpec spec) {
   rec->submitted = Clock::now();
   rec->cacheable = !spec.bypassCache && cache_.capacity() > 0;
   rec->spec = std::move(spec);
+  // A handed-over checkpoint (distributed re-route) primes the same slot
+  // retry resume uses, so the first attempt continues where the previous
+  // process left off.
+  rec->checkpoint = rec->spec.initialCheckpoint;
   if (rec->cacheable) {
     // Hashing is the expensive part of admission — keep it off the lock.
     rec->key = CacheKey{ir::contentHash(*rec->spec.circuit),
@@ -433,9 +437,16 @@ void SimulationService::workerLoop(int workerId) {
               checkpointsTaken_.fetch_add(1, std::memory_order_relaxed);
               obs::traceInstant("serve.checkpoint", obs::cat::kServe,
                                 raw->id);
+              if (raw->spec.checkpointObserver) {
+                raw->spec.checkpointObserver(raw->checkpoint);
+              }
             });
       }
-      if (attempt > 1) {
+      // Resume whenever a checkpoint exists: a retry's own snapshot, or a
+      // handed-over initialCheckpoint on the very first attempt (a
+      // re-routed distributed job). The retry counters stay attempt-based
+      // so resumed+restarted still equals retriesScheduled.
+      if (attempt > 1 || !rec->checkpoint.empty()) {
         bool resumed = false;
         if (!rec->checkpoint.empty()) {
           try {
@@ -447,8 +458,10 @@ void SimulationService::workerLoop(int workerId) {
             // than failing the retry outright.
           }
         }
-        (resumed ? resumedAttempts_ : restartedAttempts_)
-            .fetch_add(1, std::memory_order_relaxed);
+        if (attempt > 1) {
+          (resumed ? resumedAttempts_ : restartedAttempts_)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
         obs::traceInstant(resumed ? "serve.attempt-resumed"
                                   : "serve.attempt-restarted",
                           obs::cat::kServe, rec->id);
@@ -503,6 +516,17 @@ void SimulationService::finishJob(const std::shared_ptr<JobRecord>& rec,
       // the on-disk copy of this one entry, never serves a stale answer.
       spill_->append(rec->key,
                      CachedOutcome{result.classicalBits, result.stats});
+      if (config_.spillCompactBytes > 0 &&
+          spill_->logBytes() > config_.spillCompactBytes) {
+        // Inline compaction: fold the journal into the snapshot and
+        // truncate it, bounding journal growth between shutdowns. The
+        // spill mutex serializes racing workers; the loser sees a log
+        // already below the threshold and skips.
+        if (spill_->snapshot(cache_.snapshotEntries())) {
+          obs::traceInstant("serve.spill.compacted", obs::cat::kServe,
+                            rec->id);
+        }
+      }
     }
   }
 
@@ -741,6 +765,101 @@ ServiceStats SimulationService::stats() const {
     s.perWorkerJobs.push_back(counter->load(std::memory_order_relaxed));
   }
   return s;
+}
+
+namespace {
+
+std::uint64_t finishedCount(const ServiceStats& s) {
+  return s.completed + s.cached + s.timedOut + s.expired + s.cancelled +
+         s.resourceExhausted + s.failed;
+}
+
+}  // namespace
+
+void mergeStats(ServiceStats& into, const ServiceStats& shard) {
+  // Weighted pieces first, while `into` still holds its pre-merge totals.
+  const std::uint64_t finishedA = finishedCount(into);
+  const std::uint64_t finishedB = finishedCount(shard);
+  if (finishedA + finishedB > 0) {
+    into.queueLatencyMeanSeconds =
+        (into.queueLatencyMeanSeconds * static_cast<double>(finishedA) +
+         shard.queueLatencyMeanSeconds * static_cast<double>(finishedB)) /
+        static_cast<double>(finishedA + finishedB);
+  }
+
+  into.workers += shard.workers;
+  into.elapsedSeconds = std::max(into.elapsedSeconds, shard.elapsedSeconds);
+  into.queueDepth += shard.queueDepth;
+
+  into.submitted += shard.submitted;
+  into.rejected += shard.rejected;
+  into.coalesced += shard.coalesced;
+  into.simulationsRun += shard.simulationsRun;
+  into.completed += shard.completed;
+  into.cached += shard.cached;
+  into.timedOut += shard.timedOut;
+  into.expired += shard.expired;
+  into.cancelled += shard.cancelled;
+  into.resourceExhausted += shard.resourceExhausted;
+  into.failed += shard.failed;
+
+  into.queueLatencyMaxSeconds =
+      std::max(into.queueLatencyMaxSeconds, shard.queueLatencyMaxSeconds);
+  into.execSecondsTotal += shard.execSecondsTotal;
+  into.jobsPerSecond =
+      into.elapsedSeconds > 0.0
+          ? static_cast<double>(finishedCount(into)) / into.elapsedSeconds
+          : 0.0;
+
+  into.queueLatencyHistogram = obs::mergeHistogramSnapshots(
+      into.queueLatencyHistogram, shard.queueLatencyHistogram);
+  into.execHistogram =
+      obs::mergeHistogramSnapshots(into.execHistogram, shard.execHistogram);
+  into.degradationPerJobHistogram = obs::mergeHistogramSnapshots(
+      into.degradationPerJobHistogram, shard.degradationPerJobHistogram);
+  into.queueLatencyP50Seconds = into.queueLatencyHistogram.p50;
+  into.queueLatencyP95Seconds = into.queueLatencyHistogram.p95;
+  into.queueLatencyP99Seconds = into.queueLatencyHistogram.p99;
+  into.execP50Seconds = into.execHistogram.p50;
+  into.execP95Seconds = into.execHistogram.p95;
+  into.execP99Seconds = into.execHistogram.p99;
+
+  into.cacheBypassed += shard.cacheBypassed;
+  into.cache.hits += shard.cache.hits;
+  into.cache.misses += shard.cache.misses;
+  into.cache.insertions += shard.cache.insertions;
+  into.cache.evictions += shard.cache.evictions;
+  into.cache.entries += shard.cache.entries;
+  into.blockCache.hits += shard.blockCache.hits;
+  into.blockCache.misses += shard.blockCache.misses;
+  into.blockCache.insertions += shard.blockCache.insertions;
+  into.blockCache.evictions += shard.blockCache.evictions;
+  into.blockCache.entries += shard.blockCache.entries;
+  into.blockCache.sharedNodes += shard.blockCache.sharedNodes;
+  into.spill.appended += shard.spill.appended;
+  into.spill.loaded += shard.spill.loaded;
+  into.spill.corruptSkipped += shard.spill.corruptSkipped;
+  into.spill.snapshots += shard.spill.snapshots;
+
+  into.retriesScheduled += shard.retriesScheduled;
+  into.resumedAttempts += shard.resumedAttempts;
+  into.restartedAttempts += shard.restartedAttempts;
+  into.backoffSecondsTotal += shard.backoffSecondsTotal;
+  into.checkpointsTaken += shard.checkpointsTaken;
+
+  into.degradationEvents += shard.degradationEvents;
+  into.pressureFlushes += shard.pressureFlushes;
+  into.sequentialFallbackOps += shard.sequentialFallbackOps;
+  into.pressureApproximations += shard.pressureApproximations;
+  into.resourceRecoveries += shard.resourceRecoveries;
+  into.pipelinedBlocks += shard.pipelinedBlocks;
+  into.pipelineStalls += shard.pipelineStalls;
+  into.pipelineBowOuts += shard.pipelineBowOuts;
+  into.pipelineSerialFallbackOps += shard.pipelineSerialFallbackOps;
+
+  into.perWorkerJobs.insert(into.perWorkerJobs.end(),
+                            shard.perWorkerJobs.begin(),
+                            shard.perWorkerJobs.end());
 }
 
 std::string ServiceStats::toJson() const {

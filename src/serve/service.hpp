@@ -92,6 +92,17 @@ struct JobSpec {
   std::string label;
   /// Skip cache lookup, coalescing and insertion for this job.
   bool bypassCache = false;
+  /// Non-empty: a serialized sim::Checkpoint the FIRST attempt resumes
+  /// from instead of starting at |0...0> — the cross-process hand-off used
+  /// by the distributed router when it re-routes a job whose original
+  /// worker died mid-run. A corrupt or mismatched blob falls back to a
+  /// fresh start (same policy as retry resume).
+  std::vector<std::uint8_t> initialCheckpoint;
+  /// Called with the serialized checkpoint every time one is captured for
+  /// this job (after it is stored for retry resume). Lets a network worker
+  /// stream progress snapshots back to its router so the job survives this
+  /// process. Invoked on the executing worker thread; must not throw.
+  std::function<void(const std::vector<std::uint8_t>&)> checkpointObserver;
 };
 
 struct JobResult {
@@ -218,6 +229,12 @@ struct ServiceConfig {
   /// construction, every completed job is journaled, and shutdown() writes
   /// an atomic snapshot.
   std::string cacheDir = {};
+  /// Compaction threshold for the cache spill journal: once `cache.log`
+  /// exceeds this many bytes, the next completed job triggers an inline
+  /// snapshot+truncate (same atomic tmp+fsync+rename as shutdown), so the
+  /// journal never grows unboundedly between graceful shutdowns. 0 (the
+  /// default) keeps the PR 7 behaviour: compaction only at shutdown.
+  std::uint64_t spillCompactBytes = 0;
   /// Default StrategyConfig::checkpointIntervalOps for jobs that leave the
   /// knob at 0. Nonzero makes every job resumable after a transient
   /// failure; 0 leaves checkpointing to per-job opt-in.
@@ -314,6 +331,16 @@ struct ServiceStats {
   /// Stable flat JSON object (keys documented in DESIGN.md).
   [[nodiscard]] std::string toJson() const;
 };
+
+/// Merge one shard's stats snapshot into a cluster aggregate (the
+/// distributed router's stats-merge rule, see DESIGN.md): counters and
+/// totals sum, maxima take the max, histograms merge bucket-wise with
+/// quantiles recomputed from the merged buckets
+/// (obs::mergeHistogramSnapshots), derived figures (means, jobs/s) are
+/// re-derived from the merged totals, and per-worker job counts
+/// concatenate. Merging shard snapshots is associative, so the router can
+/// fold any number of shards into one report.
+void mergeStats(ServiceStats& into, const ServiceStats& shard);
 
 class SimulationService {
  public:

@@ -259,6 +259,56 @@ TEST(DDMigration, SerializedBytesRoundTrip) {
   EXPECT_THROW((void)deserializeMatrixDD(bytes), MigrationError);
 }
 
+TEST(DDMigration, GoldenBlobPinsTheWireFormat) {
+  // Byte-level golden blob: the serialized form of a small hand-built DD,
+  // hardcoded so ANY change to the on-disk layout — field order, widths,
+  // endianness, checksum chaining — fails this test instead of silently
+  // breaking persisted spill files and cross-process migration. The format
+  // is explicit little-endian; these bytes must decode identically on
+  // every platform.
+  //
+  // Layout (offsets in bytes):
+  //    0  u32  magic "MDdD" (0x4464444D)
+  //    4  u32  version (1)
+  //    8  u32  arity (2 = vector)
+  //   12  u64  numQubits (1)
+  //   20  u64  node count (1, excluding the terminal)
+  //   28  u64  payload length (64 = one 20-byte root edge + one 44-byte node)
+  //   36  u64  FNV-1a over the header with this field zeroed, then payload
+  //   44  ...  root edge (i32 node index, f64 re, f64 im), then nodes
+  //        (i32 level, then `arity` edges), children-before-parents.
+  FlatVectorDD flat;
+  flat.numQubits = 1;
+  FlatNode<2> node;
+  node.v = 0;
+  node.children[0] = FlatEdge{kFlatTerminal, ComplexValue{1.0, 0.0}};
+  node.children[1] = FlatEdge{kFlatTerminal, ComplexValue{0.5, -0.25}};
+  flat.nodes.push_back(node);
+  flat.root = FlatEdge{0, ComplexValue{0.75, 0.0}};
+
+  const std::vector<std::uint8_t> kGoldenBlob = {
+      0x4D, 0x44, 0x64, 0x44, 0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0xC7, 0x31, 0x9F, 0x04, 0xF4, 0x3D, 0x90, 0x53, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE8, 0x3F, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0xE0, 0x3F, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0xBF,
+  };
+  // Encode: byte-for-byte identical to the pinned blob.
+  EXPECT_EQ(serializeDD(flat), kGoldenBlob);
+  // Decode: the pinned bytes reproduce the DD exactly.
+  EXPECT_EQ(deserializeVectorDD(kGoldenBlob), flat);
+  // And the blob is semantically live, not just parseable: it imports into
+  // a real package.
+  Package pkg(1);
+  const VEdge imported = importDD(pkg, deserializeVectorDD(kGoldenBlob));
+  pkg.incRef(imported);
+  EXPECT_EQ(pkg.size(imported), flat.nodeCount());
+}
+
 TEST(DDMigration, DeserializeRejectsTruncation) {
   const auto circuit = test::randomCircuit(4, 40, 29);
   SimulatedState src(circuit);

@@ -1,0 +1,434 @@
+/// Tests for the distributed front-end: consistent-hash ring properties
+/// (bounded skew, minimal remapping), the stats-merge invariants, and
+/// end-to-end routing over in-process WorkerServers — cache affinity
+/// (identical jobs -> one simulation cluster-wide), byte-identical results
+/// vs a direct SimulationService run, and worker-death re-routing with
+/// zero lost jobs. Thread-interleaving tests are written to pass under
+/// TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/hash.hpp"
+#include "ir/qasm.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "router/router.hpp"
+#include "serve/service.hpp"
+
+namespace ddsim {
+namespace {
+
+constexpr const char* kBellQasm = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+)";
+
+constexpr const char* kGhzQasm = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+)";
+
+/// Deterministic pseudo-random 64-bit stream for ring experiments.
+std::uint64_t mix(std::uint64_t i) { return ir::hashCombine(0x9E3779B9, i); }
+
+// --------------------------------------------------------------- HashRing
+
+TEST(HashRing, EmptyRingThrows) {
+  router::HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW((void)ring.lookup(42), router::RouterError);
+}
+
+TEST(HashRing, LookupIsDeterministicAndMembershipTracks) {
+  router::HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("b:2");  // idempotent
+  EXPECT_EQ(ring.size(), 2U);
+  EXPECT_TRUE(ring.contains("a:1"));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.lookup(mix(i)), ring.lookup(mix(i)));
+  }
+  ring.remove("a:1");
+  ring.remove("a:1");  // idempotent
+  EXPECT_EQ(ring.size(), 1U);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.lookup(mix(i)), "b:2");
+  }
+}
+
+TEST(HashRing, DistributionSkewIsBounded) {
+  // With 64 virtual nodes per worker, no worker's share of 1000 uniform
+  // hashes should stray far from fair. The bound is loose (2x fair share)
+  // — it catches broken point placement, not statistical noise.
+  router::HashRing ring(64);
+  const std::vector<std::string> workers = {"10.0.0.1:4000", "10.0.0.2:4000",
+                                            "10.0.0.3:4000", "10.0.0.4:4000"};
+  for (const auto& w : workers) {
+    ring.add(w);
+  }
+  std::map<std::string, std::size_t> share;
+  constexpr std::size_t kHashes = 1000;
+  for (std::uint64_t i = 0; i < kHashes; ++i) {
+    ++share[ring.lookup(mix(i))];
+  }
+  EXPECT_EQ(share.size(), workers.size()) << "some worker owns nothing";
+  for (const auto& [worker, count] : share) {
+    EXPECT_GT(count, kHashes / workers.size() / 2)
+        << worker << " owns too little";
+    EXPECT_LT(count, 2 * kHashes / workers.size())
+        << worker << " owns too much";
+  }
+}
+
+TEST(HashRing, JoinAndLeaveRemapMinimally) {
+  router::HashRing ring(64);
+  ring.add("w1:1");
+  ring.add("w2:1");
+  ring.add("w3:1");
+  constexpr std::size_t kHashes = 1000;
+  std::vector<std::string> before;
+  before.reserve(kHashes);
+  for (std::uint64_t i = 0; i < kHashes; ++i) {
+    before.push_back(ring.lookup(mix(i)));
+  }
+  // Join: only hashes that MOVE TO the new worker may change owners.
+  ring.add("w4:1");
+  std::size_t moved = 0;
+  for (std::uint64_t i = 0; i < kHashes; ++i) {
+    const std::string& now = ring.lookup(mix(i));
+    if (now != before[i]) {
+      ++moved;
+      EXPECT_EQ(now, "w4:1") << "hash " << i
+                             << " moved between pre-existing workers";
+    }
+  }
+  // Expect roughly 1/4 to move; assert well under half as the hard bound.
+  EXPECT_GT(moved, 0U);
+  EXPECT_LT(moved, kHashes / 2);
+  // Leave: removing w4 restores the original assignment exactly.
+  ring.remove("w4:1");
+  for (std::uint64_t i = 0; i < kHashes; ++i) {
+    EXPECT_EQ(ring.lookup(mix(i)), before[i]);
+  }
+}
+
+// ------------------------------------------------------------ stats merge
+
+TEST(StatsMerge, HistogramSnapshotsMergeBucketwise) {
+  obs::Histogram a;
+  obs::Histogram b;
+  for (int i = 1; i <= 100; ++i) {
+    a.observe(i * 1e-4);
+  }
+  for (int i = 1; i <= 50; ++i) {
+    b.observe(i * 1e-2);
+  }
+  const obs::HistogramSnapshot sa = a.snapshot();
+  const obs::HistogramSnapshot sb = b.snapshot();
+  const obs::HistogramSnapshot merged = obs::mergeHistogramSnapshots(sa, sb);
+  EXPECT_EQ(merged.count, sa.count + sb.count);
+  EXPECT_DOUBLE_EQ(merged.max, std::max(sa.max, sb.max));
+  std::uint64_t bucketTotal = 0;
+  for (const auto& [bound, count] : merged.buckets) {
+    bucketTotal += count;
+  }
+  EXPECT_EQ(bucketTotal, merged.count);
+  // Merging must equal observing everything into one histogram: same
+  // buckets, same quantiles (the p-fields are recomputed, never added).
+  obs::Histogram all;
+  for (int i = 1; i <= 100; ++i) {
+    all.observe(i * 1e-4);
+  }
+  for (int i = 1; i <= 50; ++i) {
+    all.observe(i * 1e-2);
+  }
+  const obs::HistogramSnapshot expected = all.snapshot();
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  EXPECT_DOUBLE_EQ(merged.p50, expected.p50);
+  EXPECT_DOUBLE_EQ(merged.p95, expected.p95);
+  EXPECT_DOUBLE_EQ(merged.p99, expected.p99);
+}
+
+TEST(StatsMerge, CountersSumAndDerivedFieldsRecompute) {
+  serve::ServiceStats a;
+  a.workers = 2;
+  a.elapsedSeconds = 10.0;
+  a.submitted = 8;
+  a.completed = 6;
+  a.cached = 2;
+  a.simulationsRun = 6;
+  a.queueLatencyMeanSeconds = 0.5;
+  a.queueLatencyMaxSeconds = 2.0;
+  a.execSecondsTotal = 5.0;
+  a.cache.hits = 2;
+  a.retriesScheduled = 1;
+  serve::ServiceStats b;
+  b.workers = 3;
+  b.elapsedSeconds = 4.0;
+  b.submitted = 4;
+  b.completed = 2;
+  b.cached = 2;
+  b.simulationsRun = 2;
+  b.queueLatencyMeanSeconds = 1.0;
+  b.queueLatencyMaxSeconds = 1.5;
+  b.execSecondsTotal = 3.0;
+  b.cache.hits = 2;
+  b.retriesScheduled = 3;
+
+  serve::ServiceStats into;
+  serve::mergeStats(into, a);
+  serve::mergeStats(into, b);
+  EXPECT_EQ(into.workers, 5U);
+  EXPECT_DOUBLE_EQ(into.elapsedSeconds, 10.0);  // max, not sum
+  EXPECT_EQ(into.submitted, 12U);
+  EXPECT_EQ(into.completed, 8U);
+  EXPECT_EQ(into.cached, 4U);
+  EXPECT_EQ(into.simulationsRun, 8U);
+  EXPECT_EQ(into.cache.hits, 4U);
+  EXPECT_EQ(into.retriesScheduled, 4U);
+  EXPECT_DOUBLE_EQ(into.queueLatencyMaxSeconds, 2.0);
+  EXPECT_DOUBLE_EQ(into.execSecondsTotal, 8.0);
+  // Weighted mean over finished jobs: (8*0.5 + 4*1.0) / 12.
+  EXPECT_NEAR(into.queueLatencyMeanSeconds, (8 * 0.5 + 4 * 1.0) / 12.0,
+              1e-12);
+  // Throughput re-derived from merged totals, not added.
+  EXPECT_NEAR(into.jobsPerSecond, 12.0 / 10.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- cluster
+
+struct Cluster {
+  std::vector<std::unique_ptr<net::WorkerServer>> workers;
+  std::vector<std::string> endpoints;
+
+  explicit Cluster(std::size_t n, serve::ServiceConfig config = {}) {
+    config.workers = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      workers.push_back(std::make_unique<net::WorkerServer>(config, 0));
+      endpoints.push_back("127.0.0.1:" +
+                          std::to_string(workers.back()->port()));
+    }
+  }
+  ~Cluster() {
+    for (auto& w : workers) {
+      w->requestStop();
+    }
+  }
+
+  [[nodiscard]] router::RouterConfig routerConfig() const {
+    router::RouterConfig rc;
+    rc.workers = endpoints;
+    return rc;
+  }
+};
+
+router::RouterJob bellJob(const std::string& label, std::uint64_t seed) {
+  router::RouterJob job;
+  job.label = label;
+  job.qasm = kBellQasm;
+  job.seed = seed;
+  return job;
+}
+
+TEST(Router, IdenticalJobsRunOneSimulationClusterWide) {
+  Cluster cluster(3);
+  router::Router r(cluster.routerConfig());
+  r.connect();
+  EXPECT_EQ(r.liveWorkers(), 3U);
+
+  // 6 submissions of the SAME job (identical cache identity).
+  std::vector<router::RouterJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(bellJob("dup#" + std::to_string(i), 7));
+  }
+  const auto results = r.run(jobs);
+  ASSERT_EQ(results.size(), 6U);
+  std::set<std::string> workersUsed;
+  for (const auto& res : results) {
+    EXPECT_FALSE(res.lost);
+    EXPECT_EQ(res.payload.status, net::wireStatus(serve::JobStatus::Completed))
+        << res.payload.error;
+    EXPECT_EQ(res.payload.classicalBits, results[0].payload.classicalBits);
+    workersUsed.insert(res.worker);
+  }
+  // Consistent hashing: every duplicate landed on the same shard...
+  EXPECT_EQ(workersUsed.size(), 1U);
+  // ...and the cluster simulated exactly once (the rest coalesced/cached).
+  const router::ClusterStats stats = r.clusterStats();
+  EXPECT_EQ(stats.shards.size(), 3U);
+  EXPECT_EQ(stats.aggregate.simulationsRun, 1U);
+  // Every submission resolved on that one shard — as the simulation, a
+  // coalesced follower of it, or a cache hit (completed counts coalesced
+  // followers too).
+  EXPECT_EQ(stats.aggregate.submitted, 6U);
+  EXPECT_EQ(stats.aggregate.completed + stats.aggregate.cached, 6U);
+  r.shutdown();
+}
+
+TEST(Router, ResultsMatchDirectServiceRun) {
+  // Distributed answers must be byte-identical to a single-process run of
+  // the same (circuit, config, seed) triples.
+  std::vector<router::RouterJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    router::RouterJob job;
+    job.label = "ghz-" + std::to_string(seed);
+    job.qasm = kGhzQasm;
+    job.seed = seed;
+    jobs.push_back(job);
+  }
+
+  std::vector<std::vector<bool>> direct;
+  {
+    serve::ServiceConfig config;
+    config.workers = 1;
+    serve::SimulationService service(config);
+    for (const auto& job : jobs) {
+      serve::JobSpec spec;
+      spec.circuit = std::make_shared<const ir::Circuit>(
+          ir::parseQasm(job.qasm));
+      spec.config = job.config;
+      spec.seed = job.seed;
+      auto handle = service.trySubmit(std::move(spec));
+      ASSERT_TRUE(handle.has_value());
+      direct.push_back(handle->wait().classicalBits);
+    }
+    service.shutdown(true);
+  }
+
+  Cluster cluster(2);
+  router::Router r(cluster.routerConfig());
+  r.connect();
+  const auto results = r.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].lost);
+    EXPECT_EQ(results[i].payload.classicalBits, direct[i])
+        << "job " << i << " diverged from the direct run";
+  }
+  r.shutdown();
+}
+
+TEST(Router, WorkerDeathReroutesWithZeroLostJobs) {
+  Cluster cluster(3);
+  router::RouterConfig rc = cluster.routerConfig();
+  rc.retry.maxAttempts = 4;
+  router::Router r(rc);
+  r.connect();
+
+  // Enough distinct jobs that every shard owns some.
+  std::vector<router::RouterJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    jobs.push_back(bellJob("j" + std::to_string(seed), seed));
+  }
+  // Kill one worker while the batch is in flight. abortHard tears the
+  // sockets down mid-conversation (raw EOF, no goodbye) — exactly what a
+  // SIGKILLed process looks like to the router.
+  std::thread killer([&] { cluster.workers[0]->abortHard(); });
+  const auto results = r.run(jobs);
+  killer.join();
+
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const auto& res : results) {
+    EXPECT_FALSE(res.lost) << res.payload.error;
+    EXPECT_EQ(res.payload.status,
+              net::wireStatus(serve::JobStatus::Completed))
+        << res.payload.error;
+  }
+  EXPECT_LE(r.liveWorkers(), 2U);
+  const router::RouterCounters c = r.counters();
+  EXPECT_EQ(c.lostJobs, 0U);
+  EXPECT_EQ(c.resultsReceived, jobs.size());
+  r.shutdown();
+}
+
+TEST(Router, AllWorkersDeadMarksJobsLostNotHung) {
+  Cluster cluster(1);
+  router::RouterConfig rc = cluster.routerConfig();
+  rc.retry.maxAttempts = 2;
+  router::Router r(rc);
+  r.connect();
+  cluster.workers[0]->abortHard();  // die before the batch
+
+  const auto results = r.run({bellJob("doomed", 1)});
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_TRUE(results[0].lost);
+  EXPECT_FALSE(results[0].payload.error.empty());
+  EXPECT_EQ(r.liveWorkers(), 0U);
+  r.shutdown();
+}
+
+TEST(Router, UnparseableJobFailsRouterSideWithoutAWorker)
+{
+  Cluster cluster(1);
+  router::Router r(cluster.routerConfig());
+  r.connect();
+  router::RouterJob bad;
+  bad.label = "garbage";
+  bad.qasm = "not qasm at all";
+  const auto results = r.run({bad});
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_FALSE(results[0].lost);
+  EXPECT_EQ(results[0].payload.status,
+            net::wireStatus(serve::JobStatus::Failed));
+  EXPECT_FALSE(results[0].payload.error.empty());
+  EXPECT_EQ(r.counters().submissionsSent, 0U);
+  r.shutdown();
+}
+
+TEST(Router, ClusterStatsAggregateEqualsShardMerge) {
+  Cluster cluster(2);
+  router::Router r(cluster.routerConfig());
+  r.connect();
+  std::vector<router::RouterJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    jobs.push_back(bellJob("s" + std::to_string(seed), seed));
+  }
+  const auto results = r.run(jobs);
+  for (const auto& res : results) {
+    ASSERT_FALSE(res.lost);
+  }
+  const router::ClusterStats stats = r.clusterStats();
+  ASSERT_EQ(stats.shards.size(), 2U);
+  serve::ServiceStats expected;
+  for (const auto& [endpoint, shard] : stats.shards) {
+    serve::mergeStats(expected, shard);
+  }
+  EXPECT_EQ(stats.aggregate.toJson(), expected.toJson());
+  EXPECT_EQ(stats.aggregate.submitted, 6U);
+  r.shutdown();
+}
+
+TEST(Router, ShutdownIsIdempotentAndDestructorSafe) {
+  Cluster cluster(1);
+  router::Router r(cluster.routerConfig());
+  r.connect();
+  const auto results = r.run({bellJob("one", 1)});
+  ASSERT_EQ(results.size(), 1U);
+  r.shutdown();
+  r.shutdown();  // second call is a no-op; destructor runs a third
+}
+
+}  // namespace
+}  // namespace ddsim

@@ -777,6 +777,67 @@ TEST(SimulationService, UnsnapshottedJournalAloneSurvivesRestart) {
   EXPECT_EQ(restarted.stats().simulationsRun, 0U);
 }
 
+TEST(SimulationService, SpillJournalCompactsInlineWhenOverBudget) {
+  // Regression: the append-only journal used to grow without bound until
+  // shutdown. With spillCompactBytes set, finishing a job whose append
+  // pushes the journal past the budget triggers an inline snapshot that
+  // truncates it.
+  const std::string dir = freshCacheDir("compact");
+  const auto bell = makeBell();
+  constexpr std::uint64_t kDistinctJobs = 5;
+  {
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.cacheDir = dir;
+    sc.spillCompactBytes = 1;  // every append overflows the budget
+    serve::SimulationService service(sc);
+    for (std::uint64_t seed = 1; seed <= kDistinctJobs; ++seed) {
+      service.submit(spec(bell, seed)).wait();
+    }
+    const serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.spill.appended, kDistinctJobs);
+    // One inline compaction per overflowing append — no shutdown needed.
+    EXPECT_GE(stats.spill.snapshots, kDistinctJobs);
+    // The journal shrank: the last compaction left it empty.
+    EXPECT_EQ(std::filesystem::file_size(dir + "/cache.log"), 0U);
+    service.shutdown();
+  }
+
+  // Replay is idempotent: everything lives in the snapshot, nothing was
+  // lost across the repeated truncations.
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.cacheDir = dir;
+  serve::SimulationService restarted(sc);
+  EXPECT_EQ(restarted.stats().spill.loaded, kDistinctJobs);
+  for (std::uint64_t seed = 1; seed <= kDistinctJobs; ++seed) {
+    const auto handle = restarted.submit(spec(bell, seed));
+    EXPECT_EQ(handle.wait().status, serve::JobStatus::Cached);
+  }
+  EXPECT_EQ(restarted.stats().simulationsRun, 0U);
+}
+
+TEST(SimulationService, SpillJournalGrowsUnboundedOnlyWhenCompactionOff) {
+  // The default (spillCompactBytes == 0) keeps the seed behaviour:
+  // journal grows per append, one snapshot only at shutdown.
+  const std::string dir = freshCacheDir("no_compact");
+  const auto bell = makeBell();
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.cacheDir = dir;
+  serve::SimulationService service(sc);
+  std::uintmax_t lastSize = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    service.submit(spec(bell, seed)).wait();
+    const std::uintmax_t size = std::filesystem::file_size(dir + "/cache.log");
+    EXPECT_GT(size, lastSize);  // strictly growing, never truncated
+    lastSize = size;
+  }
+  EXPECT_EQ(service.stats().spill.snapshots, 0U);
+  service.shutdown();
+  EXPECT_EQ(service.stats().spill.snapshots, 1U);
+}
+
 TEST(SimulationService, CorruptedSpillIsSkippedNeverFatal) {
   const std::string dir = freshCacheDir("corrupt");
   const auto bell = makeBell();
